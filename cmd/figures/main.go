@@ -1,0 +1,53 @@
+// Command figures regenerates the paper's evaluation tables and figures
+// (Table 1 and Figures 3-9) as text tables.
+//
+// Usage:
+//
+//	figures -exp fig3 -scale 0.15
+//	figures -exp all
+//	figures -exp table1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/muontrap"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: table1, fig3..fig9, or all")
+		scale = flag.Float64("scale", 0.15, "workload trip-count multiplier")
+	)
+	flag.Parse()
+
+	opt := muontrap.DefaultOptions()
+	opt.Scale = *scale
+
+	run := func(id string) {
+		start := time.Now()
+		t, err := muontrap.Figure(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Print(t.String())
+		fmt.Printf("(%s regenerated in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+
+	switch *exp {
+	case "table1":
+		fmt.Print(muontrap.TableOne())
+	case "all":
+		fmt.Print(muontrap.TableOne())
+		fmt.Println()
+		for _, id := range muontrap.FigureIDs() {
+			run(id)
+		}
+	default:
+		run(*exp)
+	}
+}

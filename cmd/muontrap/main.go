@@ -1,0 +1,62 @@
+// Command muontrap runs one benchmark kernel under one protection scheme
+// and prints timing plus microarchitectural statistics.
+//
+// Usage:
+//
+//	muontrap -workload povray -scheme muontrap -scale 0.2
+//	muontrap -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/muontrap"
+)
+
+func main() {
+	var (
+		work  = flag.String("workload", "povray", "benchmark name (see -list)")
+		sch   = flag.String("scheme", "muontrap", "protection scheme (see -list)")
+		scale = flag.Float64("scale", 0.15, "workload trip-count multiplier")
+		list  = flag.Bool("list", false, "list workloads and schemes, then exit")
+		all   = flag.Bool("counters", false, "dump every statistic counter")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:")
+		for _, w := range muontrap.Workloads() {
+			fmt.Printf("  %s\n", w)
+		}
+		fmt.Println("schemes:")
+		desc := muontrap.SchemeDescriptions()
+		for _, s := range muontrap.Schemes() {
+			fmt.Printf("  %-20s %s\n", s, desc[s])
+		}
+		return
+	}
+
+	res, err := muontrap.Run(muontrap.Config{Workload: *work, Scheme: *sch, Scale: *scale})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("workload      %s\n", *work)
+	fmt.Printf("scheme        %s\n", *sch)
+	fmt.Printf("cycles        %d\n", res.Cycles)
+	fmt.Printf("instructions  %d\n", res.Instructions)
+	fmt.Printf("IPC           %.3f\n", res.IPC())
+	if *all {
+		keys := make([]string, 0, len(res.Counters))
+		for k := range res.Counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("%-40s %12d\n", k, res.Counters[k])
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Quickstart: run one SPEC-like kernel on the unprotected machine and
+// under full MuonTrap, and compare cycle counts — the paper's headline
+// claim is that this overhead is small (≈4% on SPEC CPU2006).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/muontrap"
+)
+
+func main() {
+	const workload = "povray" // small hot set: one of the kernels MuonTrap speeds up
+
+	base, err := muontrap.Run(muontrap.Config{Workload: workload, Scheme: "insecure"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	protected, err := muontrap.Run(muontrap.Config{Workload: workload, Scheme: "muontrap"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s\n", workload)
+	fmt.Printf("  insecure baseline: %8d cycles (IPC %.2f)\n", base.Cycles, base.IPC())
+	fmt.Printf("  full MuonTrap:     %8d cycles (IPC %.2f)\n", protected.Cycles, protected.IPC())
+	norm := float64(protected.Cycles) / float64(base.Cycles)
+	fmt.Printf("  normalised time:   %.3f  (< 1.0 means MuonTrap is faster)\n", norm)
+	fmt.Printf("  L0 hit rate:       %.1f%%\n",
+		100*float64(protected.Counters["core0.l0d.hits"])/
+			float64(protected.Counters["core0.l0d.hits"]+protected.Counters["core0.l0d.misses"]))
+	fmt.Printf("  commit write-throughs: %d, SE upgrades: %d, domain flushes: %d\n",
+		protected.Counters["core0.commit.writes"],
+		protected.Counters["core0.commit.se_upgrades"],
+		protected.Counters["core0.flush.domain"])
+}

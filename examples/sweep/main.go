@@ -1,0 +1,25 @@
+// Sweep: reproduce the shape of the paper's Figure 5 on two contrasting
+// Parsec kernels — streamcluster collapses with a tiny filter cache (its
+// in-flight speculative lines exceed the capacity, so lines are evicted
+// before commit and must be refetched), while swaptions barely notices.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/muontrap"
+)
+
+func main() {
+	opt := muontrap.DefaultOptions()
+	opt.Scale = 0.08
+
+	t, err := muontrap.Figure("fig5", opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(t.String())
+	fmt.Println("\nExpected shape (paper Figure 5): streamcluster/freqmine blow up below")
+	fmt.Println("256B; by 2KiB every kernel runs at least as fast as the insecure baseline.")
+}

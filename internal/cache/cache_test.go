@@ -1,0 +1,259 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func newTest(size uint64, assoc int) *Array {
+	return NewArray(Config{Name: "t", SizeBytes: size, Assoc: assoc})
+}
+
+func TestArrayGeometry(t *testing.T) {
+	a := newTest(2048, 4) // 32 lines, 8 sets
+	if a.Lines() != 32 || a.Sets() != 8 || a.Assoc() != 4 {
+		t.Fatalf("geometry: lines=%d sets=%d assoc=%d", a.Lines(), a.Sets(), a.Assoc())
+	}
+	fa := NewArray(Config{Name: "fa", SizeBytes: 2048, Assoc: 32})
+	if fa.Sets() != 1 || fa.Assoc() != 32 {
+		t.Fatalf("fully associative geometry wrong: sets=%d", fa.Sets())
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewArray(Config{Name: "bad", SizeBytes: 0, Assoc: 4})
+}
+
+func TestNonPowerOfTwoSetsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewArray(Config{Name: "bad", SizeBytes: 3 * 64, Assoc: 1})
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	a := newTest(1024, 2)
+	addr := uint64(0x1000)
+	if a.Lookup(addr) != nil {
+		t.Fatal("empty cache should miss")
+	}
+	a.Fill(addr, Shared)
+	l := a.Lookup(addr + 63) // same line, different offset
+	if l == nil {
+		t.Fatal("fill then lookup should hit")
+	}
+	if l.Tag != addr {
+		t.Fatalf("tag = %#x, want %#x", l.Tag, addr)
+	}
+	if l.State != Shared {
+		t.Fatalf("state = %v", l.State)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 2-way cache: fill two lines in one set, touch the first, fill a
+	// third; the second must be the victim.
+	a := newTest(128, 2) // 2 lines, 1 set
+	a.Fill(0x0000, Shared)
+	a.Fill(0x1000, Shared)
+	if a.Lookup(0x0000) == nil {
+		t.Fatal("expected hit")
+	}
+	_, evicted, had := a.Fill(0x2000, Shared)
+	if !had || evicted.Tag != 0x1000 {
+		t.Fatalf("evicted %#x (had=%v), want 0x1000", evicted.Tag, had)
+	}
+	if a.Lookup(0x0000) == nil || a.Lookup(0x2000) == nil {
+		t.Fatal("survivors missing")
+	}
+}
+
+func TestVictimPrefersInvalidWay(t *testing.T) {
+	a := newTest(128, 2)
+	a.Fill(0x0000, Shared)
+	_, _, had := a.Fill(0x1000, Shared)
+	if had {
+		t.Fatal("second fill should use the invalid way")
+	}
+}
+
+func TestPeekDoesNotRefreshLRU(t *testing.T) {
+	a := newTest(128, 2)
+	a.Fill(0x0000, Shared)
+	a.Fill(0x1000, Shared)
+	// Peek at the older line; it must still be the LRU victim.
+	if a.Peek(0x0000) == nil {
+		t.Fatal("peek should find line")
+	}
+	_, evicted, _ := a.Fill(0x2000, Shared)
+	if evicted.Tag != 0x0000 {
+		t.Fatalf("evicted %#x, want 0x0000 (Peek must not refresh LRU)", evicted.Tag)
+	}
+}
+
+func TestInvalidateLine(t *testing.T) {
+	a := newTest(1024, 2)
+	a.Fill(0x40, Modified)
+	if st := a.InvalidateLine(0x40); st != Modified {
+		t.Fatalf("previous state = %v, want M", st)
+	}
+	if a.Lookup(0x40) != nil {
+		t.Fatal("line still present after invalidate")
+	}
+	if st := a.InvalidateLine(0x40); st != Invalid {
+		t.Fatal("double invalidate should report Invalid")
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	a := newTest(1024, 2)
+	for i := uint64(0); i < 10; i++ {
+		a.Fill(i*64, Shared)
+	}
+	if n := a.InvalidateAll(); n != 10 {
+		t.Fatalf("InvalidateAll = %d, want 10", n)
+	}
+	if a.CountValid() != 0 {
+		t.Fatal("lines remain after InvalidateAll")
+	}
+}
+
+func TestLookupVirtual(t *testing.T) {
+	a := newTest(1024, 4)
+	l, _, _ := a.Fill(0x5000, Shared)
+	l.VTag = 0x9000
+	if a.LookupVirtual(0x9000) == nil {
+		t.Fatal("virtual lookup should hit")
+	}
+	if a.LookupVirtual(0x5000) != nil {
+		t.Fatal("virtual lookup by physical tag should miss")
+	}
+}
+
+func TestStatePredicates(t *testing.T) {
+	if Invalid.Valid() {
+		t.Fatal("I is not valid")
+	}
+	if !Modified.Owned() || !Exclusive.Owned() || Shared.Owned() {
+		t.Fatal("ownership predicate wrong")
+	}
+	if !Shared.ProtocolShared() || !SharedExclusivePending.ProtocolShared() {
+		t.Fatal("SE must look Shared to the protocol")
+	}
+	if Exclusive.ProtocolShared() {
+		t.Fatal("E is not protocol-shared")
+	}
+	if SharedExclusivePending.String() != "SE" || Modified.String() != "M" {
+		t.Fatal("state names wrong")
+	}
+}
+
+// Property: a cache never holds two lines with the same tag, and never
+// holds more valid lines than its capacity.
+func TestArrayInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := newTest(512, 2) // 8 lines
+		for i := 0; i < 200; i++ {
+			addr := uint64(rng.Intn(32)) * mem.LineBytes
+			switch rng.Intn(3) {
+			case 0:
+				a.Fill(addr, Shared)
+			case 1:
+				a.Lookup(addr)
+			case 2:
+				a.InvalidateLine(addr)
+			}
+			if a.CountValid() > a.Lines() {
+				return false
+			}
+			seen := map[uint64]bool{}
+			dup := false
+			a.ForEach(func(l *Line) {
+				if seen[l.Tag] {
+					dup = true
+				}
+				seen[l.Tag] = true
+			})
+			if dup {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSHRCoalescing(t *testing.T) {
+	f := NewMSHRFile(2)
+	calls := 0
+	m1, ok := f.Allocate(0x1000, func() { calls++ })
+	if !ok || m1 == nil {
+		t.Fatal("first allocation failed")
+	}
+	m2, ok := f.Allocate(0x1020, func() { calls++ }) // same line
+	if !ok || m2 != m1 {
+		t.Fatal("same-line allocation should coalesce")
+	}
+	if f.InUse() != 1 {
+		t.Fatalf("InUse = %d, want 1", f.InUse())
+	}
+	f.Complete(0x1000)
+	if calls != 2 {
+		t.Fatalf("waiters run = %d, want 2", calls)
+	}
+	if f.InUse() != 0 {
+		t.Fatal("MSHR not released")
+	}
+}
+
+func TestMSHRFullStalls(t *testing.T) {
+	f := NewMSHRFile(1)
+	f.Allocate(0x1000, nil)
+	if _, ok := f.Allocate(0x2000, nil); ok {
+		t.Fatal("full file should refuse new line")
+	}
+	if !f.Full() {
+		t.Fatal("Full() should be true")
+	}
+	// Coalescing is still allowed when full.
+	if _, ok := f.Allocate(0x1000, nil); !ok {
+		t.Fatal("coalescing should succeed even when full")
+	}
+	f.Complete(0x1000)
+	if _, ok := f.Allocate(0x2000, nil); !ok {
+		t.Fatal("allocation after release should succeed")
+	}
+}
+
+func TestMSHRCompleteUnknownLineIsNoop(t *testing.T) {
+	f := NewMSHRFile(1)
+	f.Complete(0x9999) // must not panic
+}
+
+func TestMSHRWaiterOrder(t *testing.T) {
+	f := NewMSHRFile(4)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		f.Allocate(0x40, func() { order = append(order, i) })
+	}
+	f.Complete(0x40)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("waiter order = %v", order)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package cache
+
+import "repro/internal/mem"
+
+// MSHR is one miss-status holding register: a pending miss to a line with
+// the set of waiters to notify when the fill returns.
+type MSHR struct {
+	LineAddr uint64
+	Waiters  []func()
+}
+
+// MSHRFile tracks outstanding misses for one cache. Requests to a line
+// that already has an MSHR coalesce onto it; when every register is busy
+// the cache must stall new misses (paper Table 1 gives 4 MSHRs for the L1s
+// and filter caches, 16 for the L2).
+type MSHRFile struct {
+	cap     int
+	entries map[uint64]*MSHR
+
+	// Stats
+	Allocs    uint64
+	Coalesced uint64
+	FullStall uint64
+}
+
+// NewMSHRFile returns a file with capacity registers.
+func NewMSHRFile(capacity int) *MSHRFile {
+	return &MSHRFile{cap: capacity, entries: make(map[uint64]*MSHR)}
+}
+
+// Lookup returns the MSHR for a line, if any.
+func (f *MSHRFile) Lookup(addr uint64) *MSHR {
+	return f.entries[mem.LineAddr(addr)]
+}
+
+// Full reports whether a new allocation would fail.
+func (f *MSHRFile) Full() bool { return len(f.entries) >= f.cap }
+
+// InUse reports the number of live registers.
+func (f *MSHRFile) InUse() int { return len(f.entries) }
+
+// Allocate records a miss on addr. It returns (mshr, true) when this call
+// created the registration or coalesced onto an existing one, and
+// (nil, false) when the file is full and the request must retry.
+// The primary return distinguishes coalescing via MSHR identity:
+// callers that need to know can Lookup first.
+func (f *MSHRFile) Allocate(addr uint64, onFill func()) (*MSHR, bool) {
+	la := mem.LineAddr(addr)
+	if m, ok := f.entries[la]; ok {
+		f.Coalesced++
+		if onFill != nil {
+			m.Waiters = append(m.Waiters, onFill)
+		}
+		return m, true
+	}
+	if len(f.entries) >= f.cap {
+		f.FullStall++
+		return nil, false
+	}
+	m := &MSHR{LineAddr: la}
+	if onFill != nil {
+		m.Waiters = append(m.Waiters, onFill)
+	}
+	f.entries[la] = m
+	f.Allocs++
+	return m, true
+}
+
+// Complete retires the MSHR for a line and runs its waiters in arrival
+// order. Completing a line with no MSHR is a no-op (squashed requests).
+func (f *MSHRFile) Complete(addr uint64) {
+	la := mem.LineAddr(addr)
+	m, ok := f.entries[la]
+	if !ok {
+		return
+	}
+	delete(f.entries, la)
+	for _, w := range m.Waiters {
+		w()
+	}
+}

@@ -1,0 +1,166 @@
+// Package core implements the paper's primary contribution: the
+// speculative filter cache (MuonTrap §4). A filter cache is a small,
+// 1-cycle L0 placed between the core and the L1 that captures *all*
+// speculative memory state:
+//
+//   - lines filled by speculative instructions carry a cleared "committed"
+//     bit and are never written into non-speculative caches (§4.2);
+//   - when an instruction using a line commits, the line is written
+//     through to the L1 (and the inclusive L2) and marked committed;
+//   - the cache is virtually indexed and tagged from the CPU side and
+//     physically tagged from the memory side, so it needs no translation
+//     on access but can still be snooped (§4.4);
+//   - validity lives in registers beside the SRAM, so the whole cache is
+//     flash-invalidated in a single cycle on a protection-domain switch
+//     (§4.3) — this is what makes clearing cheap enough to do on every
+//     context switch, syscall and sandbox entry;
+//   - coherence-wise a filter cache only ever holds lines in Shared; the
+//     SE pseudo-state records that an unprotected system would have held
+//     the line Exclusive so the L1 can launch an asynchronous upgrade when
+//     the line commits (§4.5).
+//
+// The surrounding coherence machinery (NACKing speculative downgrades,
+// broadcast filter invalidation on exclusive upgrades, commit-time
+// prefetch notification) lives in internal/memsys; this package owns the
+// structure itself plus the filter TLB policy.
+package core
+
+import (
+	"repro/internal/cache"
+	"repro/internal/mem"
+)
+
+// FilterConfig sizes a speculative filter cache. The paper's tuned
+// configuration (§6.4) is 2KiB, 4-way.
+type FilterConfig struct {
+	Name      string
+	SizeBytes uint64
+	Assoc     int
+	MSHRs     int
+}
+
+// DefaultDataFilterConfig is the paper's Table 1 data filter cache.
+func DefaultDataFilterConfig() FilterConfig {
+	return FilterConfig{Name: "l0d", SizeBytes: 2048, Assoc: 4, MSHRs: 4}
+}
+
+// DefaultInstFilterConfig is the paper's Table 1 instruction filter cache.
+func DefaultInstFilterConfig() FilterConfig {
+	return FilterConfig{Name: "l0i", SizeBytes: 2048, Assoc: 4, MSHRs: 4}
+}
+
+// FilterCache is one speculative filter cache (data or instruction).
+type FilterCache struct {
+	arr   *cache.Array
+	MSHRs *cache.MSHRFile
+
+	// Stats.
+	Hits                uint64
+	Misses              uint64
+	Fills               uint64
+	Flushes             uint64
+	LinesFlushed        uint64
+	EvictedUncommitted3 uint64 // uncommitted lines displaced before commit
+}
+
+// NewFilterCache builds a filter cache.
+func NewFilterCache(cfg FilterConfig) *FilterCache {
+	return &FilterCache{
+		arr:   cache.NewArray(cache.Config{Name: cfg.Name, SizeBytes: cfg.SizeBytes, Assoc: cfg.Assoc}),
+		MSHRs: cache.NewMSHRFile(cfg.MSHRs),
+	}
+}
+
+// Lines reports the line capacity.
+func (f *FilterCache) Lines() int { return f.arr.Lines() }
+
+// CountValid reports live lines.
+func (f *FilterCache) CountValid() int { return f.arr.CountValid() }
+
+// Lookup performs the CPU-side (virtually addressed) lookup, counting
+// hit/miss statistics.
+func (f *FilterCache) Lookup(vaddr mem.VAddr) *cache.Line {
+	l := f.arr.LookupVirtual(uint64(vaddr))
+	if l != nil {
+		f.Hits++
+	} else {
+		f.Misses++
+	}
+	return l
+}
+
+// Snoop performs the memory-side (physically addressed) lookup without
+// perturbing replacement state.
+func (f *FilterCache) Snoop(paddr mem.Addr) *cache.Line {
+	return f.arr.Peek(uint64(paddr))
+}
+
+// Fill installs a line with both tags. Physical addressing on fill
+// resolves virtual aliases: if the physical line is already present under
+// a different virtual tag, that copy is overwritten so only one copy of
+// each physical line ever exists (§4.4). It returns the evicted line when
+// a valid line was displaced.
+func (f *FilterCache) Fill(vaddr mem.VAddr, paddr mem.Addr, st cache.State, committed bool, fillLevel uint8) (evicted cache.Line, hadVictim bool) {
+	f.Fills++
+	line, ev, had := f.arr.FillPreferCommitted(uint64(paddr), st)
+	line.VTag = uint64(mem.LineAddr(vaddr))
+	line.Committed = committed
+	line.FillLevel = fillLevel
+	if had && !ev.Committed {
+		f.EvictedUncommitted3++
+	}
+	return ev, had
+}
+
+// MarkCommitted sets the committed bit on the line holding paddr and
+// reports whether the line was present and previously uncommitted (in
+// which case the caller must write it through to the L1). The previous
+// state is returned so the caller can detect SE lines needing an
+// asynchronous exclusive upgrade.
+func (f *FilterCache) MarkCommitted(paddr mem.Addr) (prev cache.State, wasUncommitted, present bool) {
+	l := f.arr.Peek(uint64(paddr))
+	if l == nil {
+		return cache.Invalid, false, false
+	}
+	prev = l.State
+	wasUncommitted = !l.Committed
+	l.Committed = true
+	if l.State == cache.SharedExclusivePending {
+		// Once the upgrade is launched the pseudo-state collapses to S;
+		// the exclusivity lives in the L1 from now on.
+		l.State = cache.Shared
+	}
+	return prev, wasUncommitted, true
+}
+
+// Invalidate drops the line holding paddr (coherence invalidation or
+// filter broadcast), reporting its previous state.
+func (f *FilterCache) Invalidate(paddr mem.Addr) cache.State {
+	return f.arr.InvalidateLine(uint64(paddr))
+}
+
+// FlashInvalidate clears every line in a single cycle by dropping the
+// register valid bits (§4.3). It returns the number of lines cleared and
+// invokes onDrop for each so the owner can update its filter-sharer
+// tracking.
+func (f *FilterCache) FlashInvalidate(onDrop func(paddr mem.Addr)) int {
+	if onDrop != nil {
+		f.arr.ForEach(func(l *cache.Line) { onDrop(mem.Addr(l.Tag)) })
+	}
+	n := f.arr.InvalidateAll()
+	f.Flushes++
+	f.LinesFlushed += uint64(n)
+	return n
+}
+
+// ForEach visits every valid line.
+func (f *FilterCache) ForEach(fn func(*cache.Line)) { f.arr.ForEach(fn) }
+
+// HitRate reports the CPU-side hit rate.
+func (f *FilterCache) HitRate() float64 {
+	total := f.Hits + f.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(f.Hits) / float64(total)
+}

@@ -1,0 +1,128 @@
+// Package cpu implements the out-of-order superscalar core of the paper's
+// Table 1: 8-wide, 192-entry ROB, 64-entry issue queue, 32-entry load and
+// store queues, 6 integer ALUs, 4 FP ALUs and 2 multiply/divide units, fed
+// by the tournament branch predictor of internal/bpred and backed by the
+// memory system of internal/memsys.
+//
+// The core performs real speculative functional execution: wrong-path
+// instructions execute with whatever register values the rename map holds
+// and issue real memory accesses, which is exactly the behaviour Spectre
+// attacks exploit and MuonTrap contains. Squashes restore rename-map
+// checkpoints and predictor state.
+//
+// The package also models the two comparison defenses the paper evaluates
+// against:
+//
+//   - InvisiSpec (Spectre and Future variants): speculative loads read
+//     data without installing anything in the cache hierarchy, and replay
+//     an "exposure" access once safe (asynchronously for the Spectre
+//     variant; blocking commit for the Future variant);
+//   - STT (Spectre and Future variants): results of unsafe loads taint
+//     their dependents, and tainted transmitters (loads, stores, indirect
+//     jumps) may not issue until the source load becomes safe.
+//
+// MuonTrap itself needs almost nothing from the core beyond commit-time
+// hooks and NACK retries: the protection lives in the memory system.
+package cpu
+
+import "repro/internal/event"
+
+// Defense selects the pipeline-level defense model. MuonTrap and the
+// unprotected baseline share DefenseNone here: MuonTrap's mechanisms are
+// configured in the memory system, not the pipeline.
+type Defense uint8
+
+// Pipeline defense models.
+const (
+	DefenseNone Defense = iota
+	DefenseInvisiSpecSpectre
+	DefenseInvisiSpecFuture
+	DefenseSTTSpectre
+	DefenseSTTFuture
+)
+
+func (d Defense) String() string {
+	switch d {
+	case DefenseNone:
+		return "none"
+	case DefenseInvisiSpecSpectre:
+		return "invisispec-spectre"
+	case DefenseInvisiSpecFuture:
+		return "invisispec-future"
+	case DefenseSTTSpectre:
+		return "stt-spectre"
+	case DefenseSTTFuture:
+		return "stt-future"
+	}
+	return "unknown"
+}
+
+// Config sizes the core.
+type Config struct {
+	FetchWidth  int
+	CommitWidth int
+	IssueWidth  int
+
+	ROBSize int
+	IQSize  int
+	LQSize  int
+	SQSize  int
+
+	IntALUs int
+	FPALUs  int
+	MulDivs int
+
+	IntALULat event.Cycle
+	FPALULat  event.Cycle
+	MulLat    event.Cycle
+	DivLat    event.Cycle
+
+	// FrontendDelay is the fetch-to-issue depth of the pipeline, which
+	// sets the branch misprediction penalty.
+	FrontendDelay event.Cycle
+	// RedirectPenalty is the extra bubble after a squash before fetch
+	// resumes.
+	RedirectPenalty event.Cycle
+
+	StoreBufferSize   int
+	MaxDrainsInFlight int
+
+	// SyscallCost models kernel entry/exit plus the short syscall body,
+	// charged at commit of every OpSyscall in all configurations.
+	SyscallCost event.Cycle
+
+	Defense Defense
+}
+
+// DefaultConfig matches the paper's Table 1 core.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:  8,
+		CommitWidth: 8,
+		IssueWidth:  8,
+
+		ROBSize: 192,
+		IQSize:  64,
+		LQSize:  32,
+		SQSize:  32,
+
+		IntALUs: 6,
+		FPALUs:  4,
+		MulDivs: 2,
+
+		IntALULat: 1,
+		FPALULat:  3,
+		MulLat:    4,
+		DivLat:    12,
+
+		FrontendDelay:   8,
+		RedirectPenalty: 2,
+
+		StoreBufferSize:   16,
+		MaxDrainsInFlight: 2,
+
+		SyscallCost: 400,
+
+		Defense: DefenseNone,
+	}
+}

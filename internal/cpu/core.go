@@ -1,0 +1,562 @@
+package cpu
+
+import (
+	"repro/internal/bpred"
+	"repro/internal/event"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/memsys"
+)
+
+// Core is one simulated out-of-order hardware thread.
+type Core struct {
+	id    int
+	cfg   Config
+	sched *event.Scheduler
+	port  *memsys.Port
+	phys  *mem.Physical
+	pred  *bpred.Predictor
+
+	prog *isa.Program
+
+	// Architectural state.
+	regs   [isa.NumRegs]uint64
+	rename [isa.NumRegs]*dynInst
+
+	// ROB, in program order; index 0 is the oldest.
+	rob []*dynInst
+	iq  []*dynInst
+	lq  []*dynInst
+	sq  []*dynInst
+
+	// Post-commit store buffer.
+	storeBuf       []*dynInst
+	drainsInFlight int
+
+	seq              uint64
+	fetchPC          uint64
+	fetchStall       bool     // barrier/syscall/halt fetched: stop until it commits
+	fetchWaitResolve *dynInst // indirect jump without prediction
+	fetchResumeAt    event.Cycle
+
+	// Fetch line buffer state.
+	fetchLineVA   uint64
+	fetchLineOK   bool
+	fetchLinePend bool
+	fetchEpoch    uint64 // invalidates in-flight ifetches across squashes
+
+	halted           bool
+	haltedBad        bool // halted by running off text or faulting on the committed path
+	commitStallUntil event.Cycle
+
+	// Cached text-segment mapping from the most recent ifetch translation,
+	// used to derive instruction physical addresses at commit.
+	fetchVirtBase uint64
+	fetchPhysBase mem.Addr
+
+	// OnSyscall is invoked when a syscall commits; it returns the number
+	// of stall cycles to charge and performs any domain-switch work (the
+	// system installs it). Nil means syscalls cost only SyscallCost.
+	OnSyscall func(*Core) event.Cycle
+
+	// FU busy-until times for the unpipelined divider slots.
+	divFree []event.Cycle
+
+	// Stats.
+	Committed    uint64
+	Fetched      uint64
+	Squashed     uint64
+	Mispredicts  uint64
+	LoadNACKs    uint64
+	Syscalls     uint64
+	Barriers     uint64
+	Exposures    uint64
+	STTStalls    uint64
+	CommitStores uint64
+	CommitLoads  uint64
+}
+
+// NewCore builds a core attached to a memory port.
+func NewCore(id int, cfg Config, sched *event.Scheduler, port *memsys.Port, phys *mem.Physical) *Core {
+	return &Core{
+		id:      id,
+		cfg:     cfg,
+		sched:   sched,
+		port:    port,
+		phys:    phys,
+		pred:    bpred.New(bpred.DefaultConfig()),
+		divFree: make([]event.Cycle, cfg.MulDivs),
+	}
+}
+
+// ID returns the core's index.
+func (c *Core) ID() int { return c.id }
+
+// Port returns the memory port.
+func (c *Core) Port() *memsys.Port { return c.port }
+
+// Predictor exposes the branch predictor (the system flushes its BTB on
+// domain switches when modelling BTB isolation).
+func (c *Core) Predictor() *bpred.Predictor { return c.pred }
+
+// SetProgram loads a program: architectural registers are cleared, the
+// stack pointer initialised and fetch redirected to the entry point.
+func (c *Core) SetProgram(p *isa.Program) {
+	c.prog = p
+	for i := range c.regs {
+		c.regs[i] = 0
+	}
+	c.regs[isa.SP] = isa.StackTop
+	c.fetchPC = p.Entry
+	c.halted = false
+	c.haltedBad = false
+	c.flushPipeline()
+}
+
+// Halted reports whether the core has committed a halt.
+func (c *Core) Halted() bool { return c.halted }
+
+// HaltedBad reports an abnormal halt (committed off-text fetch or fault).
+func (c *Core) HaltedBad() bool { return c.haltedBad }
+
+// Reg reads an architectural register (test/scenario hook).
+func (c *Core) Reg(r isa.Reg) uint64 { return c.regs[r] }
+
+// SetReg writes an architectural register (scenario setup hook).
+func (c *Core) SetReg(r isa.Reg, v uint64) { c.regs[r] = v }
+
+// PC returns the current fetch PC.
+func (c *Core) PC() uint64 { return c.fetchPC }
+
+// Drained reports whether all post-commit stores have drained.
+func (c *Core) Drained() bool { return len(c.storeBuf) == 0 && c.drainsInFlight == 0 }
+
+// CommittedInsts reports the number of committed instructions.
+func (c *Core) CommittedInsts() uint64 { return c.Committed }
+
+// SetPC redirects fetch (context-switch restore). The pipeline must be
+// empty (SetProgram flushes it).
+func (c *Core) SetPC(pc uint64) { c.fetchPC = pc }
+
+// Stall blocks both fetch and commit for d cycles (OS overhead such as a
+// context switch or timer tick).
+func (c *Core) Stall(d event.Cycle) {
+	until := c.sched.Now() + d
+	if until > c.commitStallUntil {
+		c.commitStallUntil = until
+	}
+	if until > c.fetchResumeAt {
+		c.fetchResumeAt = until
+	}
+}
+
+// flushPipeline empties all pipeline state (context switch or program load).
+func (c *Core) flushPipeline() {
+	for _, d := range c.rob {
+		d.squashed = true
+	}
+	c.rob = c.rob[:0]
+	c.iq = c.iq[:0]
+	c.lq = c.lq[:0]
+	c.sq = c.sq[:0]
+	for i := range c.rename {
+		c.rename[i] = nil
+	}
+	c.fetchStall = false
+	c.fetchWaitResolve = nil
+	c.fetchLineOK = false
+	c.fetchLinePend = false
+	c.fetchEpoch++
+	c.fetchResumeAt = 0
+}
+
+// Tick advances the core by one cycle. The caller advances the shared
+// event scheduler.
+func (c *Core) Tick() {
+	if c.halted {
+		// The pipeline is stopped but the store buffer keeps draining.
+		c.drainStores()
+		return
+	}
+	c.commit()
+	c.drainStores()
+	c.memMaintenance()
+	c.defenseMaintenance()
+	c.issue()
+	c.fetchAndDispatch()
+}
+
+// --- Commit ---
+
+func (c *Core) commit() {
+	if c.sched.Now() < c.commitStallUntil {
+		return
+	}
+	for n := 0; n < c.cfg.CommitWidth && len(c.rob) > 0; n++ {
+		d := c.rob[0]
+		if !c.commitReady(d) {
+			return
+		}
+		if d.faulted {
+			// A memory fault reached the committed path: the program is
+			// broken (wrong-path faults are squashed before this point).
+			c.halted = true
+			c.haltedBad = true
+			return
+		}
+		// Architectural effects.
+		if d.writesReg {
+			c.regs[d.destReg] = d.result
+			if c.rename[d.destReg] == d {
+				c.rename[d.destReg] = nil
+			}
+		}
+		switch d.inst.Op.Class() {
+		case isa.ClassLoad:
+			c.CommitLoads++
+			if c.cfg.Defense == DefenseInvisiSpecSpectre && d.needsExpose && !d.exposing && !d.exposeDone {
+				// The load became safe only now: fire the exposure so the
+				// line still reaches the caches (asynchronously; the
+				// Spectre variant never blocks commit on it).
+				c.exposeLoad(d, false)
+			}
+			if !d.forwarded {
+				c.port.CommitLoad(d.pc, mem.VAddr(d.effAddr), d.paddr)
+			}
+			// Promote the page's translation from the filter TLB to the
+			// main TLB: the commit makes it non-speculative regardless of
+			// whether this particular instruction performed the walk.
+			c.port.CommitTranslation(mem.VAddr(d.effAddr), false)
+			c.removeFromLQ(d)
+		case isa.ClassStore:
+			c.CommitStores++
+			if len(c.storeBuf) >= c.cfg.StoreBufferSize {
+				return // retry next cycle
+			}
+			d.v2 = c.storeData(d)
+			c.storeBuf = append(c.storeBuf, d)
+			c.port.CommitTranslation(mem.VAddr(d.effAddr), false)
+			c.removeFromSQ(d)
+		case isa.ClassAmo:
+			c.removeFromSQ(d)
+		case isa.ClassSyscall:
+			c.Syscalls++
+			cost := c.cfg.SyscallCost
+			if c.OnSyscall != nil {
+				cost += c.OnSyscall(c)
+			}
+			c.commitStallUntil = c.sched.Now() + cost
+			c.fetchStall = false
+		case isa.ClassBarrier:
+			c.Barriers++
+			c.fetchStall = false
+		case isa.ClassFlush:
+			c.port.FlushDomain()
+		case isa.ClassHalt:
+			c.halted = true
+			c.haltedBad = d.synthetic
+			c.rob = c.rob[1:]
+			c.Committed++
+			return
+		}
+		c.port.CommitIfetch(c.instPaddr(d.pc))
+		c.port.CommitTranslation(mem.VAddr(d.pc), true)
+		c.rob = c.rob[1:]
+		c.Committed++
+		if d.inst.Op.Class() == isa.ClassSyscall {
+			return // serialise
+		}
+	}
+}
+
+// commitReady reports whether the ROB head can retire this cycle, and
+// triggers head-of-ROB work (NACK reissue, AMO execution, InvisiSpec
+// validation).
+func (c *Core) commitReady(d *dynInst) bool {
+	switch {
+	case d.isAmo():
+		if !d.done {
+			c.executeAmoAtHead(d)
+			return false
+		}
+		return true
+	case d.isLoad():
+		if d.phase == memNACKed {
+			c.reissueLoad(d, false)
+			return false
+		}
+		if !d.done {
+			return false
+		}
+		if c.cfg.Defense == DefenseInvisiSpecFuture && d.needsExpose && !d.exposeDone {
+			c.exposeLoad(d, true)
+			return false
+		}
+		return true
+	case d.isStore():
+		// Stores need address generation done; data is available because
+		// every older instruction has committed.
+		return d.phase >= memTranslated && !d.faulted
+	default:
+		return d.done
+	}
+}
+
+func (c *Core) storeData(d *dynInst) uint64 {
+	if d.use2 {
+		if d.src2 != nil {
+			return d.src2.result
+		}
+		return d.v2
+	}
+	return 0
+}
+
+// --- Store buffer drain ---
+
+func (c *Core) drainStores() {
+	for len(c.storeBuf) > 0 && c.drainsInFlight < c.cfg.MaxDrainsInFlight {
+		d := c.storeBuf[0]
+		c.storeBuf = c.storeBuf[1:]
+		c.drainsInFlight++
+		// Functional memory is updated the moment the store leaves the
+		// buffer, preserving per-core program order of visibility (the
+		// cache/coherence timing completes asynchronously). Otherwise a
+		// load could observe a stale value in the window where the store
+		// is neither forwardable nor yet in memory.
+		c.phys.Write64(d.paddr, d.v2)
+		c.port.StoreDrain(d.pc, mem.VAddr(d.effAddr), d.paddr, func() {
+			c.drainsInFlight--
+		})
+	}
+}
+
+// --- Fetch & dispatch ---
+
+func (c *Core) roomToDispatch() bool {
+	return len(c.rob) < c.cfg.ROBSize && len(c.iq) < c.cfg.IQSize
+}
+
+// instPaddr derives an instruction's physical address from the cached
+// text-segment mapping recorded by the fetch path. Text is never remapped
+// mid-run, so the linear offset holds.
+func (c *Core) instPaddr(pc uint64) mem.Addr {
+	return c.fetchPhysBase + mem.Addr(pc-c.fetchVirtBase)
+}
+
+func (c *Core) fetchAndDispatch() {
+	if c.fetchStall || c.halted || c.fetchWaitResolve != nil {
+		return
+	}
+	if c.sched.Now() < c.fetchResumeAt {
+		return
+	}
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if !c.roomToDispatch() {
+			return
+		}
+		if !c.fetchLineReady(c.fetchPC) {
+			return
+		}
+		inst, ok := c.prog.InstAt(c.fetchPC)
+		if !ok {
+			// Ran off the text segment (usually wrong path): synthesize a
+			// halt; a squash will clean it up, a commit means a real end.
+			inst = isa.Inst{Op: isa.OpHalt}
+			d := c.dispatch(inst, c.fetchPC)
+			d.synthetic = true
+			c.fetchStall = true
+			return
+		}
+		cls := inst.Op.Class()
+		d := c.dispatch(inst, c.fetchPC)
+		c.Fetched++
+
+		switch cls {
+		case isa.ClassBranch:
+			pr := c.pred.PredictBranch(c.fetchPC)
+			d.pred = pr
+			d.hasPred = true
+			d.checkpoint = c.snapshotRename()
+			if pr.Taken && pr.BTBHit {
+				d.predNext = pr.Target
+			} else {
+				d.predNext = c.fetchPC + isa.InstBytes
+			}
+			c.fetchPC = d.predNext
+			if pr.Taken && pr.BTBHit {
+				return // taken branch ends the fetch group
+			}
+		case isa.ClassJump:
+			// Direct target known at decode: never mispredicts.
+			if inst.Op == isa.OpCall {
+				c.pred.PredictCall(d.pc, d.pc+isa.InstBytes)
+			}
+			d.predNext = uint64(inst.Imm)
+			c.fetchPC = d.predNext
+			return
+		case isa.ClassJumpInd:
+			var pr bpred.Prediction
+			if inst.Op == isa.OpRet {
+				pr = c.pred.PredictRet(d.pc)
+			} else {
+				pr = c.pred.PredictJump(d.pc)
+			}
+			d.pred = pr
+			d.hasPred = true
+			d.checkpoint = c.snapshotRename()
+			if pr.BTBHit && pr.Target != 0 {
+				d.predNext = pr.Target
+				c.fetchPC = pr.Target
+				return
+			}
+			// No prediction: stall fetch until the jump resolves.
+			d.predNext = 0
+			c.fetchWaitResolve = d
+			return
+		case isa.ClassBarrier, isa.ClassSyscall, isa.ClassHalt, isa.ClassFlush:
+			c.fetchPC += isa.InstBytes
+			if cls != isa.ClassFlush {
+				c.fetchStall = true
+				return
+			}
+		default:
+			c.fetchPC += isa.InstBytes
+		}
+	}
+}
+
+// fetchLineReady ensures the instruction line containing pc has been
+// fetched through the instruction cache path, issuing the access when
+// needed.
+func (c *Core) fetchLineReady(pc uint64) bool {
+	line := mem.LineAddr(pc)
+	if c.fetchLineOK && c.fetchLineVA == line {
+		return true
+	}
+	if c.fetchLinePend {
+		return false
+	}
+	c.fetchLinePend = true
+	epoch := c.fetchEpoch
+	c.port.Translate(mem.VAddr(line), true, true, func(pa mem.Addr, walked, fault bool) {
+		if epoch != c.fetchEpoch {
+			return
+		}
+		if fault {
+			// Wrong-path fetch into unmapped memory: synthesize a halt at
+			// dispatch by leaving the line not-ready and parking fetch.
+			c.fetchLinePend = false
+			c.fetchStallOnFault(pc)
+			return
+		}
+		c.fetchVirtBase = line
+		c.fetchPhysBase = pa
+		c.port.Ifetch(mem.VAddr(line), pa, func(memsys.AccessResult) {
+			if epoch != c.fetchEpoch {
+				return
+			}
+			c.fetchLinePend = false
+			c.fetchLineOK = true
+			c.fetchLineVA = line
+		})
+		// Next-line instruction prefetch: sequential fetch engines run a
+		// line ahead, so straight-line code does not pay the per-line
+		// lookup latency serially. Fire-and-forget; same page only.
+		next := line + mem.LineBytes
+		if mem.PageNum(mem.VAddr(next)) == mem.PageNum(mem.VAddr(line)) {
+			c.port.Ifetch(mem.VAddr(next), pa+mem.LineBytes, func(memsys.AccessResult) {})
+		}
+	})
+	return false
+}
+
+func (c *Core) fetchStallOnFault(pc uint64) {
+	if !c.roomToDispatch() {
+		// Rare: retry via the pending flag staying clear.
+		return
+	}
+	d := c.dispatch(isa.Inst{Op: isa.OpHalt}, pc)
+	d.synthetic = true
+	c.fetchStall = true
+}
+
+func (c *Core) snapshotRename() *[isa.NumRegs]*dynInst {
+	snap := c.rename
+	return &snap
+}
+
+// dispatch allocates the dynInst, renames its operands and inserts it
+// into the ROB/IQ/LSQ.
+func (c *Core) dispatch(inst isa.Inst, pc uint64) *dynInst {
+	c.seq++
+	d := &dynInst{
+		seq:        c.seq,
+		pc:         pc,
+		inst:       inst,
+		readyCycle: uint64(c.sched.Now() + c.cfg.FrontendDelay),
+	}
+	s1, u1, s2, u2 := inst.SrcRegs()
+	d.use1, d.use2 = u1, u2
+	if u1 {
+		if s1 == isa.Zero {
+			d.v1, d.v1Ready = 0, true
+		} else if p := c.rename[s1]; p != nil {
+			d.src1 = p
+			if p.done {
+				d.v1, d.v1Ready = p.result, true
+			}
+		} else {
+			d.v1, d.v1Ready = c.regs[s1], true
+		}
+	}
+	if u2 {
+		if s2 == isa.Zero {
+			d.v2, d.v2Ready = 0, true
+		} else if p := c.rename[s2]; p != nil {
+			d.src2 = p
+			if p.done {
+				d.v2, d.v2Ready = p.result, true
+			}
+		} else {
+			d.v2, d.v2Ready = c.regs[s2], true
+		}
+	}
+	if rd, writes := inst.WritesReg(); writes {
+		d.writesReg = true
+		d.destReg = rd
+		c.rename[rd] = d
+	}
+	// STT taint propagation at dispatch (operand roots recorded; safety
+	// checked lazily at issue time).
+	if c.sttActive() {
+		d.taintRoot = d.operandTaint(c.loadSafe)
+	}
+
+	c.rob = append(c.rob, d)
+	switch inst.Op.Class() {
+	case isa.ClassLoad:
+		c.lq = append(c.lq, d)
+		c.iq = append(c.iq, d)
+		d.inIQ = true
+	case isa.ClassStore:
+		c.sq = append(c.sq, d)
+		c.iq = append(c.iq, d)
+		d.inIQ = true
+	case isa.ClassAmo:
+		// AMOs execute at the ROB head; no IQ entry. They sit in the SQ
+		// so younger loads order behind them (acquire semantics).
+		c.sq = append(c.sq, d)
+	case isa.ClassNop, isa.ClassSyscall, isa.ClassBarrier, isa.ClassFlush, isa.ClassHalt:
+		d.done = true
+	case isa.ClassJump:
+		// Direct jumps complete at dispatch (target known).
+		r := isa.Exec(inst, pc, 0, 0)
+		d.result = r.Value
+		d.done = true
+	default:
+		c.iq = append(c.iq, d)
+		d.inIQ = true
+	}
+	return d
+}

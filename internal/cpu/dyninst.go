@@ -1,0 +1,129 @@
+package cpu
+
+import (
+	"repro/internal/bpred"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// memPhase tracks a memory instruction's progress through its multi-step
+// execution (address generation, translation, disambiguation, access).
+type memPhase uint8
+
+const (
+	memIdle memPhase = iota
+	memAgenDone
+	memTranslated
+	memWaitingOlderStores
+	memAccessIssued
+	memNACKed // refused by coherence; reissue when oldest
+	memDone
+)
+
+// dynInst is one in-flight dynamic instruction.
+type dynInst struct {
+	seq  uint64
+	pc   uint64
+	inst isa.Inst
+
+	// Predicted next fetch PC recorded at fetch; branches compare the
+	// resolved target against it.
+	predNext uint64
+	pred     bpred.Prediction
+	hasPred  bool
+	// checkpoint is the rename-map snapshot for squash recovery, taken
+	// for every instruction that can mispredict.
+	checkpoint *[isa.NumRegs]*dynInst
+
+	// Dataflow.
+	src1, src2       *dynInst // producers; nil = value from architectural file
+	use1, use2       bool
+	v1, v2           uint64
+	v1Ready, v2Ready bool
+	result           uint64
+	writesReg        bool
+	destReg          isa.Reg
+
+	// Pipeline state.
+	readyCycle uint64 // earliest issue cycle (frontend delay)
+	inIQ       bool
+	issued     bool
+	done       bool
+	squashed   bool
+
+	// Memory state.
+	phase      memPhase
+	effAddr    uint64
+	paddr      mem.Addr
+	faulted    bool
+	walked     bool // translation required a page-table walk
+	forwarded  bool // value obtained by store-to-load forwarding
+	prefetched bool // store prefetch issued (MuonTrap)
+
+	// InvisiSpec.
+	needsExpose bool // executed invisibly; must replay when safe
+	exposing    bool
+	exposeDone  bool
+
+	// STT: the unsafe load this instruction's result transitively depends
+	// on (nil when untainted). Lazily untainted by checking the root's
+	// safety at use time.
+	taintRoot *dynInst
+
+	// Off-program-text or fault marker for synthesized halts.
+	synthetic bool
+}
+
+func (d *dynInst) isLoad() bool  { return d.inst.Op == isa.OpLoad }
+func (d *dynInst) isStore() bool { return d.inst.Op == isa.OpStore }
+func (d *dynInst) isAmo() bool   { return d.inst.Op == isa.OpAmoCas }
+func (d *dynInst) isBranch() bool {
+	c := d.inst.Op.Class()
+	return c == isa.ClassBranch || c == isa.ClassJumpInd
+}
+
+// operandsReady reports whether both source values are available, pulling
+// them from completed producers. A faulted producer never supplies data:
+// post-Meltdown cores suppress fault data forwarding, so dependents stall
+// until the squash (or until the fault reaches commit and halts).
+func (d *dynInst) operandsReady() bool {
+	if d.use1 && !d.v1Ready {
+		if d.src1 != nil && d.src1.done && !d.src1.faulted {
+			d.v1 = d.src1.result
+			d.v1Ready = true
+		} else if d.src1 == nil {
+			d.v1Ready = true
+		}
+	}
+	if d.use2 && !d.v2Ready {
+		if d.src2 != nil && d.src2.done && !d.src2.faulted {
+			d.v2 = d.src2.result
+			d.v2Ready = true
+		} else if d.src2 == nil {
+			d.v2Ready = true
+		}
+	}
+	return (!d.use1 || d.v1Ready) && (!d.use2 || d.v2Ready)
+}
+
+// taintOf computes the effective taint root of this instruction's operands:
+// the youngest producer-load that is still unsafe. Safe roots untaint
+// lazily.
+func (d *dynInst) operandTaint(safe func(*dynInst) bool) *dynInst {
+	var root *dynInst
+	for _, s := range []*dynInst{d.src1, d.src2} {
+		if s == nil {
+			continue
+		}
+		r := s.taintRoot
+		if s.isLoad() {
+			r = s
+		}
+		if r != nil && !safe(r) {
+			if root == nil || r.seq > root.seq {
+				root = r
+			}
+		}
+	}
+	return root
+}

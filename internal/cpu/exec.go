@@ -1,0 +1,501 @@
+package cpu
+
+import (
+	"repro/internal/event"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/memsys"
+)
+
+// --- Issue & execute ---
+
+// branchResolveExtra is the execute-to-redirect depth charged on branch
+// resolution beyond the ALU latency.
+const branchResolveExtra = 4
+
+func (c *Core) sttActive() bool {
+	return c.cfg.Defense == DefenseSTTSpectre || c.cfg.Defense == DefenseSTTFuture
+}
+
+func (c *Core) invisiSpecActive() bool {
+	return c.cfg.Defense == DefenseInvisiSpecSpectre || c.cfg.Defense == DefenseInvisiSpecFuture
+}
+
+// loadSafe reports whether a load's value may be forwarded to dependents
+// (STT) or its access made visible (InvisiSpec), per the defense variant:
+// the Spectre variants require all older branches resolved; the Future
+// variants require the load to be unsquashable (every older instruction
+// executed).
+func (c *Core) loadSafe(d *dynInst) bool {
+	switch c.cfg.Defense {
+	case DefenseSTTSpectre, DefenseInvisiSpecSpectre:
+		return c.firstUnresolvedBranchSeq() > d.seq
+	case DefenseSTTFuture, DefenseInvisiSpecFuture:
+		return c.firstUndoneSeq() >= d.seq
+	}
+	return true
+}
+
+// firstUnresolvedBranchSeq returns the sequence number of the oldest
+// in-flight unresolved branch, or MaxUint64 when none.
+func (c *Core) firstUnresolvedBranchSeq() uint64 {
+	for _, d := range c.rob {
+		if d.isBranch() && !d.done {
+			return d.seq
+		}
+	}
+	return ^uint64(0)
+}
+
+// firstUndoneSeq returns the sequence number of the oldest instruction
+// that has not finished executing, or MaxUint64 when all are done.
+func (c *Core) firstUndoneSeq() uint64 {
+	for _, d := range c.rob {
+		if !d.done {
+			return d.seq
+		}
+	}
+	return ^uint64(0)
+}
+
+func (c *Core) issue() {
+	now := uint64(c.sched.Now())
+	issued := 0
+	intFree := c.cfg.IntALUs
+	fpFree := c.cfg.FPALUs
+	mdFree := 0
+	for _, f := range c.divFree {
+		if event.Cycle(now) >= f {
+			mdFree++
+		}
+	}
+	memFree := 2 // load/store pipes per cycle
+
+	i := 0
+	for i < len(c.iq) && issued < c.cfg.IssueWidth {
+		d := c.iq[i]
+		if d.squashed || d.issued {
+			c.iq = append(c.iq[:i], c.iq[i+1:]...)
+			continue
+		}
+		if d.readyCycle > now || !d.operandsReady() {
+			i++
+			continue
+		}
+		cls := d.inst.Op.Class()
+
+		// STT: tainted transmitters may not issue until their taint root
+		// is safe.
+		if c.sttActive() && (cls == isa.ClassLoad || cls == isa.ClassStore || cls == isa.ClassJumpInd) {
+			if root := d.operandTaint(c.loadSafe); root != nil {
+				c.STTStalls++
+				i++
+				continue
+			}
+		}
+
+		ok := false
+		switch cls {
+		case isa.ClassIntALU, isa.ClassBranch, isa.ClassJumpInd:
+			if intFree > 0 {
+				intFree--
+				c.execALU(d, c.cfg.IntALULat)
+				ok = true
+			}
+		case isa.ClassIntMulDiv:
+			if mdFree > 0 {
+				mdFree--
+				lat := c.cfg.MulLat
+				if d.inst.Op == isa.OpDiv || d.inst.Op == isa.OpRem {
+					lat = c.cfg.DivLat
+					// Divider is unpipelined: occupy a slot.
+					for s := range c.divFree {
+						if event.Cycle(now) >= c.divFree[s] {
+							c.divFree[s] = event.Cycle(now) + lat
+							break
+						}
+					}
+				}
+				c.execALU(d, lat)
+				ok = true
+			}
+		case isa.ClassFPALU:
+			if fpFree > 0 {
+				fpFree--
+				c.execALU(d, c.cfg.FPALULat)
+				ok = true
+			}
+		case isa.ClassLoad, isa.ClassStore:
+			if memFree > 0 {
+				memFree--
+				c.execMemAgen(d)
+				ok = true
+			}
+		}
+		if ok {
+			d.issued = true
+			issued++
+			c.iq = append(c.iq[:i], c.iq[i+1:]...)
+			continue
+		}
+		i++
+	}
+}
+
+// execALU runs a register-to-register instruction (including branch
+// resolution) after lat cycles. Branches pay extra resolution latency for
+// the deep-pipeline distance between execute and the front end; this is
+// also what keeps "unresolved branch" windows open long enough for the
+// InvisiSpec/STT safety conditions to matter, as on real hardware.
+func (c *Core) execALU(d *dynInst, lat event.Cycle) {
+	if d.isBranch() {
+		lat += branchResolveExtra
+	}
+	c.sched.After(lat, func() {
+		if d.squashed {
+			return
+		}
+		r := isa.Exec(d.inst, d.pc, d.v1, d.v2)
+		d.result = r.Value
+		d.done = true
+		if d.isBranch() {
+			c.resolveBranch(d, r)
+		}
+	})
+}
+
+// resolveBranch trains the predictor and squashes on a misprediction.
+func (c *Core) resolveBranch(d *dynInst, r isa.ExecResult) {
+	isCond := d.inst.Op.Class() == isa.ClassBranch
+	c.pred.Update(d.pc, d.pred, r.Taken, r.Target, isCond)
+	actualNext := r.Target
+	if !r.Taken {
+		actualNext = d.pc + isa.InstBytes
+	}
+	if c.fetchWaitResolve == d {
+		// Fetch was parked on this unpredicted indirect jump: resume at
+		// the resolved target with the redirect penalty, no squash needed
+		// (nothing younger was fetched).
+		c.fetchWaitResolve = nil
+		c.fetchPC = actualNext
+		c.fetchResumeAt = c.sched.Now() + c.cfg.RedirectPenalty
+		c.fetchLineOK = false
+		return
+	}
+	if actualNext != d.predNext {
+		c.Mispredicts++
+		c.squashAfter(d, actualNext, r.Taken)
+	}
+}
+
+// squashAfter kills every instruction younger than d, restores the rename
+// map and predictor state, and redirects fetch.
+func (c *Core) squashAfter(d *dynInst, newPC uint64, actualTaken bool) {
+	pos := -1
+	for i, e := range c.rob {
+		if e == d {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return // already squashed by an older branch
+	}
+	for _, e := range c.rob[pos+1:] {
+		e.squashed = true
+		c.Squashed++
+	}
+	c.rob = c.rob[:pos+1]
+	c.iq = filterSquashed(c.iq)
+	c.lq = filterSquashed(c.lq)
+	c.sq = filterSquashed(c.sq)
+	if d.checkpoint != nil {
+		c.rename = *d.checkpoint
+	}
+	// Drop rename entries that still point at squashed producers (the
+	// checkpoint predates the branch; anything it references is older and
+	// alive).
+	for i, p := range c.rename {
+		if p != nil && p.squashed {
+			c.rename[i] = nil
+		}
+	}
+	if d.hasPred {
+		c.pred.Squash(d.pred, actualTaken)
+	}
+	c.fetchPC = newPC
+	c.fetchStall = false
+	c.fetchWaitResolve = nil
+	c.fetchLineOK = false
+	c.fetchLinePend = false
+	c.fetchEpoch++
+	c.fetchResumeAt = c.sched.Now() + c.cfg.RedirectPenalty
+	// Optional MuonTrap mode: clear filter state on every misspeculation.
+	c.port.FlushOnMisspec()
+}
+
+func filterSquashed(s []*dynInst) []*dynInst {
+	out := s[:0]
+	for _, d := range s {
+		if !d.squashed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// --- Memory instructions ---
+
+// execMemAgen starts a load/store: compute the effective address, then
+// translate.
+func (c *Core) execMemAgen(d *dynInst) {
+	c.sched.After(c.cfg.IntALULat, func() {
+		if d.squashed {
+			return
+		}
+		r := isa.Exec(d.inst, d.pc, d.v1, d.v2)
+		d.effAddr = r.EffAddr
+		d.phase = memAgenDone
+		c.port.Translate(mem.VAddr(d.effAddr), false, true, func(pa mem.Addr, walked, fault bool) {
+			if d.squashed {
+				return
+			}
+			d.walked = d.walked || walked
+			if fault {
+				d.faulted = true
+				d.result = 0
+				d.done = true
+				d.phase = memDone
+				return
+			}
+			d.paddr = pa
+			d.phase = memTranslated
+			if d.isStore() {
+				// Stores are done once the address is known; data is read
+				// at commit. MuonTrap lets them prefetch their line.
+				d.done = true
+				if !d.prefetched {
+					d.prefetched = true
+					c.port.StorePrefetch(d.pc, mem.VAddr(d.effAddr), d.paddr, nil)
+				}
+				return
+			}
+			c.tryLoadAccess(d)
+		})
+	})
+}
+
+// tryLoadAccess attempts the memory half of a load: disambiguate against
+// older stores, forward when possible, otherwise access the hierarchy.
+func (c *Core) tryLoadAccess(d *dynInst) {
+	if d.squashed || d.phase >= memAccessIssued {
+		return
+	}
+	fwd, ready, blocked := c.searchOlderStores(d)
+	if blocked {
+		d.phase = memWaitingOlderStores
+		return // memMaintenance retries
+	}
+	if fwd != nil {
+		if !ready {
+			d.phase = memWaitingOlderStores
+			return
+		}
+		d.phase = memAccessIssued
+		val := c.storeData(fwd)
+		c.sched.After(1, func() {
+			if d.squashed {
+				return
+			}
+			d.result = val
+			d.forwarded = true
+			d.done = true
+			d.phase = memDone
+		})
+		return
+	}
+	d.phase = memAccessIssued
+	if c.invisiSpecActive() && !c.loadSafe(d) {
+		// InvisiSpec: unsafe loads read invisibly and must expose later.
+		d.needsExpose = true
+		c.port.LoadNoFill(d.paddr, func(memsys.AccessResult) {
+			if d.squashed {
+				return
+			}
+			c.finishLoad(d)
+		})
+		return
+	}
+	c.issueLoadToPort(d, true)
+}
+
+func (c *Core) issueLoadToPort(d *dynInst, spec bool) {
+	c.port.Load(d.pc, mem.VAddr(d.effAddr), d.paddr, spec, func(res memsys.AccessResult) {
+		if d.squashed {
+			return
+		}
+		if res.NACK {
+			c.LoadNACKs++
+			d.phase = memNACKed
+			return
+		}
+		c.finishLoad(d)
+	})
+}
+
+// reissueLoad reruns a NACKed load non-speculatively once it is the oldest
+// instruction (§4.5 forward-progress rule).
+func (c *Core) reissueLoad(d *dynInst, spec bool) {
+	if d.phase != memNACKed {
+		return
+	}
+	d.phase = memAccessIssued
+	c.issueLoadToPort(d, spec)
+}
+
+func (c *Core) finishLoad(d *dynInst) {
+	d.result = c.phys.Read64(d.paddr)
+	d.done = true
+	d.phase = memDone
+}
+
+// searchOlderStores looks for the youngest older store to the same
+// address. It returns (match, dataReady, blocked): blocked is set when an
+// older store's address is still unknown, forcing the load to wait
+// (conservative disambiguation).
+func (c *Core) searchOlderStores(d *dynInst) (match *dynInst, ready, blocked bool) {
+	for i := len(c.sq) - 1; i >= 0; i-- {
+		s := c.sq[i]
+		if s.seq >= d.seq || s.squashed {
+			continue
+		}
+		if s.isAmo() {
+			// AMOs order all younger loads behind them until they commit
+			// (acquire semantics for lock workloads).
+			return nil, false, true
+		}
+		if s.phase < memTranslated {
+			if !s.faulted {
+				return nil, false, true
+			}
+			continue
+		}
+		if match == nil && s.effAddr == d.effAddr {
+			match = s
+		}
+	}
+	if match != nil {
+		r := match.src2 == nil || match.src2.done
+		return match, r, false
+	}
+	// Committed-but-undrained stores in the store buffer, newest first.
+	for i := len(c.storeBuf) - 1; i >= 0; i-- {
+		s := c.storeBuf[i]
+		if s.effAddr == d.effAddr {
+			return s, true, false
+		}
+	}
+	return nil, false, false
+}
+
+// memMaintenance retries loads blocked on disambiguation or forwarding
+// data each cycle.
+func (c *Core) memMaintenance() {
+	for _, d := range c.lq {
+		if d.squashed {
+			continue
+		}
+		if d.phase == memWaitingOlderStores {
+			c.tryLoadAccess(d)
+		}
+	}
+}
+
+func (c *Core) removeFromLQ(d *dynInst) {
+	for i, l := range c.lq {
+		if l == d {
+			c.lq = append(c.lq[:i], c.lq[i+1:]...)
+			return
+		}
+	}
+}
+
+func (c *Core) removeFromSQ(d *dynInst) {
+	for i, s := range c.sq {
+		if s == d {
+			c.sq = append(c.sq[:i], c.sq[i+1:]...)
+			return
+		}
+	}
+}
+
+// --- AMO (atomic compare-and-swap), executed at the ROB head ---
+
+func (c *Core) executeAmoAtHead(d *dynInst) {
+	if d.phase != memIdle || !d.operandsReady() {
+		return
+	}
+	// AMOs are full fences: all older stores must be visible first.
+	if len(c.storeBuf) > 0 || c.drainsInFlight > 0 {
+		return
+	}
+	d.phase = memAgenDone
+	r := isa.Exec(d.inst, d.pc, d.v1, d.v2)
+	d.effAddr = r.EffAddr
+	c.port.Translate(mem.VAddr(d.effAddr), false, false, func(pa mem.Addr, walked, fault bool) {
+		if d.squashed {
+			return
+		}
+		if fault {
+			d.faulted = true
+			d.done = true
+			return
+		}
+		d.paddr = pa
+		// Atomic read-modify-write at a single event point, with store-
+		// drain timing for the coherence work.
+		old := c.phys.Read64(pa)
+		if old == d.v2 {
+			c.phys.Write64(pa, uint64(d.inst.Imm))
+		}
+		d.result = old
+		c.port.StoreDrain(d.pc, mem.VAddr(d.effAddr), pa, func() {
+			d.done = true
+			d.phase = memDone
+		})
+	})
+}
+
+// --- Defense maintenance (InvisiSpec exposures) ---
+
+func (c *Core) defenseMaintenance() {
+	if !c.invisiSpecActive() {
+		return
+	}
+	if c.cfg.Defense == DefenseInvisiSpecSpectre {
+		for _, d := range c.lq {
+			if d.squashed || !d.needsExpose || d.exposing || d.exposeDone {
+				continue
+			}
+			if d.done && c.loadSafe(d) {
+				c.exposeLoad(d, false)
+			}
+		}
+	}
+	// The Future variant exposes at the ROB head from commitReady.
+}
+
+// exposeLoad replays an invisible load as a normal access, installing the
+// line. blocking marks InvisiSpec-Future validations that hold commit.
+func (c *Core) exposeLoad(d *dynInst, blocking bool) {
+	if d.exposing || d.exposeDone {
+		return
+	}
+	d.exposing = true
+	c.Exposures++
+	c.port.LoadExpose(d.pc, mem.VAddr(d.effAddr), d.paddr, func(memsys.AccessResult) {
+		d.exposing = false
+		d.exposeDone = true
+	})
+	_ = blocking
+}

@@ -1,0 +1,165 @@
+// Package defense names the protection configurations the evaluation
+// compares: the unprotected baseline, the cumulative MuonTrap stages of
+// Figures 8/9, the complete MuonTrap design (with its clear-on-misspec and
+// parallel-L1 variants), and the InvisiSpec and STT comparison points of
+// Figures 3/4.
+package defense
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/memsys"
+)
+
+// Scheme is one named protection configuration: a pipeline defense model
+// plus a memory-system mode.
+type Scheme struct {
+	Name string
+	// Description says what the scheme protects and how.
+	Description string
+	CPU         cpu.Defense
+	Mode        memsys.Mode
+}
+
+// The full MuonTrap memory-system mode.
+func muonTrapMode() memsys.Mode {
+	return memsys.Mode{
+		L0Data: true, L0Inst: true,
+		FilterProtect: true, CoherenceProtect: true,
+		CommitPrefetch: true, FilterTLB: true,
+	}
+}
+
+// Insecure is the unprotected Table 1 baseline.
+func Insecure() Scheme {
+	return Scheme{Name: "insecure",
+		Description: "unprotected out-of-order baseline (Table 1)"}
+}
+
+// InsecureL0 adds a plain (unprotected) 1-cycle data L0: the "insecure L0"
+// stage of Figures 8/9.
+func InsecureL0() Scheme {
+	return Scheme{Name: "insecure-l0",
+		Description: "performance-only L0 data cache, no protections",
+		Mode:        memsys.Mode{L0Data: true}}
+}
+
+// FcacheOnly is the data filter cache with speculative isolation but no
+// coherence protections — defends the original Spectre, still vulnerable
+// to attacks 3-5.
+func FcacheOnly() Scheme {
+	return Scheme{Name: "fcache",
+		Description: "data filter cache only (no coherence/prefetch/ifetch protections)",
+		Mode:        memsys.Mode{L0Data: true, FilterProtect: true, FilterTLB: true}}
+}
+
+// WithCoherence adds the §4.5 coherence protections (NACKs, S-only filter
+// fills with SE upgrade, broadcast invalidation).
+func WithCoherence() Scheme {
+	return Scheme{Name: "coherency",
+		Description: "filter cache + reduced coherency speculation",
+		Mode: memsys.Mode{L0Data: true, FilterProtect: true, FilterTLB: true,
+			CoherenceProtect: true}}
+}
+
+// WithIFilter adds the instruction filter cache (§4.7).
+func WithIFilter() Scheme {
+	return Scheme{Name: "ifcache",
+		Description: "adds the instruction filter cache",
+		Mode: memsys.Mode{L0Data: true, L0Inst: true, FilterProtect: true,
+			FilterTLB: true, CoherenceProtect: true}}
+}
+
+// MuonTrap is the complete design: the ifcache stage plus commit-time
+// prefetcher training (§4.6). This is the configuration reported as
+// "MuonTrap" throughout the evaluation.
+func MuonTrap() Scheme {
+	return Scheme{Name: "muontrap",
+		Description: "complete MuonTrap (filter caches, coherence, prefetch, TLB)",
+		Mode:        muonTrapMode()}
+}
+
+// MuonTrapClearMisspec enables the per-process clear-on-misspeculation
+// option (§4.9) on top of the complete design.
+func MuonTrapClearMisspec() Scheme {
+	m := muonTrapMode()
+	m.ClearOnMisspec = true
+	return Scheme{Name: "clear-misspec",
+		Description: "MuonTrap with filter flush on every misspeculation",
+		Mode:        m}
+}
+
+// MuonTrapParallelL1 accesses the L0 and L1 in parallel (§6.5), removing
+// the serialisation penalty at the cost of complexity.
+func MuonTrapParallelL1() Scheme {
+	m := muonTrapMode()
+	m.ParallelL1 = true
+	return Scheme{Name: "parallel-l1d",
+		Description: "MuonTrap with parallel L0/L1 lookup",
+		Mode:        m}
+}
+
+// InvisiSpecSpectre models InvisiSpec's Spectre-threat-model variant.
+func InvisiSpecSpectre() Scheme {
+	return Scheme{Name: "invisispec-spectre",
+		Description: "InvisiSpec, loads visible once older branches resolve",
+		CPU:         cpu.DefenseInvisiSpecSpectre}
+}
+
+// InvisiSpecFuture models InvisiSpec's futuristic variant.
+func InvisiSpecFuture() Scheme {
+	return Scheme{Name: "invisispec-future",
+		Description: "InvisiSpec, loads visible only when unsquashable",
+		CPU:         cpu.DefenseInvisiSpecFuture}
+}
+
+// STTSpectre models Speculative Taint Tracking's Spectre variant.
+func STTSpectre() Scheme {
+	return Scheme{Name: "stt-spectre",
+		Description: "STT, tainted transmitters blocked until branches resolve",
+		CPU:         cpu.DefenseSTTSpectre}
+}
+
+// STTFuture models STT's futuristic variant.
+func STTFuture() Scheme {
+	return Scheme{Name: "stt-future",
+		Description: "STT, tainted transmitters blocked until unsquashable",
+		CPU:         cpu.DefenseSTTFuture}
+}
+
+// All returns every named scheme.
+func All() []Scheme {
+	return []Scheme{
+		Insecure(), InsecureL0(), FcacheOnly(), WithCoherence(), WithIFilter(),
+		MuonTrap(), MuonTrapClearMisspec(), MuonTrapParallelL1(),
+		InvisiSpecSpectre(), InvisiSpecFuture(), STTSpectre(), STTFuture(),
+	}
+}
+
+// ByName looks up a scheme.
+func ByName(name string) (Scheme, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scheme{}, fmt.Errorf("defense: unknown scheme %q", name)
+}
+
+// Comparison returns the five schemes of Figures 3 and 4, in plot order.
+func Comparison() []Scheme {
+	return []Scheme{
+		MuonTrap(), InvisiSpecSpectre(), InvisiSpecFuture(),
+		STTSpectre(), STTFuture(),
+	}
+}
+
+// CumulativeStages returns the Figure 8/9 mechanism accumulation, in plot
+// order. Figure 9 appends MuonTrapParallelL1.
+func CumulativeStages() []Scheme {
+	return []Scheme{
+		InsecureL0(), FcacheOnly(), WithCoherence(), WithIFilter(),
+		MuonTrap(), MuonTrapClearMisspec(),
+	}
+}

@@ -1,0 +1,113 @@
+// Package event provides the discrete-event scheduler that drives the
+// simulator. The clock counts processor cycles; components either tick every
+// cycle (the CPU pipeline) or schedule completion callbacks on the heap (the
+// memory system). Events at the same cycle fire in the order they were
+// scheduled, which keeps whole-system runs deterministic.
+package event
+
+import "container/heap"
+
+// Cycle is a point in simulated time, measured in core clock cycles.
+type Cycle uint64
+
+type item struct {
+	when Cycle
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []item
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(item)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = item{}
+	*h = old[:n-1]
+	return it
+}
+
+// Scheduler owns the simulated clock and the pending-event queue.
+// The zero value is ready to use at cycle 0.
+type Scheduler struct {
+	now    Cycle
+	seq    uint64
+	events eventHeap
+}
+
+// NewScheduler returns a scheduler starting at cycle 0.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now reports the current cycle.
+func (s *Scheduler) Now() Cycle { return s.now }
+
+// At schedules fn to run at cycle c. Scheduling in the past or at the
+// current cycle runs the event on the next Tick before the clock advances
+// further, preserving ordering with already-queued same-cycle events.
+func (s *Scheduler) At(c Cycle, fn func()) {
+	if c < s.now {
+		c = s.now
+	}
+	heap.Push(&s.events, item{when: c, seq: s.seq, fn: fn})
+	s.seq++
+}
+
+// After schedules fn to run d cycles from now.
+func (s *Scheduler) After(d Cycle, fn func()) { s.At(s.now+d, fn) }
+
+// Pending reports how many events are queued.
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+// Tick advances the clock by one cycle and runs every event that is due at
+// the new time, including events those events schedule for the same cycle.
+func (s *Scheduler) Tick() {
+	s.now++
+	s.runDue()
+}
+
+// RunDue runs all events due at the current cycle without advancing time.
+func (s *Scheduler) RunDue() { s.runDue() }
+
+func (s *Scheduler) runDue() {
+	for len(s.events) > 0 && s.events[0].when <= s.now {
+		it := heap.Pop(&s.events).(item)
+		it.fn()
+	}
+}
+
+// AdvanceTo moves the clock forward to cycle c, firing events in order.
+// It is used by fast-forward paths; c earlier than now is a no-op.
+func (s *Scheduler) AdvanceTo(c Cycle) {
+	for s.now < c {
+		if len(s.events) == 0 {
+			s.now = c
+			return
+		}
+		next := s.events[0].when
+		if next > c {
+			s.now = c
+			return
+		}
+		if next > s.now {
+			s.now = next
+		}
+		s.runDue()
+		if s.now < c && len(s.events) == 0 {
+			s.now = c
+			return
+		}
+	}
+}

@@ -1,0 +1,367 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation section (Table 1, Figures 3-9) on the simulated machine.
+// Each figure function runs the relevant (workload × scheme) matrix and
+// returns a stats.Table whose rows mirror the paper's plots: normalised
+// execution time against the unprotected baseline, or (Figure 7) the
+// store broadcast rate. Runs execute in parallel across GOMAXPROCS; every
+// individual simulation is single-threaded and deterministic.
+package figures
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/defense"
+	"repro/internal/event"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Options controls experiment size.
+type Options struct {
+	// Scale multiplies every workload's trip count (1.0 ≈ a few hundred
+	// thousand instructions per run; benchmarks and tests use less).
+	Scale float64
+	// MaxCycles bounds each run.
+	MaxCycles int
+	// Parallelism caps concurrent runs (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// DefaultOptions is sized for the bench harness: big enough for stable
+// shapes, small enough to finish the full matrix in minutes.
+func DefaultOptions() Options {
+	return Options{Scale: 0.15, MaxCycles: 40_000_000}
+}
+
+// RunOne executes one workload under one scheme and returns the result.
+func RunOne(spec workload.Spec, sch defense.Scheme, opt Options) (sim.RunResult, error) {
+	prog := workload.Build(spec, opt.Scale)
+	cores := 1
+	if spec.Suite == "parsec" {
+		cores = 4
+	}
+	cfg := sim.DefaultConfig(cores)
+	cfg.CPU.Defense = sch.CPU
+	cfg.Mem.Mode = sch.Mode
+	if spec.Suite == "parsec" {
+		// Parsec runs full-system: periodic OS timer ticks switch
+		// protection domains (paper §5). The interval is scaled down with
+		// our run lengths so each run still sees a realistic number of
+		// domain flushes per committed instruction.
+		cfg.TimerInterval = 150_000
+	}
+	sys := sim.New(cfg)
+	p := sys.NewProcess(prog)
+	sys.RunOn(0, p, 0)
+	for th := 1; th < cores; th++ {
+		sys.AddThread(p, th, prog.Entry)
+		sys.RunOn(th, p, th)
+	}
+	return sys.RunUntilHalt(opt.MaxCycles)
+}
+
+type job struct {
+	spec   workload.Spec
+	scheme defense.Scheme
+	// custom overrides the scheme-derived run when non-nil (Fig 5/6 cache
+	// sweeps).
+	custom func() (sim.RunResult, error)
+	series string
+	work   string
+}
+
+// runMatrix executes jobs in parallel and returns cycles per (series,
+// workload).
+func runMatrix(jobs []job, opt Options) (map[string]map[string]event.Cycle, error) {
+	par := opt.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	type outcome struct {
+		series, work string
+		cycles       event.Cycle
+		err          error
+	}
+	sem := make(chan struct{}, par)
+	results := make(chan outcome, len(jobs))
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		j := j
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			var res sim.RunResult
+			var err error
+			if j.custom != nil {
+				res, err = j.custom()
+			} else {
+				res, err = RunOne(j.spec, j.scheme, opt)
+			}
+			results <- outcome{j.series, j.work, res.Cycles, err}
+		}()
+	}
+	wg.Wait()
+	close(results)
+	out := make(map[string]map[string]event.Cycle)
+	for o := range results {
+		if o.err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", o.series, o.work, o.err)
+		}
+		if out[o.series] == nil {
+			out[o.series] = make(map[string]event.Cycle)
+		}
+		out[o.series][o.work] = o.cycles
+	}
+	return out, nil
+}
+
+// normalisedTable builds a figure table of exec time normalised to the
+// "baseline" series.
+func normalisedTable(title string, workloads []string, order []string,
+	cycles map[string]map[string]event.Cycle) *stats.Table {
+	t := &stats.Table{Title: title, Workloads: workloads}
+	base := cycles["baseline"]
+	for _, name := range order {
+		s := t.AddSeries(name)
+		for _, w := range workloads {
+			if b, ok := base[w]; ok && b > 0 {
+				if c, ok2 := cycles[name][w]; ok2 {
+					s.Values[w] = float64(c) / float64(b)
+				}
+			}
+		}
+	}
+	return t
+}
+
+// comparisonFigure builds Figures 3/4: the suite's workloads under the
+// five compared schemes, normalised to the insecure baseline.
+func comparisonFigure(title string, specs []workload.Spec, opt Options) (*stats.Table, error) {
+	var jobs []job
+	for _, sp := range specs {
+		jobs = append(jobs, job{spec: sp, scheme: defense.Insecure(), series: "baseline", work: sp.Name})
+		for _, sch := range defense.Comparison() {
+			jobs = append(jobs, job{spec: sp, scheme: sch, series: sch.Name, work: sp.Name})
+		}
+	}
+	cycles, err := runMatrix(jobs, opt)
+	if err != nil {
+		return nil, err
+	}
+	var order []string
+	for _, sch := range defense.Comparison() {
+		order = append(order, sch.Name)
+	}
+	return normalisedTable(title, workload.Names(specs), order, cycles), nil
+}
+
+// Fig3 is the SPEC CPU2006 comparison (paper Figure 3).
+func Fig3(opt Options) (*stats.Table, error) {
+	return comparisonFigure("Figure 3: SPEC CPU2006 normalised execution time",
+		workload.SPEC2006(), opt)
+}
+
+// Fig4 is the Parsec comparison on 4 cores (paper Figure 4).
+func Fig4(opt Options) (*stats.Table, error) {
+	return comparisonFigure("Figure 4: Parsec normalised execution time (4 threads)",
+		workload.Parsec(), opt)
+}
+
+// sweepRun runs a Parsec workload under full MuonTrap with a custom data
+// filter cache geometry.
+func sweepRun(spec workload.Spec, sizeBytes uint64, assoc int, opt Options) (sim.RunResult, error) {
+	prog := workload.Build(spec, opt.Scale)
+	cfg := sim.DefaultConfig(4)
+	cfg.Mem.Mode = defense.MuonTrap().Mode
+	cfg.Mem.L0D.SizeBytes = sizeBytes
+	cfg.Mem.L0D.Assoc = assoc
+	cfg.TimerInterval = 500_000
+	sys := sim.New(cfg)
+	p := sys.NewProcess(prog)
+	sys.RunOn(0, p, 0)
+	for th := 1; th < 4; th++ {
+		sys.AddThread(p, th, prog.Entry)
+		sys.RunOn(th, p, th)
+	}
+	return sys.RunUntilHalt(opt.MaxCycles)
+}
+
+// Fig5 sweeps the (fully associative) data filter cache size on Parsec
+// (paper Figure 5). Series are sizes in bytes; values normalised to the
+// insecure baseline.
+func Fig5(opt Options) (*stats.Table, error) {
+	sizes := []uint64{64, 128, 256, 512, 1024, 2048, 4096}
+	specs := workload.Parsec()
+	var jobs []job
+	for _, sp := range specs {
+		sp := sp
+		jobs = append(jobs, job{spec: sp, scheme: defense.Insecure(), series: "baseline", work: sp.Name})
+		for _, size := range sizes {
+			size := size
+			jobs = append(jobs, job{
+				work: sp.Name, series: fmt.Sprintf("%dB", size),
+				custom: func() (sim.RunResult, error) {
+					return sweepRun(sp, size, int(size/64), opt) // fully associative
+				},
+			})
+		}
+	}
+	cycles, err := runMatrix(jobs, opt)
+	if err != nil {
+		return nil, err
+	}
+	var order []string
+	for _, size := range sizes {
+		order = append(order, fmt.Sprintf("%dB", size))
+	}
+	return normalisedTable("Figure 5: filter cache size sweep (fully associative), Parsec",
+		workload.Names(specs), order, cycles), nil
+}
+
+// Fig6 sweeps the associativity of the 2KiB filter cache on Parsec (paper
+// Figure 6).
+func Fig6(opt Options) (*stats.Table, error) {
+	assocs := []int{1, 2, 4, 8, 16, 32}
+	specs := workload.Parsec()
+	var jobs []job
+	for _, sp := range specs {
+		sp := sp
+		jobs = append(jobs, job{spec: sp, scheme: defense.Insecure(), series: "baseline", work: sp.Name})
+		for _, a := range assocs {
+			a := a
+			jobs = append(jobs, job{
+				work: sp.Name, series: fmt.Sprintf("%d-way", a),
+				custom: func() (sim.RunResult, error) {
+					return sweepRun(sp, 2048, a, opt)
+				},
+			})
+		}
+	}
+	cycles, err := runMatrix(jobs, opt)
+	if err != nil {
+		return nil, err
+	}
+	var order []string
+	for _, a := range assocs {
+		order = append(order, fmt.Sprintf("%d-way", a))
+	}
+	return normalisedTable("Figure 6: filter cache associativity sweep (2KiB), Parsec",
+		workload.Names(specs), order, cycles), nil
+}
+
+// Fig7 reports the fraction of committed stores that required an
+// exclusive upgrade with filter-cache broadcast under MuonTrap (paper
+// Figure 7).
+func Fig7(opt Options) (*stats.Table, error) {
+	specs := workload.SPEC2006()
+	t := &stats.Table{
+		Title:     "Figure 7: store filter-cache-invalidate (upgrade broadcast) rate under MuonTrap",
+		Workloads: workload.Names(specs),
+	}
+	series := t.AddSeries("invalidate-rate")
+	par := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	for _, sp := range specs {
+		sp := sp
+		wg.Add(1)
+		par <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-par }()
+			res, err := RunOne(sp, defense.MuonTrap(), opt)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s: %w", sp.Name, err)
+				}
+				return
+			}
+			drains := res.Counters["core0.store.drains"]
+			ups := res.Counters["core0.store.upgrades"]
+			if drains > 0 {
+				series.Values[sp.Name] = float64(ups) / float64(drains)
+			}
+		}()
+	}
+	wg.Wait()
+	return t, firstErr
+}
+
+// cumulativeFigure builds Figures 8/9: protection mechanisms added one at
+// a time, normalised to the insecure baseline.
+func cumulativeFigure(title string, specs []workload.Spec, schemes []defense.Scheme, opt Options) (*stats.Table, error) {
+	var jobs []job
+	for _, sp := range specs {
+		jobs = append(jobs, job{spec: sp, scheme: defense.Insecure(), series: "baseline", work: sp.Name})
+		for _, sch := range schemes {
+			jobs = append(jobs, job{spec: sp, scheme: sch, series: sch.Name, work: sp.Name})
+		}
+	}
+	cycles, err := runMatrix(jobs, opt)
+	if err != nil {
+		return nil, err
+	}
+	var order []string
+	for _, sch := range schemes {
+		order = append(order, sch.Name)
+	}
+	return normalisedTable(title, workload.Names(specs), order, cycles), nil
+}
+
+// Fig8 is the Parsec cumulative-mechanism breakdown (paper Figure 8).
+func Fig8(opt Options) (*stats.Table, error) {
+	return cumulativeFigure("Figure 8: cumulative protection mechanisms, Parsec",
+		workload.Parsec(), defense.CumulativeStages(), opt)
+}
+
+// Fig9 is the SPEC cumulative-mechanism breakdown including the parallel
+// L1 lookup option (paper Figure 9).
+func Fig9(opt Options) (*stats.Table, error) {
+	schemes := append(defense.CumulativeStages(), defense.MuonTrapParallelL1())
+	return cumulativeFigure("Figure 9: cumulative protection mechanisms, SPEC CPU2006",
+		workload.SPEC2006(), schemes, opt)
+}
+
+// TableOne renders the experimental setup (paper Table 1) from the live
+// default configuration, so drift between code and documentation is
+// impossible.
+func TableOne() string {
+	cfg := sim.DefaultConfig(4)
+	c := cfg.CPU
+	m := cfg.Mem
+	return fmt.Sprintf(`Table 1: core and memory experimental setup
+Core           %d-wide out-of-order
+Pipeline       %d-entry ROB, %d-entry IQ, %d-entry LQ, %d-entry SQ,
+               %d int ALUs, %d FP ALUs, %d mult/div ALUs
+Branch pred.   tournament: 2048-entry local, 8192-entry global,
+               2048-entry chooser, 4096-entry BTB, 16-entry RAS
+L1 ICache      %dKiB, %d-way, %d-cycle hit, %d MSHRs
+L1 DCache      %dKiB, %d-way, %d-cycle hit, %d MSHRs
+TLBs           %d-entry, fully associative, split I/D
+Data filter    %dB, %d-way, %d-cycle hit, %d MSHRs
+Inst filter    %dB, %d-way, %d-cycle hit, %d MSHRs
+L2 Cache       %dMiB, %d-way, %d-cycle hit, %d MSHRs, stride prefetcher
+Memory         DDR3-1600-class timing (row hit %d / miss %d core cycles)
+Core count     %d cores
+`,
+		c.FetchWidth,
+		c.ROBSize, c.IQSize, c.LQSize, c.SQSize,
+		c.IntALUs, c.FPALUs, c.MulDivs,
+		m.L1I.SizeBytes>>10, m.L1I.Assoc, m.Lat.L1IHit, m.L1IMSHRs,
+		m.L1D.SizeBytes>>10, m.L1D.Assoc, m.Lat.L1DHit, m.L1DMSHRs,
+		m.TLBEntries,
+		m.L0D.SizeBytes, m.L0D.Assoc, m.Lat.L0Hit, m.L0D.MSHRs,
+		m.L0I.SizeBytes, m.L0I.Assoc, m.Lat.L0Hit, m.L0I.MSHRs,
+		m.L2.SizeBytes>>20, m.L2.Assoc, m.Lat.L2Hit, m.L2MSHRs,
+		m.DRAM.RowHitLatency, m.DRAM.RowMissLatency,
+		cfg.Mem.Cores,
+	)
+}

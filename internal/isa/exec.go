@@ -1,0 +1,130 @@
+package isa
+
+import "math"
+
+// ExecResult is the functional outcome of executing one instruction.
+type ExecResult struct {
+	// Value is the register result (for instructions that write a register)
+	// or the store data (for stores and AMOs).
+	Value uint64
+	// EffAddr is the effective virtual address for memory instructions.
+	EffAddr uint64
+	// Taken and Target describe control flow for branches and jumps.
+	Taken  bool
+	Target uint64
+}
+
+// Exec computes the functional result of in given its source operand
+// values and its PC. Memory values are not read here: the core supplies a
+// load's value after the memory access, and for AMOs the core performs the
+// read-modify-write at the ROB head. For stores, Value carries rs2.
+func Exec(in Inst, pc uint64, v1, v2 uint64) ExecResult {
+	var r ExecResult
+	switch in.Op {
+	case OpNop, OpSyscall, OpBarrier, OpFlushSF, OpHalt:
+		// No register semantics.
+	case OpAdd:
+		r.Value = v1 + v2
+	case OpSub:
+		r.Value = v1 - v2
+	case OpMul:
+		r.Value = v1 * v2
+	case OpDiv:
+		if v2 == 0 {
+			r.Value = ^uint64(0)
+		} else {
+			r.Value = uint64(int64(v1) / int64(v2))
+		}
+	case OpRem:
+		if v2 == 0 {
+			r.Value = v1
+		} else {
+			r.Value = uint64(int64(v1) % int64(v2))
+		}
+	case OpAnd:
+		r.Value = v1 & v2
+	case OpOr:
+		r.Value = v1 | v2
+	case OpXor:
+		r.Value = v1 ^ v2
+	case OpShl:
+		r.Value = v1 << (v2 & 63)
+	case OpShr:
+		r.Value = v1 >> (v2 & 63)
+	case OpAddi:
+		r.Value = v1 + uint64(in.Imm)
+	case OpAndi:
+		r.Value = v1 & uint64(in.Imm)
+	case OpOri:
+		r.Value = v1 | uint64(in.Imm)
+	case OpXori:
+		r.Value = v1 ^ uint64(in.Imm)
+	case OpShli:
+		r.Value = v1 << (uint64(in.Imm) & 63)
+	case OpShri:
+		r.Value = v1 >> (uint64(in.Imm) & 63)
+	case OpLui:
+		r.Value = uint64(in.Imm) << 16
+	case OpFAdd:
+		r.Value = math.Float64bits(math.Float64frombits(v1) + math.Float64frombits(v2))
+	case OpFSub:
+		r.Value = math.Float64bits(math.Float64frombits(v1) - math.Float64frombits(v2))
+	case OpFMul:
+		r.Value = math.Float64bits(math.Float64frombits(v1) * math.Float64frombits(v2))
+	case OpFDiv:
+		d := math.Float64frombits(v2)
+		if d == 0 {
+			r.Value = math.Float64bits(math.Inf(1))
+		} else {
+			r.Value = math.Float64bits(math.Float64frombits(v1) / d)
+		}
+	case OpFCvt:
+		r.Value = math.Float64bits(float64(int64(v1)))
+	case OpFInt:
+		f := math.Float64frombits(v1)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			r.Value = 0
+		} else {
+			r.Value = uint64(int64(f))
+		}
+	case OpLoad:
+		r.EffAddr = v1 + uint64(in.Imm)
+	case OpStore:
+		r.EffAddr = v1 + uint64(in.Imm)
+		r.Value = v2
+	case OpAmoCas:
+		r.EffAddr = v1
+		r.Value = v2 // compare value; swap value is Imm (see core)
+	case OpBeq:
+		r.Taken = v1 == v2
+		r.Target = uint64(in.Imm)
+	case OpBne:
+		r.Taken = v1 != v2
+		r.Target = uint64(in.Imm)
+	case OpBlt:
+		r.Taken = int64(v1) < int64(v2)
+		r.Target = uint64(in.Imm)
+	case OpBge:
+		r.Taken = int64(v1) >= int64(v2)
+		r.Target = uint64(in.Imm)
+	case OpJmp:
+		r.Taken = true
+		r.Target = uint64(in.Imm)
+	case OpCall:
+		r.Taken = true
+		r.Target = uint64(in.Imm)
+		r.Value = pc + InstBytes
+	case OpJalr:
+		r.Taken = true
+		r.Target = v1 + uint64(in.Imm)
+		r.Value = pc + InstBytes
+	case OpRet:
+		r.Taken = true
+		r.Target = v1
+	}
+	// Branches and jumps fall through when not taken.
+	if in.Op.IsBranchOrJump() && !r.Taken {
+		r.Target = pc + InstBytes
+	}
+	return r
+}

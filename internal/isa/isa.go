@@ -1,0 +1,283 @@
+// Package isa defines the small RISC-style instruction set the simulator
+// executes. Workloads and attack programs are expressed in this ISA; the
+// out-of-order core in internal/cpu provides its timing and speculative
+// behaviour, while Exec in this package provides its functional semantics.
+//
+// The ISA is deliberately minimal but covers everything the paper's
+// evaluation needs: integer and floating-point arithmetic (with multi-cycle
+// multiply/divide classes), loads and stores, conditional branches,
+// indirect jumps, call/return, an atomic compare-and-swap for Parsec-style
+// locking, syscalls (which enter the kernel and, under MuonTrap, flush the
+// filter caches), a speculation barrier and an explicit filter-flush
+// instruction for sandbox boundaries (paper §4.9).
+package isa
+
+import "fmt"
+
+// Reg names an architectural register. Registers 0..31 are integer
+// registers (x0 reads as zero and ignores writes); 32..63 are
+// floating-point registers holding float64 bit patterns.
+type Reg uint8
+
+// Register file shape.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+	NumRegs    = NumIntRegs + NumFPRegs
+
+	// Zero always reads 0; writes are discarded.
+	Zero Reg = 0
+	// SP is the conventional stack pointer.
+	SP Reg = 2
+	// RA is the conventional return-address register used by CALL/RET.
+	RA Reg = 1
+)
+
+// F returns the i'th floating-point register.
+func F(i int) Reg { return Reg(NumIntRegs + i) }
+
+// X returns the i'th integer register.
+func X(i int) Reg { return Reg(i) }
+
+// IsFP reports whether r is a floating-point register.
+func (r Reg) IsFP() bool { return r >= NumIntRegs }
+
+func (r Reg) String() string {
+	if r.IsFP() {
+		return fmt.Sprintf("f%d", int(r)-NumIntRegs)
+	}
+	return fmt.Sprintf("x%d", int(r))
+}
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Opcodes.
+const (
+	OpNop Op = iota
+
+	// Integer ALU, register-register.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+
+	// Integer ALU, register-immediate.
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpShli
+	OpShri
+	OpLui // rd = imm << 16
+
+	// Floating point.
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFCvt // int -> float
+	OpFInt // float -> int (truncating)
+
+	// Memory. Effective address = [rs1] + imm. LOAD writes rd; STORE reads
+	// rs2 as data. Both operate on 8-byte words.
+	OpLoad
+	OpStore
+	// OpAmoCas: atomic compare-and-swap on [rs1]: if mem == rs2 then
+	// mem = imm-extended value in rd's *old* register value... see Exec.
+	// Executed non-speculatively at ROB head by the core.
+	OpAmoCas
+
+	// Control flow. Branch targets are absolute virtual addresses in Imm.
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	OpJmp  // unconditional, direct
+	OpJalr // indirect jump to [rs1]+imm, writes return address to rd
+	OpCall // direct call: rd (usually RA) = pc+4, jump to Imm
+	OpRet  // jump to [rs1] (usually RA)
+
+	// System.
+	OpSyscall // enter kernel: protection-domain switch
+	OpBarrier // speculation barrier: stalls dispatch until ROB drains
+	OpFlushSF // flush speculative filter state (sandbox entry, paper §4.9)
+	OpHalt    // stop the hardware thread
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	OpNop: "nop", OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div",
+	OpRem: "rem", OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl",
+	OpShr: "shr", OpAddi: "addi", OpAndi: "andi", OpOri: "ori",
+	OpXori: "xori", OpShli: "shli", OpShri: "shri", OpLui: "lui",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv",
+	OpFCvt: "fcvt", OpFInt: "fint", OpLoad: "load", OpStore: "store",
+	OpAmoCas: "amocas", OpBeq: "beq", OpBne: "bne", OpBlt: "blt",
+	OpBge: "bge", OpJmp: "jmp", OpJalr: "jalr", OpCall: "call",
+	OpRet: "ret", OpSyscall: "syscall", OpBarrier: "barrier",
+	OpFlushSF: "flushsf", OpHalt: "halt",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Instruction classes, used by the core to choose a functional unit and by
+// the defense models to classify transmitters.
+type Class uint8
+
+const (
+	ClassNop Class = iota
+	ClassIntALU
+	ClassIntMulDiv
+	ClassFPALU
+	ClassLoad
+	ClassStore
+	ClassAmo
+	ClassBranch // conditional
+	ClassJump   // unconditional direct
+	ClassJumpInd
+	ClassSyscall
+	ClassBarrier
+	ClassFlush
+	ClassHalt
+)
+
+// Class reports the instruction class of the opcode.
+func (o Op) Class() Class {
+	switch o {
+	case OpNop:
+		return ClassNop
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpAddi, OpAndi, OpOri, OpXori, OpShli, OpShri, OpLui:
+		return ClassIntALU
+	case OpMul, OpDiv, OpRem:
+		return ClassIntMulDiv
+	case OpFAdd, OpFSub, OpFMul, OpFDiv, OpFCvt, OpFInt:
+		return ClassFPALU
+	case OpLoad:
+		return ClassLoad
+	case OpStore:
+		return ClassStore
+	case OpAmoCas:
+		return ClassAmo
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return ClassBranch
+	case OpJmp, OpCall:
+		return ClassJump
+	case OpJalr, OpRet:
+		return ClassJumpInd
+	case OpSyscall:
+		return ClassSyscall
+	case OpBarrier:
+		return ClassBarrier
+	case OpFlushSF:
+		return ClassFlush
+	case OpHalt:
+		return ClassHalt
+	}
+	return ClassNop
+}
+
+// IsBranchOrJump reports whether the opcode redirects control flow.
+func (o Op) IsBranchOrJump() bool {
+	switch o.Class() {
+	case ClassBranch, ClassJump, ClassJumpInd:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether the opcode accesses data memory.
+func (o Op) IsMem() bool {
+	c := o.Class()
+	return c == ClassLoad || c == ClassStore || c == ClassAmo
+}
+
+// Inst is one static instruction. All instructions are 4 bytes long in the
+// simulated address space.
+type Inst struct {
+	Op  Op
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Imm int64
+}
+
+// InstBytes is the architectural size of an encoded instruction.
+const InstBytes = 4
+
+func (in Inst) String() string {
+	switch in.Op.Class() {
+	case ClassLoad:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Rs1)
+	case ClassStore:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rs2, in.Imm, in.Rs1)
+	case ClassBranch:
+		return fmt.Sprintf("%s %s, %s, 0x%x", in.Op, in.Rs1, in.Rs2, in.Imm)
+	case ClassJump:
+		return fmt.Sprintf("%s 0x%x", in.Op, in.Imm)
+	default:
+		return fmt.Sprintf("%s %s, %s, %s, imm=%d", in.Op, in.Rd, in.Rs1, in.Rs2, in.Imm)
+	}
+}
+
+// WritesReg reports whether the instruction produces a register result,
+// and which register it writes.
+func (in Inst) WritesReg() (Reg, bool) {
+	switch in.Op.Class() {
+	case ClassIntALU, ClassIntMulDiv, ClassFPALU, ClassLoad, ClassAmo:
+		if in.Rd == Zero {
+			return 0, false
+		}
+		return in.Rd, true
+	case ClassJumpInd:
+		if in.Op == OpJalr && in.Rd != Zero {
+			return in.Rd, true
+		}
+		return 0, false
+	case ClassJump:
+		if in.Op == OpCall && in.Rd != Zero {
+			return in.Rd, true
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
+// SrcRegs returns the source registers the instruction reads, in a fixed
+// two-slot form; unused slots are (Zero, false).
+func (in Inst) SrcRegs() (s1 Reg, use1 bool, s2 Reg, use2 bool) {
+	switch in.Op.Class() {
+	case ClassIntALU, ClassFPALU, ClassIntMulDiv:
+		switch in.Op {
+		case OpAddi, OpAndi, OpOri, OpXori, OpShli, OpShri, OpFCvt, OpFInt:
+			return in.Rs1, true, 0, false
+		case OpLui:
+			return 0, false, 0, false
+		}
+		return in.Rs1, true, in.Rs2, true
+	case ClassLoad:
+		return in.Rs1, true, 0, false
+	case ClassStore:
+		return in.Rs1, true, in.Rs2, true
+	case ClassAmo:
+		return in.Rs1, true, in.Rs2, true
+	case ClassBranch:
+		return in.Rs1, true, in.Rs2, true
+	case ClassJumpInd:
+		return in.Rs1, true, 0, false
+	}
+	return 0, false, 0, false
+}

@@ -1,0 +1,308 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegNaming(t *testing.T) {
+	if X(5).String() != "x5" {
+		t.Fatalf("X(5) = %s", X(5))
+	}
+	if F(3).String() != "f3" {
+		t.Fatalf("F(3) = %s", F(3))
+	}
+	if !F(0).IsFP() || X(31).IsFP() {
+		t.Fatal("IsFP misclassifies registers")
+	}
+}
+
+func TestOpClasses(t *testing.T) {
+	cases := map[Op]Class{
+		OpAdd: ClassIntALU, OpMul: ClassIntMulDiv, OpFAdd: ClassFPALU,
+		OpLoad: ClassLoad, OpStore: ClassStore, OpAmoCas: ClassAmo,
+		OpBeq: ClassBranch, OpJmp: ClassJump, OpJalr: ClassJumpInd,
+		OpRet: ClassJumpInd, OpSyscall: ClassSyscall, OpBarrier: ClassBarrier,
+		OpFlushSF: ClassFlush, OpHalt: ClassHalt, OpNop: ClassNop,
+		OpCall: ClassJump, OpLui: ClassIntALU,
+	}
+	for op, want := range cases {
+		if got := op.Class(); got != want {
+			t.Errorf("%v.Class() = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestIsMemAndBranchPredicates(t *testing.T) {
+	if !OpLoad.IsMem() || !OpStore.IsMem() || !OpAmoCas.IsMem() {
+		t.Fatal("memory ops misclassified")
+	}
+	if OpAdd.IsMem() || OpBeq.IsMem() {
+		t.Fatal("non-memory op classified as memory")
+	}
+	for _, op := range []Op{OpBeq, OpBne, OpBlt, OpBge, OpJmp, OpJalr, OpCall, OpRet} {
+		if !op.IsBranchOrJump() {
+			t.Errorf("%v should be branch-or-jump", op)
+		}
+	}
+	if OpLoad.IsBranchOrJump() {
+		t.Fatal("load classified as branch")
+	}
+}
+
+func TestExecIntALU(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		v1   uint64
+		v2   uint64
+		want uint64
+	}{
+		{Inst{Op: OpAdd}, 2, 3, 5},
+		{Inst{Op: OpSub}, 2, 3, ^uint64(0)},
+		{Inst{Op: OpMul}, 7, 6, 42},
+		{Inst{Op: OpDiv}, 42, 6, 7},
+		{Inst{Op: OpDiv}, 42, 0, ^uint64(0)},
+		{Inst{Op: OpRem}, 43, 6, 1},
+		{Inst{Op: OpRem}, 43, 0, 43},
+		{Inst{Op: OpAnd}, 0b1100, 0b1010, 0b1000},
+		{Inst{Op: OpOr}, 0b1100, 0b1010, 0b1110},
+		{Inst{Op: OpXor}, 0b1100, 0b1010, 0b0110},
+		{Inst{Op: OpShl}, 1, 4, 16},
+		{Inst{Op: OpShr}, 16, 4, 1},
+		{Inst{Op: OpAddi, Imm: -1}, 5, 0, 4},
+		{Inst{Op: OpAndi, Imm: 0xff}, 0x1234, 0, 0x34},
+		{Inst{Op: OpShli, Imm: 8}, 1, 0, 256},
+		{Inst{Op: OpShri, Imm: 8}, 256, 0, 1},
+		{Inst{Op: OpLui, Imm: 2}, 0, 0, 2 << 16},
+	}
+	for _, c := range cases {
+		got := Exec(c.in, 0, c.v1, c.v2)
+		if got.Value != c.want {
+			t.Errorf("%v (%d,%d): got %d, want %d", c.in.Op, c.v1, c.v2, got.Value, c.want)
+		}
+	}
+}
+
+func TestExecFloat(t *testing.T) {
+	a := math.Float64bits(1.5)
+	b := math.Float64bits(2.5)
+	if got := Exec(Inst{Op: OpFAdd}, 0, a, b); math.Float64frombits(got.Value) != 4.0 {
+		t.Fatalf("fadd = %v", math.Float64frombits(got.Value))
+	}
+	if got := Exec(Inst{Op: OpFMul}, 0, a, b); math.Float64frombits(got.Value) != 3.75 {
+		t.Fatalf("fmul = %v", math.Float64frombits(got.Value))
+	}
+	if got := Exec(Inst{Op: OpFDiv}, 0, a, 0); !math.IsInf(math.Float64frombits(got.Value), 1) {
+		t.Fatal("fdiv by zero should produce +inf")
+	}
+	if got := Exec(Inst{Op: OpFCvt}, 0, uint64(7), 0); math.Float64frombits(got.Value) != 7.0 {
+		t.Fatal("fcvt wrong")
+	}
+	if got := Exec(Inst{Op: OpFInt}, 0, math.Float64bits(7.9), 0); got.Value != 7 {
+		t.Fatalf("fint = %d", got.Value)
+	}
+}
+
+func TestExecBranches(t *testing.T) {
+	pc := uint64(0x400100)
+	tgt := int64(0x400200)
+	cases := []struct {
+		op    Op
+		v1    uint64
+		v2    uint64
+		taken bool
+	}{
+		{OpBeq, 4, 4, true}, {OpBeq, 4, 5, false},
+		{OpBne, 4, 5, true}, {OpBne, 4, 4, false},
+		{OpBlt, 3, 4, true}, {OpBlt, 4, 3, false},
+		{OpBlt, uint64(0xffffffffffffffff), 0, true}, // -1 < 0 signed
+		{OpBge, 4, 4, true}, {OpBge, 3, 4, false},
+	}
+	for _, c := range cases {
+		r := Exec(Inst{Op: c.op, Imm: tgt}, pc, c.v1, c.v2)
+		if r.Taken != c.taken {
+			t.Errorf("%v(%d,%d).Taken = %v, want %v", c.op, c.v1, c.v2, r.Taken, c.taken)
+		}
+		wantTarget := uint64(tgt)
+		if !c.taken {
+			wantTarget = pc + InstBytes
+		}
+		if r.Target != wantTarget {
+			t.Errorf("%v target = %#x, want %#x", c.op, r.Target, wantTarget)
+		}
+	}
+}
+
+func TestExecCallAndRet(t *testing.T) {
+	pc := uint64(0x400100)
+	r := Exec(Inst{Op: OpCall, Rd: RA, Imm: 0x400800}, pc, 0, 0)
+	if !r.Taken || r.Target != 0x400800 || r.Value != pc+4 {
+		t.Fatalf("call: %+v", r)
+	}
+	r = Exec(Inst{Op: OpRet, Rs1: RA}, pc, pc+4, 0)
+	if !r.Taken || r.Target != pc+4 {
+		t.Fatalf("ret: %+v", r)
+	}
+	r = Exec(Inst{Op: OpJalr, Rd: X(5), Imm: 8}, pc, 0x400900, 0)
+	if !r.Taken || r.Target != 0x400908 || r.Value != pc+4 {
+		t.Fatalf("jalr: %+v", r)
+	}
+}
+
+func TestExecMemoryEffAddr(t *testing.T) {
+	r := Exec(Inst{Op: OpLoad, Imm: 16}, 0, 0x1000, 0)
+	if r.EffAddr != 0x1010 {
+		t.Fatalf("load effaddr = %#x", r.EffAddr)
+	}
+	r = Exec(Inst{Op: OpStore, Imm: -8}, 0, 0x1000, 0xdead)
+	if r.EffAddr != 0xff8 || r.Value != 0xdead {
+		t.Fatalf("store: %+v", r)
+	}
+}
+
+func TestWritesReg(t *testing.T) {
+	if _, w := (Inst{Op: OpStore}).WritesReg(); w {
+		t.Fatal("store writes no register")
+	}
+	if r, w := (Inst{Op: OpAdd, Rd: X(3)}).WritesReg(); !w || r != X(3) {
+		t.Fatal("add should write rd")
+	}
+	if _, w := (Inst{Op: OpAdd, Rd: Zero}).WritesReg(); w {
+		t.Fatal("write to x0 should be discarded")
+	}
+	if r, w := (Inst{Op: OpCall, Rd: RA}).WritesReg(); !w || r != RA {
+		t.Fatal("call writes RA")
+	}
+	if _, w := (Inst{Op: OpBeq}).WritesReg(); w {
+		t.Fatal("branch writes no register")
+	}
+}
+
+func TestSrcRegs(t *testing.T) {
+	s1, u1, s2, u2 := (Inst{Op: OpAdd, Rs1: X(1), Rs2: X(2)}).SrcRegs()
+	if !u1 || !u2 || s1 != X(1) || s2 != X(2) {
+		t.Fatal("add src regs wrong")
+	}
+	_, u1, _, u2 = (Inst{Op: OpAddi, Rs1: X(1)}).SrcRegs()
+	if !u1 || u2 {
+		t.Fatal("addi should use one source")
+	}
+	_, u1, _, u2 = (Inst{Op: OpLui}).SrcRegs()
+	if u1 || u2 {
+		t.Fatal("lui uses no sources")
+	}
+	s1, u1, s2, u2 = (Inst{Op: OpStore, Rs1: X(3), Rs2: X(4)}).SrcRegs()
+	if !u1 || !u2 || s1 != X(3) || s2 != X(4) {
+		t.Fatal("store src regs wrong")
+	}
+}
+
+func TestBuilderLabelsAndFixups(t *testing.T) {
+	b := NewBuilder("t")
+	b.Li(X(1), 0)
+	b.Label("loop")
+	b.Addi(X(1), X(1), 1)
+	b.Li(X(2), 10)
+	b.Blt(X(1), X(2), "loop")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the branch and check its target resolves to the loop label.
+	var br Inst
+	for _, in := range p.Text {
+		if in.Op == OpBlt {
+			br = in
+		}
+	}
+	if br.Op != OpBlt {
+		t.Fatal("branch not found")
+	}
+	wantTarget := TextBase + 1*InstBytes // after single addi of Li(X1,0)
+	if uint64(br.Imm) != wantTarget {
+		t.Fatalf("branch target = %#x, want %#x", br.Imm, wantTarget)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Jmp("nowhere")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for undefined label")
+	}
+}
+
+func TestBuilderDuplicateLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b := NewBuilder("t")
+	b.Label("a")
+	b.Label("a")
+}
+
+func TestBuilderAllocAlignment(t *testing.T) {
+	b := NewBuilder("t")
+	a1 := b.Alloc("a", 10, 64)
+	a2 := b.Alloc("b", 10, 64)
+	if a1%64 != 0 || a2%64 != 0 {
+		t.Fatalf("allocations not aligned: %#x %#x", a1, a2)
+	}
+	if a2 <= a1 {
+		t.Fatal("allocations overlap")
+	}
+}
+
+func TestProgramInstAt(t *testing.T) {
+	b := NewBuilder("t")
+	b.Nop()
+	b.Halt()
+	p := b.MustBuild()
+	if in, ok := p.InstAt(TextBase); !ok || in.Op != OpNop {
+		t.Fatal("InstAt(entry) wrong")
+	}
+	if in, ok := p.InstAt(TextBase + 4); !ok || in.Op != OpHalt {
+		t.Fatal("InstAt(+4) wrong")
+	}
+	if _, ok := p.InstAt(TextBase + 8); ok {
+		t.Fatal("InstAt past end should fail")
+	}
+	if _, ok := p.InstAt(TextBase + 2); ok {
+		t.Fatal("unaligned InstAt should fail")
+	}
+	if _, ok := p.InstAt(0); ok {
+		t.Fatal("InstAt before text should fail")
+	}
+}
+
+// Property: Li followed by functional execution materialises the constant.
+func TestLiMaterialisesConstant(t *testing.T) {
+	f := func(v uint64) bool {
+		b := NewBuilder("t")
+		b.Li(X(5), v)
+		p := b.MustBuild()
+		var regs [NumRegs]uint64
+		pc := p.Entry
+		for {
+			in, ok := p.InstAt(pc)
+			if !ok {
+				break
+			}
+			v1 := regs[in.Rs1]
+			v2 := regs[in.Rs2]
+			r := Exec(in, pc, v1, v2)
+			if rd, writes := in.WritesReg(); writes {
+				regs[rd] = r.Value
+			}
+			pc += InstBytes
+		}
+		return regs[X(5)] == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+// Package mem provides the physical address space (sparse page-frame
+// storage with byte-accurate contents) and the DRAM timing model at the
+// bottom of the simulated memory hierarchy.
+//
+// The simulator uses the classic timing/functional split: caches above
+// this package carry tags and coherence state only, while actual data
+// bytes live here. Attack programs depend on real data flow (a
+// speculatively loaded secret byte must steer a second access), so the
+// contents are exact.
+package mem
+
+import "encoding/binary"
+
+// Addr is a physical byte address.
+type Addr uint64
+
+// VAddr is a virtual byte address.
+type VAddr uint64
+
+// Layout constants shared by the whole hierarchy.
+const (
+	LineBytes = 64 // cache-line size at every level (paper §4.1)
+	LineShift = 6
+	PageBytes = 4096
+	PageShift = 12
+)
+
+// LineAddr returns the address of the cache line containing a.
+func LineAddr[T ~uint64](a T) T { return a &^ (LineBytes - 1) }
+
+// PageNum returns the page number of a virtual address.
+func PageNum(a VAddr) uint64 { return uint64(a) >> PageShift }
+
+// FrameNum returns the frame number of a physical address.
+func FrameNum(a Addr) uint64 { return uint64(a) >> PageShift }
+
+// Physical is the machine's physical memory: a sparse set of 4KiB frames.
+// Reads of unbacked memory return zeroes; writes allocate frames on demand.
+type Physical struct {
+	frames map[uint64]*[PageBytes]byte
+}
+
+// NewPhysical returns an empty physical memory.
+func NewPhysical() *Physical {
+	return &Physical{frames: make(map[uint64]*[PageBytes]byte)}
+}
+
+func (p *Physical) frame(a Addr, alloc bool) *[PageBytes]byte {
+	fn := FrameNum(a)
+	f := p.frames[fn]
+	if f == nil && alloc {
+		f = new([PageBytes]byte)
+		p.frames[fn] = f
+	}
+	return f
+}
+
+// Read8 reads one byte of physical memory.
+func (p *Physical) Read8(a Addr) byte {
+	f := p.frame(a, false)
+	if f == nil {
+		return 0
+	}
+	return f[uint64(a)%PageBytes]
+}
+
+// Write8 writes one byte of physical memory.
+func (p *Physical) Write8(a Addr, v byte) {
+	p.frame(a, true)[uint64(a)%PageBytes] = v
+}
+
+// Read64 reads a little-endian 64-bit word. The access may straddle a
+// frame boundary.
+func (p *Physical) Read64(a Addr) uint64 {
+	if uint64(a)%PageBytes <= PageBytes-8 {
+		f := p.frame(a, false)
+		if f == nil {
+			return 0
+		}
+		off := uint64(a) % PageBytes
+		return binary.LittleEndian.Uint64(f[off : off+8])
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(p.Read8(a+Addr(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write64 writes a little-endian 64-bit word.
+func (p *Physical) Write64(a Addr, v uint64) {
+	if uint64(a)%PageBytes <= PageBytes-8 {
+		f := p.frame(a, true)
+		off := uint64(a) % PageBytes
+		binary.LittleEndian.PutUint64(f[off:off+8], v)
+		return
+	}
+	for i := 0; i < 8; i++ {
+		p.Write8(a+Addr(i), byte(v>>(8*i)))
+	}
+}
+
+// WriteData copies b into physical memory starting at a.
+func (p *Physical) WriteData(a Addr, b []byte) {
+	for i, v := range b {
+		p.Write8(a+Addr(i), v)
+	}
+}
+
+// ReadData copies n bytes starting at a into a fresh slice.
+func (p *Physical) ReadData(a Addr, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = p.Read8(a + Addr(i))
+	}
+	return out
+}
+
+// FrameCount reports how many frames have been touched (for tests).
+func (p *Physical) FrameCount() int { return len(p.frames) }

@@ -1,0 +1,781 @@
+package memsys
+
+import (
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/mem"
+	"repro/internal/tlb"
+)
+
+// Port is one core's window onto the memory system: its filter caches,
+// L1 caches and TLBs, plus the operations the pipeline invokes. All
+// operations complete through callbacks scheduled on the hierarchy's
+// event scheduler; none block.
+type Port struct {
+	h  *Hierarchy
+	id int
+
+	l0d *core.FilterCache // nil unless Mode.L0Data
+	l0i *core.FilterCache // nil unless Mode.L0Inst
+	l1d *cache.Array
+	l1i *cache.Array
+
+	l1dMSHRs *cache.MSHRFile
+	l1iMSHRs *cache.MSHRFile
+
+	dtlb  *tlb.TLB
+	itlb  *tlb.TLB
+	fdtlb *tlb.TLB // filter TLB; nil unless Mode.FilterTLB
+
+	pt   *tlb.PageTable
+	asid uint64
+
+	lastCommitILine uint64
+
+	// Stats.
+	Loads          uint64
+	Stores         uint64
+	Ifetches       uint64
+	L1DHits        uint64
+	L1DMisses      uint64
+	L1IHits        uint64
+	L1IMisses      uint64
+	StoreDrains    uint64
+	StoreUpgrades  uint64 // drains that were not already M/E locally (fig 7)
+	CommitWrites   uint64 // commit-time write-throughs of filter lines
+	CommitReloads  uint64 // passive reloads of lines evicted before commit
+	SEUpgrades     uint64 // asynchronous S->E upgrades at commit
+	DomainFlushes  uint64
+	MisspecFlushes uint64
+	PTWalks        uint64
+	NACKRetries    uint64
+}
+
+func newPort(h *Hierarchy, id int) *Port {
+	cfg := h.cfg
+	p := &Port{
+		h:        h,
+		id:       id,
+		l1d:      cache.NewArray(cfg.L1D),
+		l1i:      cache.NewArray(cfg.L1I),
+		l1dMSHRs: cache.NewMSHRFile(cfg.L1DMSHRs),
+		l1iMSHRs: cache.NewMSHRFile(cfg.L1IMSHRs),
+		dtlb:     tlb.New("dtlb", cfg.TLBEntries),
+		itlb:     tlb.New("itlb", cfg.TLBEntries),
+	}
+	if cfg.Mode.L0Data {
+		c := cfg.L0D
+		p.l0d = core.NewFilterCache(c)
+	}
+	if cfg.Mode.L0Inst {
+		c := cfg.L0I
+		p.l0i = core.NewFilterCache(c)
+	}
+	if cfg.Mode.FilterTLB {
+		p.fdtlb = tlb.New("fdtlb", cfg.FilterTLBEntries)
+	}
+	return p
+}
+
+// SetProcess installs the address space the port translates for.
+func (p *Port) SetProcess(asid uint64, pt *tlb.PageTable) {
+	p.asid = asid
+	p.pt = pt
+}
+
+// ASID returns the current address-space ID.
+func (p *Port) ASID() uint64 { return p.asid }
+
+// FilterD returns the data filter cache (may be nil).
+func (p *Port) FilterD() *core.FilterCache { return p.l0d }
+
+// FilterI returns the instruction filter cache (may be nil).
+func (p *Port) FilterI() *core.FilterCache { return p.l0i }
+
+// L1DPeek reports whether paddr is present in this core's L1D (test hook).
+func (p *Port) L1DPeek(paddr mem.Addr) *cache.Line { return p.l1d.Peek(uint64(paddr)) }
+
+// L1IPeek reports whether paddr is present in this core's L1I (test hook).
+func (p *Port) L1IPeek(paddr mem.Addr) *cache.Line { return p.l1i.Peek(uint64(paddr)) }
+
+// L2Peek reports whether paddr is present in the shared L2 (test hook).
+func (p *Port) L2Peek(paddr mem.Addr) *cache.Line { return p.h.l2.Peek(uint64(paddr)) }
+
+func (p *Port) after(d event.Cycle, fn func()) { p.h.sched.After(d, fn) }
+
+// --- Translation ---
+
+// Translate resolves vaddr through the TLBs, walking the page table on a
+// miss (with real memory traffic through the data path). done receives
+// the physical address, whether the translation required a walk, and
+// whether the page was unmapped (fault).
+func (p *Port) Translate(vaddr mem.VAddr, instr, spec bool, done func(paddr mem.Addr, walked, fault bool)) {
+	vpn := mem.PageNum(vaddr)
+	main := p.dtlb
+	if instr {
+		main = p.itlb
+	}
+	if pfn, ok := main.Lookup(p.asid, vpn); ok {
+		done(mem.Addr(pfn<<mem.PageShift|uint64(vaddr)%mem.PageBytes), false, false)
+		return
+	}
+	if p.fdtlb != nil {
+		if pfn, ok := p.fdtlb.Lookup(p.asid, vpn); ok {
+			done(mem.Addr(pfn<<mem.PageShift|uint64(vaddr)%mem.PageBytes), false, false)
+			return
+		}
+	}
+	// Hardware page-table walk: WalkDepth dependent memory reads through
+	// the data-cache path.
+	pfn, mapped := p.pt.Translate(vpn)
+	if !mapped {
+		done(0, true, true)
+		return
+	}
+	p.PTWalks++
+	addrs := p.pt.WalkAddrs(vpn)
+	var step func(i int)
+	step = func(i int) {
+		if i >= len(addrs) {
+			if p.fdtlb != nil && spec {
+				// Speculative translations go to the filter TLB (§4.7).
+				p.fdtlb.Insert(p.asid, vpn, pfn)
+			} else {
+				main.Insert(p.asid, vpn, pfn)
+			}
+			done(mem.Addr(pfn<<mem.PageShift|uint64(vaddr)%mem.PageBytes), true, false)
+			return
+		}
+		p.dataRead(0, mem.VAddr(addrs[i]), addrs[i], spec, false, func(AccessResult) {
+			step(i + 1)
+		})
+	}
+	step(0)
+}
+
+// CommitTranslation *moves* a speculative translation from the filter TLB
+// to the main TLB at instruction commit (§4.7) and replays the walk line
+// fills non-speculatively so the walker's lines reach the L1
+// (retranslation). The move makes this a once-per-page action: later
+// commits touching the same page find nothing to promote.
+func (p *Port) CommitTranslation(vaddr mem.VAddr, instr bool) {
+	if p.fdtlb == nil {
+		return
+	}
+	vpn := mem.PageNum(vaddr)
+	pfn, ok := p.fdtlb.Lookup(p.asid, vpn)
+	if !ok {
+		return
+	}
+	p.fdtlb.Remove(p.asid, vpn)
+	main := p.dtlb
+	if instr {
+		main = p.itlb
+	}
+	main.Insert(p.asid, vpn, pfn)
+	for _, wa := range p.pt.WalkAddrs(vpn) {
+		p.commitLineWriteThrough(wa, cache.Shared)
+	}
+}
+
+// --- Loads ---
+
+// Load performs a data load by the instruction at pc. Under FilterProtect
+// every load is speculative until commit; the result may be a NACK, in
+// which case the core reissues with spec=false once the load is the
+// oldest instruction.
+func (p *Port) Load(pc uint64, vaddr mem.VAddr, paddr mem.Addr, spec bool, done func(AccessResult)) {
+	p.Loads++
+	if !spec {
+		p.NACKRetries++
+	}
+	p.dataRead(pc, vaddr, paddr, spec, true, done)
+}
+
+// dataRead is the shared load/PTW read path.
+func (p *Port) dataRead(pc uint64, vaddr mem.VAddr, paddr mem.Addr, spec, train bool, done func(AccessResult)) {
+	m := p.h.cfg.Mode
+	lat := p.h.cfg.Lat
+	line := uint64(mem.LineAddr(paddr))
+
+	// L0 lookup.
+	l0Penalty := event.Cycle(0)
+	if p.l0d != nil {
+		if l := p.l0d.Lookup(mem.LineAddr(vaddr)); l != nil && l.Tag == line {
+			p.after(lat.L0Hit, func() { done(AccessResult{Level: FromL0}) })
+			return
+		}
+		if !m.ParallelL1 {
+			l0Penalty = lat.L0Hit
+		}
+	}
+
+	// L1 lookup. Under FilterProtect, speculative lookups must not refresh
+	// L1 replacement state (presence timing is already non-speculative,
+	// but recency perturbation would be a speculative side channel).
+	var l1l *cache.Line
+	if m.FilterProtect && spec {
+		l1l = p.l1d.Peek(line)
+	} else {
+		l1l = p.l1d.Lookup(line)
+	}
+	if l1l != nil {
+		p.L1DHits++
+		total := l0Penalty + lat.L1DHit
+		if p.l0d != nil {
+			// Data already non-speculative: the L0 copy starts committed.
+			p.fillL0(vaddr, paddr, cache.Shared, true, uint8(FromL1))
+		}
+		p.after(total, func() { done(AccessResult{Level: FromL1}) })
+		return
+	}
+	p.L1DMisses++
+
+	// Front-level MSHRs: the L0's when present, else the L1D's.
+	mshrs := p.l1dMSHRs
+	if p.l0d != nil {
+		mshrs = p.l0d.MSHRs
+	}
+	if existing := mshrs.Lookup(line); existing != nil {
+		mshrs.Allocate(line, func() { done(AccessResult{Level: FromL2}) })
+		return
+	}
+	if mshrs.Full() {
+		p.after(lat.MSHRRetry, func() { p.dataRead(pc, vaddr, paddr, spec, train, done) })
+		return
+	}
+	mshrs.Allocate(line, nil)
+
+	fillL2 := !(m.FilterProtect && spec)
+	out := p.h.l2LoadAccess(p.id, line, spec, fillL2, pc, train)
+	total := l0Penalty + lat.L1DHit + out.extraLat
+
+	if out.nack {
+		p.after(total, func() {
+			mshrs.Complete(line)
+			done(AccessResult{NACK: true})
+		})
+		return
+	}
+
+	p.after(total, func() {
+		if m.FilterProtect && spec {
+			// Fill the filter cache only; exclusivity decided now, at
+			// completion, against the current directory state. Speculative
+			// fills never downgrade anyone (a foreign owner appearing
+			// mid-flight simply forces Shared).
+			e := p.h.dir[line]
+			excl := e == nil || (e.owner < 0 && e.sharers&^(1<<uint(p.id)) == 0)
+			st := cache.Shared
+			if excl {
+				if m.CoherenceProtect {
+					st = cache.SharedExclusivePending
+				} else {
+					// Vulnerable fcache-only design: take E directly.
+					st = cache.Exclusive
+					p.h.filterOwner[line] = p.id
+				}
+			}
+			p.fillL0(vaddr, paddr, st, false, uint8(out.level))
+		} else {
+			// Unprotected fill, or a non-speculative (NACK-retried)
+			// access under MuonTrap: install in L1/L2 directly.
+			st := cache.Shared
+			if p.h.exclusiveAtFill(line, p.id) {
+				st = cache.Exclusive
+			}
+			p.l1InstallData(line, st)
+			if p.l0d != nil {
+				p.fillL0(vaddr, paddr, cache.Shared, true, uint8(out.level))
+			}
+		}
+		mshrs.Complete(line)
+		done(AccessResult{Level: out.level})
+	})
+}
+
+// fillL0 installs a line in the data filter cache and maintains the
+// hierarchy's filter-sharer tracking.
+func (p *Port) fillL0(vaddr mem.VAddr, paddr mem.Addr, st cache.State, committed bool, level uint8) {
+	line := uint64(mem.LineAddr(paddr))
+	ev, had := p.l0d.Fill(mem.LineAddr(vaddr), mem.LineAddr(paddr), st, committed, level)
+	if had {
+		p.h.noteFilterDrop(ev.Tag, p.id)
+	}
+	p.h.noteFilterFill(line, p.id)
+}
+
+// l1InstallData installs a line in this core's L1D with directory upkeep,
+// handling the eviction writeback. Installing a weaker state over a line
+// the core already owns keeps the stronger state (a commit-time
+// write-through must not strip M/E gained by an earlier store).
+func (p *Port) l1InstallData(line uint64, st cache.State) {
+	if l := p.l1d.Peek(line); l != nil {
+		if l.State == cache.Modified || (l.State == cache.Exclusive && st != cache.Modified) {
+			st = l.State
+		}
+	}
+	// Inclusion: the L2 must hold the line.
+	p.h.l2Install(line, false)
+	l, ev, had := p.l1d.Fill(line, st)
+	l.Committed = true
+	if had {
+		if ev.State == cache.Modified {
+			if l2 := p.h.l2.Peek(ev.Tag); l2 != nil {
+				l2.State = cache.Modified
+			}
+		}
+		p.dirDropL1(ev.Tag)
+	}
+	e := p.h.dirFor(line)
+	if st.Owned() {
+		e.owner = p.id
+		e.ownerState = st
+		e.sharers &^= 1 << uint(p.id)
+	} else {
+		e.sharers |= 1 << uint(p.id)
+		if e.owner == p.id {
+			e.owner = -1
+			e.ownerState = cache.Invalid
+		}
+	}
+}
+
+func (p *Port) dirDropL1(line uint64) {
+	e := p.h.dir[line]
+	if e == nil {
+		return
+	}
+	if e.owner == p.id {
+		e.owner = -1
+		e.ownerState = cache.Invalid
+	}
+	e.sharers &^= 1 << uint(p.id)
+	if e.empty() {
+		delete(p.h.dir, line)
+	}
+}
+
+// --- Stores ---
+
+// StorePrefetch lets a speculative store bring its line into the filter
+// cache in Shared state (never exclusive, §4.5), hiding fill latency from
+// the post-commit write. Only meaningful under FilterProtect with a data
+// L0; otherwise a no-op.
+func (p *Port) StorePrefetch(pc uint64, vaddr mem.VAddr, paddr mem.Addr, done func()) {
+	m := p.h.cfg.Mode
+	if p.l0d == nil || !m.FilterProtect {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	p.dataRead(pc, vaddr, paddr, true, false, func(AccessResult) {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// StoreDrain performs a committed store's cache write: obtain the line in
+// Modified state in the L1 and write the data through the hierarchy's
+// functional memory. The §4.5 broadcast filter invalidation fires when the
+// line was not already held E/M by this core's own L1 — the event Figure 7
+// counts.
+func (p *Port) StoreDrain(pc uint64, vaddr mem.VAddr, paddr mem.Addr, done func()) {
+	p.Stores++
+	p.StoreDrains++
+	m := p.h.cfg.Mode
+	lat := p.h.cfg.Lat
+	line := uint64(mem.LineAddr(paddr))
+
+	if l := p.l1d.Peek(line); l != nil && l.State.Owned() {
+		l.State = cache.Modified
+		if e := p.h.dir[line]; e != nil {
+			e.ownerState = cache.Modified
+		}
+		p.after(lat.L1DHit, func() {
+			if done != nil {
+				done()
+			}
+		})
+		return
+	}
+
+	// A committed line still sitting in the filter cache whose SE→E
+	// upgrade (or plain write-through) is in flight: the exclusivity is
+	// already being acquired by the commit path, so the store merges
+	// silently instead of issuing a second upgrade (and is not counted in
+	// the Figure 7 broadcast rate). This mirrors hardware, where both
+	// requests serialise at the same L1 miss-handling entry.
+	if m.FilterProtect && p.l0d != nil {
+		if l0 := p.l0d.Snoop(mem.Addr(line)); l0 != nil && l0.Committed {
+			e := p.h.dir[line]
+			soleOwner := e == nil || ((e.owner < 0 || e.owner == p.id) && e.sharers&^(1<<uint(p.id)) == 0)
+			if soleOwner {
+				p.after(lat.L1DHit+lat.L2Port, func() {
+					p.h.invalidateSharers(line, p.id)
+					p.l1InstallData(line, cache.Modified)
+					if l2 := p.h.l2.Peek(line); l2 != nil {
+						l2.State = cache.Modified
+					}
+					if done != nil {
+						done()
+					}
+				})
+				return
+			}
+		}
+	}
+
+	// Upgrade / RFO. Latency decided from current state; all coherence
+	// state changes happen atomically at the completion event.
+	p.StoreUpgrades++
+	extra := p.h.l2PortDelay()
+	if m.FilterProtect && m.CoherenceProtect {
+		extra += lat.Broadcast
+	}
+	// Data fetch: free if any on-chip copy exists (own L0 counts — the
+	// speculative store prefetch pays off here).
+	onChip := p.h.l2.Peek(line) != nil
+	if !onChip && p.l0d != nil && p.l0d.Snoop(mem.Addr(line)) != nil {
+		onChip = true
+	}
+	if onChip {
+		extra += lat.L2Hit
+	} else {
+		dramDone := p.h.dram.Access(mem.Addr(line))
+		wait := event.Cycle(0)
+		if dramDone > p.h.sched.Now() {
+			wait = dramDone - p.h.sched.Now()
+		}
+		p.h.DRAMFills++
+		extra += lat.L2Hit + lat.DRAMCtrl + wait
+	}
+	total := lat.L1DHit + extra
+	p.after(total, func() {
+		p.h.invalidateSharers(line, p.id)
+		if m.FilterProtect && m.CoherenceProtect {
+			p.h.broadcastFilterInvalidate(line, p.id)
+		}
+		p.l1InstallData(line, cache.Modified)
+		if l2 := p.h.l2.Peek(line); l2 != nil {
+			l2.State = cache.Modified
+		}
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// --- Commit-time actions (FilterProtect) ---
+
+// CommitLoad performs the §4.2 commit-time work for a load: mark the
+// filter line committed, write it through to the L1 (and inclusive L2),
+// launch the asynchronous SE→E upgrade when applicable, notify the
+// prefetcher (§4.6), and passively reload lines evicted before commit.
+// All of it is asynchronous: commit is never stalled.
+func (p *Port) CommitLoad(pc uint64, vaddr mem.VAddr, paddr mem.Addr) {
+	m := p.h.cfg.Mode
+	if !m.FilterProtect {
+		return
+	}
+	line := uint64(mem.LineAddr(paddr))
+	if p.l0d != nil {
+		prev, wasUncommitted, present := p.l0d.MarkCommitted(mem.LineAddr(paddr))
+		if present {
+			if !wasUncommitted {
+				return // already visible; nothing new for the hierarchy
+			}
+			p.CommitWrites++
+			st := cache.Shared
+			if prev == cache.SharedExclusivePending {
+				st = cache.Exclusive
+				p.SEUpgrades++
+			}
+			fl := FromL2
+			if l := p.l0d.Snoop(mem.LineAddr(paddr)); l != nil {
+				fl = FillLevel(l.FillLevel)
+			}
+			p.commitLineWriteThrough(mem.LineAddr(paddr), st)
+			if m.CommitPrefetch && p.h.pf != nil && fl >= FromL2 {
+				p.h.pf.Observe(pc, mem.LineAddr(paddr))
+			}
+			return
+		}
+		// Evicted before commit: a valid in-order execution would have
+		// cached it, so passively reload into the L1 (§4.2).
+		p.CommitReloads++
+		p.after(p.h.cfg.Lat.L2Port, func() {
+			out := p.h.l2LoadAccess(p.id, line, false, true, pc, false)
+			p.after(out.extraLat, func() {
+				st := cache.Shared
+				if p.h.exclusiveAtFill(line, p.id) {
+					st = cache.Exclusive
+				}
+				p.l1InstallData(line, st)
+			})
+		})
+		if m.CommitPrefetch && p.h.pf != nil {
+			p.h.pf.Observe(pc, mem.LineAddr(paddr))
+		}
+	}
+}
+
+// commitLineWriteThrough installs a committed filter line into the L1/L2
+// asynchronously, performing the SE→E upgrade broadcast when st is
+// Exclusive (§4.5: the upgrade invalidates copies in other filter caches).
+func (p *Port) commitLineWriteThrough(paddr mem.Addr, st cache.State) {
+	line := uint64(mem.LineAddr(paddr))
+	delay := p.h.l2PortDelay() + p.h.cfg.Lat.L2Port
+	p.after(delay, func() {
+		if st == cache.Exclusive {
+			if !p.h.exclusiveAtFill(line, p.id) {
+				// Someone non-speculative took the line meanwhile; fall
+				// back to Shared.
+				st = cache.Shared
+			} else if p.h.cfg.Mode.CoherenceProtect {
+				p.h.broadcastFilterInvalidate(line, p.id)
+			}
+		} else {
+			p.h.sharedAtFill(line, p.id)
+		}
+		p.l1InstallData(line, st)
+	})
+}
+
+// --- Instruction fetch ---
+
+// Ifetch performs an instruction-cache access for the line containing
+// paddr. All fetches are speculative until the instructions commit.
+func (p *Port) Ifetch(vaddr mem.VAddr, paddr mem.Addr, done func(AccessResult)) {
+	p.Ifetches++
+	m := p.h.cfg.Mode
+	lat := p.h.cfg.Lat
+	line := uint64(mem.LineAddr(paddr))
+
+	l0Penalty := event.Cycle(0)
+	if p.l0i != nil {
+		if l := p.l0i.Lookup(mem.LineAddr(vaddr)); l != nil && l.Tag == line {
+			p.after(lat.L0Hit, func() { done(AccessResult{Level: FromL0}) })
+			return
+		}
+		if !m.ParallelL1 {
+			l0Penalty = lat.L0Hit
+		}
+	}
+
+	var l1l *cache.Line
+	if m.FilterProtect && p.l0i != nil {
+		l1l = p.l1i.Peek(line)
+	} else {
+		l1l = p.l1i.Lookup(line)
+	}
+	if l1l != nil {
+		p.L1IHits++
+		if p.l0i != nil {
+			p.fillL0I(vaddr, paddr, true, uint8(FromL1))
+		}
+		p.after(l0Penalty+lat.L1IHit, func() { done(AccessResult{Level: FromL1}) })
+		return
+	}
+	p.L1IMisses++
+
+	mshrs := p.l1iMSHRs
+	if p.l0i != nil {
+		mshrs = p.l0i.MSHRs
+	}
+	if existing := mshrs.Lookup(line); existing != nil {
+		mshrs.Allocate(line, func() { done(AccessResult{Level: FromL2}) })
+		return
+	}
+	if mshrs.Full() {
+		p.after(lat.MSHRRetry, func() { p.Ifetch(vaddr, paddr, done) })
+		return
+	}
+	mshrs.Allocate(line, nil)
+
+	// Instructions are read-only: no coherence interaction beyond the L2.
+	specBypass := m.FilterProtect && p.l0i != nil
+	extra := p.h.l2PortDelay()
+	var level FillLevel
+	if l2l := p.h.l2.Lookup(line); l2l != nil {
+		p.h.L2Hits++
+		extra += lat.L2Hit
+		level = FromL2
+	} else {
+		p.h.L2Misses++
+		dramDone := p.h.dram.Access(mem.Addr(line))
+		p.h.DRAMFills++
+		wait := event.Cycle(0)
+		if dramDone > p.h.sched.Now() {
+			wait = dramDone - p.h.sched.Now()
+		}
+		extra += lat.L2Hit + lat.DRAMCtrl + wait
+		level = FromMem
+		if !specBypass {
+			p.h.l2Install(line, false)
+		}
+	}
+	total := l0Penalty + lat.L1IHit + extra
+	p.after(total, func() {
+		if specBypass {
+			p.fillL0I(vaddr, paddr, false, uint8(level))
+		} else {
+			p.l1InstallInst(line)
+			if p.l0i != nil {
+				p.fillL0I(vaddr, paddr, true, uint8(level))
+			}
+		}
+		mshrs.Complete(line)
+		done(AccessResult{Level: level})
+	})
+}
+
+func (p *Port) fillL0I(vaddr mem.VAddr, paddr mem.Addr, committed bool, level uint8) {
+	p.l0i.Fill(mem.LineAddr(vaddr), mem.LineAddr(paddr), cache.Shared, committed, level)
+}
+
+func (p *Port) l1InstallInst(line uint64) {
+	p.h.l2Install(line, false)
+	l, ev, had := p.l1i.Fill(line, cache.Shared)
+	l.Committed = true
+	if had {
+		if e := p.h.dir[ev.Tag]; e != nil {
+			e.isharers &^= 1 << uint(p.id)
+			if e.empty() {
+				delete(p.h.dir, ev.Tag)
+			}
+		}
+	}
+	p.h.dirFor(line).isharers |= 1 << uint(p.id)
+}
+
+// CommitIfetch marks the instruction line containing paddr committed when
+// the first instruction from it commits, writing it through to the L1I
+// (§4.7: no coherence transactions needed for read-only lines).
+func (p *Port) CommitIfetch(paddr mem.Addr) {
+	if p.l0i == nil || !p.h.cfg.Mode.FilterProtect {
+		return
+	}
+	line := uint64(mem.LineAddr(paddr))
+	if line == p.lastCommitILine {
+		return
+	}
+	p.lastCommitILine = line
+	_, wasUncommitted, present := p.l0i.MarkCommitted(mem.Addr(line))
+	if present && wasUncommitted {
+		delay := p.h.l2PortDelay() + p.h.cfg.Lat.L2Port
+		p.after(delay, func() { p.l1InstallInst(line) })
+	}
+}
+
+// --- Flushes ---
+
+// FlushDomain clears all speculative filter state: both filter caches and
+// the filter TLB. Called on context switches, system calls and sandbox
+// entry (§4.3, §4.9). The flash invalidate itself is a single cycle; the
+// protection-domain switch cost is charged by the caller.
+func (p *Port) FlushDomain() {
+	p.DomainFlushes++
+	if p.l0d != nil {
+		p.l0d.FlashInvalidate(func(pa mem.Addr) { p.h.noteFilterDrop(uint64(pa), p.id) })
+	}
+	if p.l0i != nil {
+		p.l0i.FlashInvalidate(nil)
+	}
+	if p.fdtlb != nil {
+		p.fdtlb.FlushAll()
+	}
+	p.lastCommitILine = 0
+}
+
+// FlushOnMisspec clears filter state on a pipeline squash when the
+// per-process clear-on-misspeculate mode is enabled (§4.9).
+func (p *Port) FlushOnMisspec() {
+	if !p.h.cfg.Mode.ClearOnMisspec {
+		return
+	}
+	p.MisspecFlushes++
+	if p.l0d != nil {
+		p.l0d.FlashInvalidate(func(pa mem.Addr) { p.h.noteFilterDrop(uint64(pa), p.id) })
+	}
+	if p.l0i != nil {
+		p.l0i.FlashInvalidate(nil)
+	}
+	if p.fdtlb != nil {
+		p.fdtlb.FlushAll()
+	}
+}
+
+// --- InvisiSpec support ---
+
+// LoadNoFill performs an InvisiSpec-style invisible load: the data's
+// location determines latency, but no cache, directory or filter state
+// changes anywhere. (DRAM open-row state does change — InvisiSpec does not
+// claim to hide DRAM timing.)
+func (p *Port) LoadNoFill(paddr mem.Addr, done func(AccessResult)) {
+	p.Loads++
+	lat := p.h.cfg.Lat
+	line := uint64(mem.LineAddr(paddr))
+	if p.l1d.Peek(line) != nil {
+		p.after(lat.L1DHit, func() { done(AccessResult{Level: FromL1}) })
+		return
+	}
+	extra := event.Cycle(0)
+	if e := p.h.dir[line]; e != nil && e.owner >= 0 && e.owner != p.id {
+		// Data forwarded from the owner without a state change.
+		extra += lat.RemoteWB
+	}
+	if p.h.l2.Peek(line) != nil {
+		p.after(lat.L1DHit+lat.L2Hit+extra, func() { done(AccessResult{Level: FromL2}) })
+		return
+	}
+	dramDone := p.h.dram.Access(mem.Addr(line))
+	wait := event.Cycle(0)
+	if dramDone > p.h.sched.Now() {
+		wait = dramDone - p.h.sched.Now()
+	}
+	p.after(lat.L1DHit+lat.L2Hit+lat.DRAMCtrl+wait+extra, func() {
+		done(AccessResult{Level: FromMem})
+	})
+}
+
+// LoadExpose performs the InvisiSpec exposure/validation access: a normal
+// non-speculative load that installs the line in the caches.
+func (p *Port) LoadExpose(pc uint64, vaddr mem.VAddr, paddr mem.Addr, done func(AccessResult)) {
+	p.dataRead(pc, vaddr, paddr, false, true, done)
+}
+
+func (p *Port) dumpCounters(c map[string]uint64, prefix string) {
+	c[prefix+"loads"] = p.Loads
+	c[prefix+"stores"] = p.Stores
+	c[prefix+"ifetches"] = p.Ifetches
+	c[prefix+"l1d.hits"] = p.L1DHits
+	c[prefix+"l1d.misses"] = p.L1DMisses
+	c[prefix+"l1i.hits"] = p.L1IHits
+	c[prefix+"l1i.misses"] = p.L1IMisses
+	c[prefix+"store.drains"] = p.StoreDrains
+	c[prefix+"store.upgrades"] = p.StoreUpgrades
+	c[prefix+"commit.writes"] = p.CommitWrites
+	c[prefix+"commit.reloads"] = p.CommitReloads
+	c[prefix+"commit.se_upgrades"] = p.SEUpgrades
+	c[prefix+"flush.domain"] = p.DomainFlushes
+	c[prefix+"flush.misspec"] = p.MisspecFlushes
+	c[prefix+"ptwalks"] = p.PTWalks
+	c[prefix+"nack.retries"] = p.NACKRetries
+	if p.l0d != nil {
+		c[prefix+"l0d.hits"] = p.l0d.Hits
+		c[prefix+"l0d.misses"] = p.l0d.Misses
+		c[prefix+"l0d.evicted_uncommitted"] = p.l0d.EvictedUncommitted3
+	}
+	if p.l0i != nil {
+		c[prefix+"l0i.hits"] = p.l0i.Hits
+		c[prefix+"l0i.misses"] = p.l0i.Misses
+	}
+	c[prefix+"dtlb.hits"] = p.dtlb.Hits
+	c[prefix+"dtlb.lookups"] = p.dtlb.Lookups
+	c[prefix+"itlb.hits"] = p.itlb.Hits
+	c[prefix+"itlb.lookups"] = p.itlb.Lookups
+}

@@ -1,0 +1,153 @@
+package prefetch
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func collect(p *Prefetcher) *[]mem.Addr {
+	out := &[]mem.Addr{}
+	p.Issue = func(a mem.Addr) { *out = append(*out, a) }
+	return out
+}
+
+func TestStrideDetection(t *testing.T) {
+	p := New(DefaultConfig())
+	got := collect(p)
+	pc := uint64(0x400100)
+	// Stride of 64 bytes; threshold 2 means the third access confirms.
+	p.Observe(pc, 0x1000)
+	p.Observe(pc, 0x1040)
+	p.Observe(pc, 0x1080)
+	if len(*got) == 0 {
+		t.Fatal("no prefetches issued after stride locked")
+	}
+	want := []mem.Addr{0x10c0, 0x1100}
+	for i, w := range want {
+		if (*got)[i] != w {
+			t.Fatalf("prefetches = %v, want %v", *got, want)
+		}
+	}
+}
+
+func TestNoPrefetchBeforeConfidence(t *testing.T) {
+	p := New(DefaultConfig())
+	got := collect(p)
+	pc := uint64(0x400100)
+	p.Observe(pc, 0x1000)
+	p.Observe(pc, 0x1040)
+	if len(*got) != 0 {
+		t.Fatalf("prefetch issued with conf below threshold: %v", *got)
+	}
+}
+
+func TestStrideChangeResetsConfidence(t *testing.T) {
+	p := New(DefaultConfig())
+	got := collect(p)
+	pc := uint64(0x400100)
+	p.Observe(pc, 0x1000)
+	p.Observe(pc, 0x1040)
+	p.Observe(pc, 0x1080) // locks, issues
+	n := len(*got)
+	p.Observe(pc, 0x5000) // wild jump: new stride, conf resets
+	if len(*got) != n {
+		t.Fatal("prefetch issued right after stride change")
+	}
+	p.Observe(pc, 0x5040)
+	if len(*got) != n {
+		t.Fatal("prefetch issued before new stride confirmed")
+	}
+	p.Observe(pc, 0x5080)
+	if len(*got) == n {
+		t.Fatal("new stride never locked")
+	}
+}
+
+func TestNegativeStride(t *testing.T) {
+	p := New(DefaultConfig())
+	got := collect(p)
+	pc := uint64(0x400104)
+	p.Observe(pc, 0x2000)
+	p.Observe(pc, 0x1fc0)
+	p.Observe(pc, 0x1f80)
+	if len(*got) == 0 {
+		t.Fatal("negative stride not detected")
+	}
+	if (*got)[0] != 0x1f40 {
+		t.Fatalf("first prefetch = %#x, want 0x1f40", (*got)[0])
+	}
+}
+
+func TestZeroStrideIssuesNothing(t *testing.T) {
+	p := New(DefaultConfig())
+	got := collect(p)
+	pc := uint64(0x400100)
+	for i := 0; i < 10; i++ {
+		p.Observe(pc, 0x1000)
+	}
+	if len(*got) != 0 {
+		t.Fatal("zero stride should never prefetch")
+	}
+}
+
+func TestDistinctPCsTrainIndependently(t *testing.T) {
+	p := New(DefaultConfig())
+	got := collect(p)
+	// Interleave two streams with different strides on different PCs.
+	a, b := uint64(0x400100), uint64(0x400204)
+	addrsA := []mem.Addr{0x1000, 0x1040, 0x1080}
+	addrsB := []mem.Addr{0x8000, 0x8100, 0x8200}
+	for i := 0; i < 3; i++ {
+		p.Observe(a, addrsA[i])
+		p.Observe(b, addrsB[i])
+	}
+	found := map[mem.Addr]bool{}
+	for _, g := range *got {
+		found[g] = true
+	}
+	if !found[0x10c0] || !found[0x8300] {
+		t.Fatalf("interleaved streams not both detected: %v", *got)
+	}
+}
+
+func TestTableAliasRetrains(t *testing.T) {
+	cfg := DefaultConfig()
+	p := New(cfg)
+	collect(p)
+	pc1 := uint64(0x400100)
+	pc2 := pc1 + uint64(4*cfg.TableEntries) // aliases to same slot
+	p.Observe(pc1, 0x1000)
+	p.Observe(pc2, 0x9000) // steals the slot
+	e := p.slot(pc1)
+	if e.pc != pc2 {
+		t.Fatal("aliasing PC should take over the entry")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	p := New(DefaultConfig())
+	got := collect(p)
+	pc := uint64(0x400100)
+	p.Observe(pc, 0x1000)
+	p.Observe(pc, 0x1040)
+	p.Reset()
+	p.Observe(pc, 0x1080)
+	if len(*got) != 0 {
+		t.Fatal("prefetch after reset should need full retraining")
+	}
+}
+
+func TestPrefetchAddressesAreLineAligned(t *testing.T) {
+	p := New(DefaultConfig())
+	got := collect(p)
+	pc := uint64(0x400100)
+	p.Observe(pc, 0x1003)
+	p.Observe(pc, 0x100a) // stride 7 bytes
+	p.Observe(pc, 0x1011)
+	for _, a := range *got {
+		if a%mem.LineBytes != 0 {
+			t.Fatalf("prefetch address %#x not line aligned", a)
+		}
+	}
+}

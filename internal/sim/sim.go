@@ -1,0 +1,351 @@
+// Package sim assembles the full simulated machine: cores, the coherent
+// memory hierarchy, processes with page tables, and the minimal OS
+// behaviour the evaluation needs (program loading, context switches with
+// protection-domain flushes, syscall handling, timer interrupts).
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/event"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/memsys"
+	"repro/internal/tlb"
+)
+
+// Config describes a whole machine.
+type Config struct {
+	CPU cpu.Config
+	Mem memsys.Config
+
+	// ContextSwitchCost is the OS overhead charged to a core on a context
+	// switch, in cycles.
+	ContextSwitchCost event.Cycle
+	// TimerInterval fires a periodic OS timer tick per core when non-zero
+	// (full-system runs); each tick costs TimerCost and switches
+	// protection domain (flushing filter state under MuonTrap).
+	TimerInterval event.Cycle
+	TimerCost     event.Cycle
+	// BTBIsolation flushes the branch-target buffer on domain switches,
+	// modelling the Arm v8.5 / eIBRS hardware the paper assumes for
+	// variant-2 protection (§4.9).
+	BTBIsolation bool
+}
+
+// DefaultConfig builds the paper's Table 1 machine with n cores and no
+// protections enabled.
+func DefaultConfig(cores int) Config {
+	return Config{
+		CPU:               cpu.DefaultConfig(),
+		Mem:               memsys.DefaultConfig(cores),
+		ContextSwitchCost: 1000,
+		TimerCost:         2000,
+	}
+}
+
+// Process is one address space plus its saved execution contexts (one per
+// hardware thread it may run on).
+type Process struct {
+	PID  uint64
+	Prog *isa.Program
+	PT   *tlb.PageTable
+
+	// Saved per-thread contexts, keyed by thread index.
+	contexts map[int]*context
+}
+
+type context struct {
+	regs    [isa.NumRegs]uint64
+	pc      uint64
+	started bool
+	halted  bool
+}
+
+// System is the whole machine.
+type System struct {
+	cfg   Config
+	Sched *event.Scheduler
+	Phys  *mem.Physical
+	Hier  *memsys.Hierarchy
+	Cores []*cpu.Core
+
+	procs     []*Process
+	running   []*Process // per core
+	runThread []int      // per core: thread index within the process
+	nextASID  uint64
+	nextFrame uint64
+	// sharedFrames maps a shared segment's base VA to its allocated
+	// frames so every process maps the same physical memory.
+	sharedFrames map[uint64]uint64
+	// sharedText maps a program to its text frames so multiple processes
+	// of the same binary share instruction memory (as mmap'd executables
+	// and shared libraries do).
+	sharedText map[*isa.Program]uint64
+
+	nextTimer []event.Cycle
+
+	// Stats.
+	ContextSwitches uint64
+	TimerTicks      uint64
+}
+
+// New builds a machine.
+func New(cfg Config) *System {
+	sched := event.NewScheduler()
+	phys := mem.NewPhysical()
+	hier := memsys.New(sched, phys, cfg.Mem)
+	s := &System{
+		cfg:          cfg,
+		Sched:        sched,
+		Phys:         phys,
+		Hier:         hier,
+		nextASID:     1,
+		nextFrame:    0x10000, // leave low frames for page tables
+		sharedFrames: make(map[uint64]uint64),
+		sharedText:   make(map[*isa.Program]uint64),
+		running:      make([]*Process, cfg.Mem.Cores),
+		runThread:    make([]int, cfg.Mem.Cores),
+		nextTimer:    make([]event.Cycle, cfg.Mem.Cores),
+	}
+	for i := 0; i < cfg.Mem.Cores; i++ {
+		core := cpu.NewCore(i, cfg.CPU, sched, hier.Port(i), phys)
+		core.OnSyscall = s.handleSyscall
+		s.Cores = append(s.Cores, core)
+		if cfg.TimerInterval > 0 {
+			s.nextTimer[i] = cfg.TimerInterval
+		}
+	}
+	return s
+}
+
+func (s *System) allocFrames(n uint64) uint64 {
+	base := s.nextFrame
+	s.nextFrame += n
+	return base
+}
+
+// NewProcess loads a program into a fresh address space: text mapped
+// physically contiguous, data segments mapped (shared segments reuse the
+// same frames across processes), and a stack region.
+func (s *System) NewProcess(prog *isa.Program) *Process {
+	asid := s.nextASID
+	s.nextASID++
+	// Page-table pages for the walker live in a low per-process region.
+	pt := tlb.NewPageTable(asid, mem.Addr(asid*0x40_0000))
+	p := &Process{PID: asid, Prog: prog, PT: pt, contexts: make(map[int]*context)}
+
+	// Text: contiguous frames (instPaddr in the core depends on this),
+	// shared between processes running the same binary.
+	textPages := (uint64(len(prog.Text))*isa.InstBytes + mem.PageBytes - 1) / mem.PageBytes
+	if textPages == 0 {
+		textPages = 1
+	}
+	textBase, ok := s.sharedText[prog]
+	if !ok {
+		textBase = s.allocFrames(textPages)
+		s.sharedText[prog] = textBase
+	}
+	pt.MapRange(isa.TextBase>>mem.PageShift, textBase, textPages)
+
+	// Data segments.
+	for _, seg := range prog.Data {
+		pages := (uint64(len(seg.Bytes)) + mem.PageBytes - 1) / mem.PageBytes
+		if pages == 0 {
+			pages = 1
+		}
+		vpn := seg.Base >> mem.PageShift
+		// Segments may start mid-page; map the straddled tail page too.
+		end := seg.Base + uint64(len(seg.Bytes))
+		lastVPN := (end - 1) >> mem.PageShift
+		pages = lastVPN - vpn + 1
+		var pfn uint64
+		if seg.Shared {
+			if f, ok := s.sharedFrames[seg.Base]; ok {
+				pfn = f
+			} else {
+				pfn = s.allocFrames(pages)
+				s.sharedFrames[seg.Base] = pfn
+			}
+		} else {
+			pfn = s.allocFrames(pages)
+		}
+		pt.MapRange(vpn, pfn, pages)
+		// Initialise contents (shared segments are initialised by the
+		// first process to map them).
+		if !seg.Shared || s.sharedFrames[seg.Base] == pfn {
+			off := seg.Base % mem.PageBytes
+			s.Phys.WriteData(mem.Addr(pfn<<mem.PageShift)+mem.Addr(off), seg.Bytes)
+		}
+	}
+
+	// Stack: 64KiB below StackTop per thread slot 0; extra threads get
+	// their own stacks at AddThread time.
+	stackPages := uint64(16)
+	stackVPN := (isa.StackTop >> mem.PageShift) - stackPages
+	pt.MapRange(stackVPN, s.allocFrames(stackPages), stackPages)
+
+	p.contexts[0] = &context{pc: prog.Entry}
+	p.contexts[0].regs[isa.SP] = isa.StackTop
+	s.procs = append(s.procs, p)
+	return p
+}
+
+// AddThread prepares an additional execution context (for Parsec-style
+// multithreaded runs): same address space, own stack, thread id in X10,
+// entry at the given label address.
+func (s *System) AddThread(p *Process, thread int, entry uint64) {
+	stackPages := uint64(16)
+	stackVPN := (isa.StackTop >> mem.PageShift) - stackPages*uint64(thread+2)
+	p.PT.MapRange(stackVPN, s.allocFrames(stackPages), stackPages)
+	ctx := &context{pc: entry}
+	ctx.regs[isa.SP] = (stackVPN + stackPages) << mem.PageShift
+	ctx.regs[isa.X(10)] = uint64(thread)
+	p.contexts[thread] = ctx
+}
+
+// RunOn context-switches core onto process p's given thread.
+func (s *System) RunOn(core int, p *Process, thread int) {
+	c := s.Cores[core]
+	if cur := s.running[core]; cur != nil {
+		// Save outgoing context.
+		ctx := cur.contexts[s.runThread[core]]
+		for r := 0; r < isa.NumRegs; r++ {
+			ctx.regs[r] = c.Reg(isa.Reg(r))
+		}
+		ctx.pc = c.PC()
+		ctx.halted = c.Halted()
+		s.domainSwitch(core)
+		s.ContextSwitches++
+		c.Stall(s.cfg.ContextSwitchCost)
+	}
+	s.running[core] = p
+	s.runThread[core] = thread
+	ctx := p.contexts[thread]
+	s.Hier.Port(core).SetProcess(p.PID, p.PT)
+	c.SetProgram(p.Prog)
+	for r := 0; r < isa.NumRegs; r++ {
+		c.SetReg(isa.Reg(r), ctx.regs[r])
+	}
+	if ctx.started {
+		c.SetPC(ctx.pc)
+	} else {
+		ctx.started = true
+	}
+}
+
+// domainSwitch performs the protection-domain work on a core: flush filter
+// state (a no-op in unprotected modes) and optionally the BTB.
+func (s *System) domainSwitch(core int) {
+	if s.cfg.Mem.Mode.FilterProtect {
+		s.Hier.Port(core).FlushDomain()
+	}
+	if s.cfg.BTBIsolation {
+		s.Cores[core].Predictor().FlushBTB()
+	}
+}
+
+// handleSyscall is installed as every core's syscall callback: kernel
+// entry is a protection-domain switch (§4.3).
+func (s *System) handleSyscall(c *cpu.Core) event.Cycle {
+	s.domainSwitch(c.ID())
+	return 0
+}
+
+// Step advances the machine by n cycles.
+func (s *System) Step(n int) {
+	for i := 0; i < n; i++ {
+		for ci, c := range s.Cores {
+			if s.running[ci] == nil {
+				continue // no process scheduled on this core
+			}
+			if s.cfg.TimerInterval > 0 && s.Sched.Now() >= s.nextTimer[ci] {
+				s.nextTimer[ci] = s.Sched.Now() + s.cfg.TimerInterval
+				if !c.Halted() {
+					s.TimerTicks++
+					s.domainSwitch(ci)
+					c.Stall(s.cfg.TimerCost)
+				}
+			}
+			c.Tick()
+		}
+		s.Sched.Tick()
+	}
+}
+
+// RunResult summarises a run.
+type RunResult struct {
+	Cycles    event.Cycle
+	Committed uint64
+	Counters  map[string]uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (r RunResult) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Committed) / float64(r.Cycles)
+}
+
+// RunUntilHalt runs until every active core halts (or maxCycles passes),
+// then drains outstanding stores, and reports totals.
+func (s *System) RunUntilHalt(maxCycles int) (RunResult, error) {
+	start := s.Sched.Now()
+	for i := 0; i < maxCycles; i += 64 {
+		s.Step(64)
+		all := true
+		for ci, c := range s.Cores {
+			if s.running[ci] != nil && !c.Halted() {
+				all = false
+				break
+			}
+		}
+		if all {
+			break
+		}
+	}
+	var res RunResult
+	allHalted := true
+	for ci, c := range s.Cores {
+		if s.running[ci] != nil && !c.Halted() {
+			allHalted = false
+		}
+		if c.HaltedBad() {
+			return res, fmt.Errorf("core %d halted abnormally (off-text fetch or fault) after %d committed", ci, c.CommittedInsts())
+		}
+		res.Committed += c.CommittedInsts()
+	}
+	if !allHalted {
+		return res, fmt.Errorf("run did not complete within %d cycles", maxCycles)
+	}
+	// Drain store buffers.
+	for i := 0; i < 100000; i++ {
+		alldrained := true
+		for _, c := range s.Cores {
+			if !c.Drained() {
+				alldrained = false
+			}
+		}
+		if alldrained {
+			break
+		}
+		s.Step(1)
+	}
+	res.Cycles = s.Sched.Now() - start
+	res.Counters = make(map[string]uint64)
+	s.Hier.DumpCounters(res.Counters)
+	for ci, c := range s.Cores {
+		prefix := fmt.Sprintf("core%d.", ci)
+		res.Counters[prefix+"committed"] = c.CommittedInsts()
+		res.Counters[prefix+"fetched"] = c.Fetched
+		res.Counters[prefix+"squashed"] = c.Squashed
+		res.Counters[prefix+"mispredicts"] = c.Mispredicts
+		res.Counters[prefix+"nacks"] = c.LoadNACKs
+		res.Counters[prefix+"syscalls"] = c.Syscalls
+		res.Counters[prefix+"exposures"] = c.Exposures
+		res.Counters[prefix+"stt_stalls"] = c.STTStalls
+	}
+	return res, nil
+}

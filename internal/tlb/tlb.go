@@ -1,0 +1,195 @@
+// Package tlb implements address translation: per-process page tables, the
+// split instruction/data TLBs from the paper's Table 1 (64-entry, fully
+// associative), the speculative filter TLB of §4.7, and the hardware
+// page-table walker whose memory accesses are routed through the data-cache
+// path so that speculative walks are themselves captured by the filter
+// cache under MuonTrap.
+package tlb
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// PageTable maps one process's virtual pages to physical frames. It also
+// owns the simulated radix-table layout walked by the hardware walker: each
+// translation has WalkDepth pointer locations in physical memory whose
+// addresses the walker touches.
+type PageTable struct {
+	ASID     uint64
+	entries  map[uint64]uint64 // vpn -> pfn
+	walkBase mem.Addr
+}
+
+// WalkDepth is the number of memory accesses a page-table walk performs
+// (a two-level simulated radix table).
+const WalkDepth = 2
+
+// NewPageTable creates an empty page table for an address-space ID. The
+// walkBase places that process's page-table pages in physical memory so
+// walks generate realistic, distinct cache traffic per process.
+func NewPageTable(asid uint64, walkBase mem.Addr) *PageTable {
+	return &PageTable{ASID: asid, entries: make(map[uint64]uint64), walkBase: walkBase}
+}
+
+// Map installs vpn -> pfn.
+func (pt *PageTable) Map(vpn, pfn uint64) { pt.entries[vpn] = pfn }
+
+// MapRange maps n consecutive pages starting at the given numbers.
+func (pt *PageTable) MapRange(vpn, pfn, n uint64) {
+	for i := uint64(0); i < n; i++ {
+		pt.Map(vpn+i, pfn+i)
+	}
+}
+
+// Translate returns the frame for a virtual page.
+func (pt *PageTable) Translate(vpn uint64) (uint64, bool) {
+	pfn, ok := pt.entries[vpn]
+	return pfn, ok
+}
+
+// WalkAddrs returns the physical addresses the hardware walker reads to
+// translate vpn: one per radix level, spread so different VPN ranges hit
+// different page-table cache lines.
+func (pt *PageTable) WalkAddrs(vpn uint64) [WalkDepth]mem.Addr {
+	var out [WalkDepth]mem.Addr
+	// Level 1 covers 512 pages per entry; level 0 is one entry per page.
+	out[0] = pt.walkBase + mem.Addr((vpn>>9)*8)
+	out[1] = pt.walkBase + mem.Addr(0x10000) + mem.Addr(vpn*8)
+	return out
+}
+
+// Entry is one TLB translation.
+type Entry struct {
+	VPN  uint64
+	PFN  uint64
+	ASID uint64
+	lru  uint64
+}
+
+// TLB is a fully associative translation cache with LRU replacement.
+// The same structure implements both the main TLBs and the smaller filter
+// TLB; the filter TLB is distinguished by being flushed on protection-
+// domain switches and receiving speculative fills.
+type TLB struct {
+	name    string
+	entries []Entry
+	valid   []bool
+	tick    uint64
+
+	Lookups uint64
+	Hits    uint64
+	Fills   uint64
+}
+
+// New creates a TLB with the given number of entries.
+func New(name string, entries int) *TLB {
+	if entries <= 0 {
+		panic(fmt.Sprintf("tlb %q: bad size %d", name, entries))
+	}
+	return &TLB{
+		name:    name,
+		entries: make([]Entry, entries),
+		valid:   make([]bool, entries),
+	}
+}
+
+// Name returns the TLB's name.
+func (t *TLB) Name() string { return t.name }
+
+// Size returns the entry capacity.
+func (t *TLB) Size() int { return len(t.entries) }
+
+// Lookup translates (asid, vpn), refreshing LRU on hit.
+func (t *TLB) Lookup(asid, vpn uint64) (uint64, bool) {
+	t.Lookups++
+	for i := range t.entries {
+		if t.valid[i] && t.entries[i].ASID == asid && t.entries[i].VPN == vpn {
+			t.tick++
+			t.entries[i].lru = t.tick
+			t.Hits++
+			return t.entries[i].PFN, true
+		}
+	}
+	return 0, false
+}
+
+// Insert fills a translation, evicting LRU if needed. Duplicate fills
+// update in place.
+func (t *TLB) Insert(asid, vpn, pfn uint64) {
+	t.Fills++
+	t.tick++
+	victim := 0
+	for i := range t.entries {
+		if t.valid[i] && t.entries[i].ASID == asid && t.entries[i].VPN == vpn {
+			t.entries[i].PFN = pfn
+			t.entries[i].lru = t.tick
+			return
+		}
+		if !t.valid[i] {
+			victim = i
+			break
+		}
+		if t.entries[i].lru < t.entries[victim].lru {
+			victim = i
+		}
+	}
+	t.entries[victim] = Entry{VPN: vpn, PFN: pfn, ASID: asid, lru: t.tick}
+	t.valid[victim] = true
+}
+
+// Remove invalidates one translation (filter-TLB promotion moves the
+// entry to the main TLB). Reports whether it was present.
+func (t *TLB) Remove(asid, vpn uint64) bool {
+	for i := range t.entries {
+		if t.valid[i] && t.entries[i].ASID == asid && t.entries[i].VPN == vpn {
+			t.valid[i] = false
+			return true
+		}
+	}
+	return false
+}
+
+// FlushAll invalidates every entry (context switch for the filter TLB).
+func (t *TLB) FlushAll() int {
+	n := 0
+	for i := range t.valid {
+		if t.valid[i] {
+			n++
+			t.valid[i] = false
+		}
+	}
+	return n
+}
+
+// FlushASID invalidates entries belonging to one address space.
+func (t *TLB) FlushASID(asid uint64) int {
+	n := 0
+	for i := range t.valid {
+		if t.valid[i] && t.entries[i].ASID == asid {
+			n++
+			t.valid[i] = false
+		}
+	}
+	return n
+}
+
+// CountValid reports live entries.
+func (t *TLB) CountValid() int {
+	n := 0
+	for i := range t.valid {
+		if t.valid[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// HitRate reports the fraction of lookups that hit.
+func (t *TLB) HitRate() float64 {
+	if t.Lookups == 0 {
+		return 0
+	}
+	return float64(t.Hits) / float64(t.Lookups)
+}

@@ -1,0 +1,489 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Register allocation conventions inside generated kernels.
+var (
+	rIter   = isa.X(6)  // loop counter
+	rLimit  = isa.X(7)  // trip count
+	rTmp    = isa.X(8)  // scratch address
+	rVal    = isa.X(9)  // scratch data
+	rAcc    = isa.X(5)  // checksum accumulator
+	rLCG    = isa.X(12) // runtime pseudo-random state
+	rTmp2   = isa.X(13)
+	rTmp3   = isa.X(14)
+	rChase  = isa.X(15) // pointer-chase cursor
+	rBase   = isa.X(20) // private array base
+	rShared = isa.X(21) // shared array base
+	rLock   = isa.X(22) // lock address
+	rStore  = isa.X(26) // dedicated store-stream base (StoreStreams)
+	rCold   = isa.X(28) // cold branch-input region base (ColdBranch)
+	rPhase  = isa.X(29) // per-thread phase offset into the shared array
+	rPrev   = isa.X(30) // previous pointer-chase node (store target)
+	rTID    = isa.X(10) // thread id (set by the system for extra threads)
+	rFunc   = isa.X(23) // call-table base
+	rF0     = isa.F(0)
+	rF1     = isa.F(1)
+	rF2     = isa.F(2)
+)
+
+// coldRegionBytes sizes the ColdBranch input region: large enough to miss
+// the L0/L1 on essentially every access (so branch resolution waits on the
+// outer hierarchy and taint windows stay open), small enough to become
+// L2-resident the way real irregular working sets are.
+const coldRegionBytes = 128 * 1024
+
+// chaseNodeLimit caps the pointer-chain length: short enough that runs
+// wrap the chain several times (pointer-chasing benchmarks revisit their
+// graphs, so the chain becomes L2-resident after the first pass), long
+// enough to defeat the L0/L1.
+const chaseNodeLimit = 512
+
+// Build compiles the kernel for a Spec. scale multiplies the main-loop
+// trip count so callers can trade run time for fidelity. Thread layout:
+// SPEC kernels are single-threaded (entry = program entry); Parsec kernels
+// read the thread id from X10 and partition the shared array, with thread
+// 0 initialising shared state and the others spinning on a start flag.
+func Build(s Spec, scale float64) *isa.Program {
+	iters := int64(float64(s.Iterations) * scale)
+	if iters < 8 {
+		iters = 8
+	}
+	b := isa.NewBuilder(s.Name)
+
+	wsBytes := uint64(s.WorkingSetKB) * 1024
+	if wsBytes < 4096 {
+		wsBytes = 4096
+	}
+	private := b.Alloc("private", wsBytes, 4096)
+	var storeRegion uint64
+	if s.StoreStreams {
+		storeRegion = b.Alloc("storestreams", wsBytes, 4096)
+	}
+	var coldRegion uint64
+	if s.ColdBranch {
+		coldRegion = b.Alloc("coldbranch", coldRegionBytes, 4096)
+	}
+	var shared, lockAddr, flagAddr uint64
+	parsec := s.Suite == "parsec"
+	if parsec {
+		sb := uint64(s.SharedKB) * 1024
+		if sb < 4096 {
+			sb = 4096
+		}
+		shared = b.Alloc("shared", sb, 4096)
+		lockAddr = b.Alloc("lock", 64, 64)
+		flagAddr = b.Alloc("startflag", 64, 64)
+	}
+	funcTable := b.Alloc("functable", 64*8, 64)
+
+	// --- Entry / thread setup ---
+	// effWS is the span each thread's generated addresses cover: Parsec
+	// threads partition the region four ways.
+	effWS := wsBytes
+	b.Li(rBase, private)
+	if s.StoreStreams {
+		b.Li(rStore, storeRegion)
+		if parsec {
+			// Partition the write-only stream region per thread.
+			b.Li(rTmp, wsBytes/4)
+			b.Mul(rTmp, rTmp, rTID)
+			b.Add(rStore, rStore, rTmp)
+		}
+	}
+	if s.ColdBranch {
+		b.Li(rCold, coldRegion)
+	}
+	if parsec {
+		effWS = wsBytes / 4
+		b.Li(rShared, shared)
+		b.Li(rLock, lockAddr)
+		// Per-thread phase into the shared array (quarter offsets).
+		sspan := uint64(s.SharedKB) * 1024
+		if sspan < 4096 {
+			sspan = 4096
+		}
+		b.Li(rPhase, sspan/4)
+		b.Mul(rPhase, rPhase, rTID)
+		// Each thread works on its own quarter of the private region too
+		// (threads share the address space, so "private" is partitioned).
+		b.Li(rTmp, effWS)
+		b.Mul(rTmp, rTmp, rTID)
+		b.Add(rBase, rBase, rTmp)
+		b.Li(rTmp2, flagAddr)
+		b.Bne(rTID, isa.Zero, "waitstart")
+	}
+
+	// --- Thread 0 (or the sole SPEC thread): initialisation ---
+	if s.Pattern == PatternChase {
+		emitChaseInit(b, s, wsBytes, parsec)
+	}
+	if parsec {
+		// Publish the start flag, then fall through to work.
+		b.Li(rVal, 1)
+		b.Li(rTmp2, flagAddr)
+		b.Store(rVal, rTmp2, 0)
+		b.Jmp("work")
+		// Other threads spin here until thread 0 publishes.
+		b.Label("waitstart")
+		b.Load(rVal, rTmp2, 0)
+		b.Beq(rVal, isa.Zero, "waitstart")
+		if s.Pattern == PatternChase {
+			b.Li(rChase, private) // chase starts at node 0 for all threads
+		}
+		b.Label("work")
+	}
+
+	// --- Code-footprint functions, reached via an indirect call table ---
+	nFuncs := emitFuncTablePrep(b, s, funcTable)
+
+	// --- Main loop ---
+	b.Li(rIter, 0)
+	b.Li(rLimit, uint64(iters))
+	b.Li(rLCG, 88172645463325252^uint64(len(s.Name)))
+	if s.Pattern == PatternChase {
+		b.Li(rChase, private)
+	}
+	b.Label("mainloop")
+
+	emitMemOps(b, s, effWS)
+	emitALU(b, s)
+	if s.BranchRandom {
+		// Data-dependent branch: an xorshift step XORed with the last
+		// loaded value, biased so roughly a quarter of iterations take
+		// the rare path. Resolution waits for memory, which is what makes
+		// load-restriction schemes (STT) expensive and opens speculation
+		// windows. ColdBranch workloads additionally source the condition
+		// from a cold region, so resolution waits on DRAM.
+		b.Shli(rTmp2, rLCG, 13)
+		b.Xor(rLCG, rLCG, rTmp2)
+		b.Shri(rTmp2, rLCG, 7)
+		b.Xor(rLCG, rLCG, rTmp2)
+		if s.ColdBranch {
+			// A branch whose input comes from a cache-missing load: its
+			// *direction* is perfectly predictable (always taken), so the
+			// baseline loses nothing, but it stays unresolved for a full
+			// miss latency — which is exactly the window in which STT must
+			// hold back every tainted transmitter younger than it.
+			b.Shri(rTmp3, rLCG, 5)
+			b.Li(rTmp2, uint64(coldRegionBytes-64))
+			b.And(rTmp3, rTmp3, rTmp2)
+			b.Andi(rTmp3, rTmp3, ^int64(7))
+			b.Li(rTmp2, uint64(coldRegionBytes-64))
+			b.And(rTmp3, rTmp3, rTmp2)
+			b.Add(rTmp3, rTmp3, rCold)
+			b.Load(rTmp3, rTmp3, 0)
+			b.Bge(rTmp3, isa.Zero, "cb0") // always taken (values are small)
+			b.Addi(rAcc, rAcc, 1)
+			b.Label("cb0")
+		}
+		// Warm data-dependent branch: ~25% mispredictions resolving at
+		// cache speed.
+		b.Xor(rTmp3, rLCG, rVal)
+		b.Andi(rTmp3, rTmp3, 7)
+		b.Bne(rTmp3, isa.Zero, "rb0")
+		b.Addi(rAcc, rAcc, 3)
+		b.Jmp("rbj0")
+		b.Label("rb0")
+		b.Addi(rAcc, rAcc, 1)
+		b.Label("rbj0")
+	}
+	if nFuncs > 0 {
+		// Round-robin indirect call through the table: exercises the BTB
+		// and the instruction cache footprint.
+		b.Li(rTmp2, uint64(nFuncs))
+		b.Rem(rTmp3, rIter, rTmp2)
+		b.Shli(rTmp3, rTmp3, 3)
+		b.Add(rTmp3, rTmp3, rFunc)
+		b.Load(rTmp3, rTmp3, 0)
+		b.Jalr(isa.RA, rTmp3, 0)
+	}
+	if parsec && s.LockEvery > 0 {
+		b.Li(rTmp2, uint64(s.LockEvery))
+		b.Rem(rTmp3, rIter, rTmp2)
+		b.Bne(rTmp3, isa.Zero, "nolock")
+		b.Label("acquire")
+		b.AmoCas(rVal, rLock, isa.Zero, 1)
+		b.Bne(rVal, isa.Zero, "acquire")
+		// Critical section: read-modify-write two shared words.
+		b.Load(rVal, rLock, 8)
+		b.Addi(rVal, rVal, 1)
+		b.Store(rVal, rLock, 8)
+		b.Store(isa.Zero, rLock, 0) // release
+		b.Label("nolock")
+	}
+	if s.SyscallEvery > 0 {
+		b.Li(rTmp2, uint64(s.SyscallEvery))
+		b.Rem(rTmp3, rIter, rTmp2)
+		b.Li(rVal, uint64(s.SyscallEvery-1))
+		b.Bne(rTmp3, rVal, "nosys")
+		b.Syscall()
+		b.Label("nosys")
+	}
+
+	b.Addi(rIter, rIter, 1)
+	b.Blt(rIter, rLimit, "mainloop")
+	b.Halt()
+
+	emitFuncBodies(b, s, nFuncs)
+	return b.MustBuild()
+}
+
+// emitChaseInit builds a pointer chain through the working set: node i at
+// base + i*nodeStride holds the address of node (i + 7919) mod n (a prime
+// step, so the walk covers the set in a cache-hostile order).
+func emitChaseInit(b *isa.Builder, s Spec, wsBytes uint64, parsec bool) {
+	nodes := wsBytes / 512
+	if nodes > chaseNodeLimit {
+		nodes = chaseNodeLimit
+	}
+	if nodes < 8 {
+		nodes = 8
+	}
+	nodeStride := wsBytes / nodes
+	b.Li(isa.X(24), 0) // i
+	b.Li(isa.X(25), nodes)
+	b.Label("chaseinit")
+	// next = (i + prime) % nodes
+	b.Addi(rTmp2, isa.X(24), 7919)
+	b.Rem(rTmp2, rTmp2, isa.X(25))
+	// addr(next) = base + next*nodeStride
+	b.Li(rTmp3, nodeStride)
+	b.Mul(rTmp2, rTmp2, rTmp3)
+	b.Add(rTmp2, rTmp2, rBase)
+	// addr(i) = base + i*nodeStride
+	b.Mul(rTmp, isa.X(24), rTmp3)
+	b.Add(rTmp, rTmp, rBase)
+	b.Store(rTmp2, rTmp, 0)
+	b.Addi(isa.X(24), isa.X(24), 1)
+	b.Blt(isa.X(24), isa.X(25), "chaseinit")
+	_ = parsec
+}
+
+// emitMemOps emits the per-iteration memory traffic for the Spec's
+// pattern: MLP independent loads (streamed, conflicting, random, chasing
+// or hot-set), with one store per StoreFrac loads.
+func emitMemOps(b *isa.Builder, s Spec, wsBytes uint64) {
+	mlp := s.MLP
+	if mlp < 1 {
+		mlp = 1
+	}
+	streamSpan := wsBytes / uint64(mlp)
+	// Parsec streaming kernels walk the *shared* array (read sharing
+	// across threads, with a per-thread starting phase); the private
+	// region is left to the stores.
+	sharedStream := s.Suite == "parsec" && s.SharedKB > 0 && s.Pattern == PatternStream
+	storeCounter := 0
+	for m := 0; m < mlp; m++ {
+		switch s.Pattern {
+		case PatternStream:
+			stride := uint64(s.StrideBytes)
+			if stride == 0 {
+				stride = 64
+			}
+			if sharedStream {
+				span := uint64(s.SharedKB) * 1024
+				b.Li(rTmp2, stride)
+				b.Mul(rTmp, rIter, rTmp2)
+				b.Add(rTmp, rTmp, rPhase) // per-thread phase offset
+				b.Li(rTmp2, uint64(m)*(span/uint64(mlp)))
+				b.Add(rTmp, rTmp, rTmp2)
+				b.Li(rTmp2, span-64)
+				b.And(rTmp, rTmp, rTmp2)
+				b.Add(rTmp, rTmp, rShared)
+				break
+			}
+			// addr = base + m*span + (iter*stride % span)
+			b.Li(rTmp2, stride)
+			b.Mul(rTmp, rIter, rTmp2)
+			b.Li(rTmp2, streamSpan-64)
+			b.And(rTmp, rTmp, rTmp2) // cheap modulo for power-of-two spans
+			b.Li(rTmp2, uint64(m)*streamSpan)
+			b.Add(rTmp, rTmp, rTmp2)
+			b.Add(rTmp, rTmp, rBase)
+		case PatternConflict:
+			// MLP streams at set-aligned offsets (StrideBytes apart, a
+			// multiple of the filter cache's set wrap) advancing together
+			// 8 bytes per iteration: at any instant the in-flight lines
+			// all map to the same L0 set, with high spatial reuse inside
+			// each line — the associativity sensitivity of Figure 6.
+			spacing := uint64(s.StrideBytes)
+			if spacing == 0 {
+				spacing = 512
+			}
+			b.Shli(rTmp, rIter, 3) // 8 bytes per iteration
+			b.Li(rTmp2, streamSpan-64)
+			b.And(rTmp, rTmp, rTmp2)
+			b.Li(rTmp2, uint64(m)*spacing)
+			b.Add(rTmp, rTmp, rTmp2)
+			b.Li(rTmp2, wsBytes-64)
+			b.And(rTmp, rTmp, rTmp2)
+			b.Add(rTmp, rTmp, rBase)
+		case PatternRandom:
+			// xorshift per access; address anywhere in the set (or the
+			// shared set for write-sharing Parsec kernels).
+			b.Shli(rTmp2, rLCG, 13)
+			b.Xor(rLCG, rLCG, rTmp2)
+			b.Shri(rTmp2, rLCG, 7)
+			b.Xor(rLCG, rLCG, rTmp2)
+			b.Shli(rTmp2, rLCG, 17)
+			b.Xor(rLCG, rLCG, rTmp2)
+			base := rBase
+			span := wsBytes
+			if s.Suite == "parsec" && s.SharedKB > 0 {
+				base = rShared
+				span = uint64(s.SharedKB) * 1024
+			}
+			b.Li(rTmp2, span-64)
+			b.And(rTmp, rLCG, rTmp2)
+			b.Andi(rTmp, rTmp, ^int64(7)) // 8-byte align
+			b.Li(rTmp2, span-64)
+			b.And(rTmp, rTmp, rTmp2)
+			b.Add(rTmp, rTmp, base)
+		case PatternChase:
+			if m == 0 {
+				// The chain itself: cursor = *cursor. Remember the node we
+				// load from: stores go into *its* payload (the just-loaded
+				// line, already committed when the store drains) rather
+				// than the next node's (whose filter line is still
+				// speculative).
+				b.Or(rPrev, rChase, isa.Zero)
+				b.Load(rChase, rChase, 0)
+				b.Or(rTmp, rPrev, isa.Zero)
+				break
+			}
+			// Secondary accesses: payload words of the just-loaded node.
+			b.Addi(rTmp, rPrev, int64(m*8))
+		case PatternLocal:
+			// Hot region: iter*8 % min(ws, 8KiB) — small enough that the
+			// filter cache captures most of the reuse.
+			hot := wsBytes
+			if hot > 8*1024 {
+				hot = 8 * 1024
+			}
+			b.Shli(rTmp, rIter, 3)
+			b.Li(rTmp2, hot-64)
+			b.And(rTmp, rTmp, rTmp2)
+			b.Li(rTmp2, uint64(m)*8)
+			b.Add(rTmp, rTmp, rTmp2)
+			b.Add(rTmp, rTmp, rBase)
+		}
+		b.Load(rVal, rTmp, 0)
+		b.Add(rAcc, rAcc, rVal)
+		storeCounter++
+		if s.StoreFrac > 0 && storeCounter%s.StoreFrac == 0 {
+			target := rTmp
+			offset := int64(0)
+			switch {
+			case s.StoreStreams:
+				// Write-only stream: mirror the load offset into the
+				// dedicated store region (never load-warmed, so drains
+				// need exclusive upgrades — Figure 7's numerator).
+				b.Sub(rTmp3, rTmp, rBase)
+				b.Li(rTmp2, wsBytes-64)
+				b.And(rTmp3, rTmp3, rTmp2)
+				b.Add(rTmp3, rTmp3, rStore)
+				target = rTmp3
+			case s.WriteShare && s.Suite == "parsec":
+				// Mirror into the thread's own slice of the shared array;
+				// other threads' phase-shifted streaming reads cross these
+				// lines later — lagged read-write sharing without the
+				// pathological all-threads-same-line collisions.
+				span := uint64(s.SharedKB) * 1024
+				b.Sub(rTmp3, rTmp, rBase)
+				b.Li(rTmp2, span/4-64)
+				b.And(rTmp3, rTmp3, rTmp2)
+				b.Add(rTmp3, rTmp3, rPhase)
+				b.Li(rTmp2, span-64)
+				b.And(rTmp3, rTmp3, rTmp2)
+				b.Add(rTmp3, rTmp3, rShared)
+				target = rTmp3
+			case s.Pattern == PatternChase:
+				// Never clobber the chain's next pointers (offset 0):
+				// store into the node's payload instead.
+				offset = 8
+			}
+			b.Store(rAcc, target, offset)
+		}
+	}
+}
+
+// emitALU emits the per-iteration compute mix: a dependent integer chain,
+// FP work, and optional multiply/divide.
+func emitALU(b *isa.Builder, s Spec) {
+	for i := 0; i < s.ALUPerMem; i++ {
+		b.Add(rAcc, rAcc, rVal)
+		b.Xor(rVal, rVal, rAcc)
+		b.Shri(rVal, rVal, 1)
+	}
+	if s.MulDiv {
+		b.Addi(rTmp2, rVal, 3)
+		b.Mul(rAcc, rAcc, rTmp2)
+		b.Addi(rTmp3, rAcc, 7)
+		b.Div(rVal, rAcc, rTmp3)
+	}
+	for i := 0; i < s.FPOps; i++ {
+		switch i % 3 {
+		case 0:
+			b.FCvt(rF0, rVal)
+			b.FAdd(rF1, rF1, rF0)
+		case 1:
+			b.FMul(rF2, rF1, rF0)
+		case 2:
+			b.FSub(rF1, rF2, rF0)
+		}
+	}
+}
+
+// emitFuncTablePrep fills the indirect-call table with the addresses of
+// the code-footprint functions (laid out after the main loop by
+// emitFuncBodies) and returns how many exist. Each function is ~49
+// instructions ≈ 196 bytes of text; CodeKB decides the count.
+func emitFuncTablePrep(b *isa.Builder, s Spec, table uint64) int {
+	if s.CodeKB <= 0 {
+		return 0
+	}
+	n := s.CodeKB * 1024 / 196
+	if n < 1 {
+		n = 1
+	}
+	if n > 64 {
+		n = 64
+	}
+	b.Li(rFunc, table)
+	for i := 0; i < n; i++ {
+		b.LiLabel(rTmp2, fmt.Sprintf("func%d", i))
+		b.Store(rTmp2, rFunc, int64(i*8))
+	}
+	return n
+}
+
+// emitFuncBodies lays out the code-footprint functions after the halt and
+// backpatches the call table contents through data segment initialisation.
+func emitFuncBodies(b *isa.Builder, s Spec, n int) {
+	if n == 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		b.Label(fmt.Sprintf("func%d", i))
+		// ~50 filler ALU ops: enough text to occupy one or two icache
+		// lines per function, plus a little real work.
+		for k := 0; k < 48; k++ {
+			switch k % 4 {
+			case 0:
+				b.Addi(rVal, rVal, int64(i+k))
+			case 1:
+				b.Xor(rAcc, rAcc, rVal)
+			case 2:
+				b.Shri(rVal, rVal, 1)
+			case 3:
+				b.Add(rAcc, rAcc, rVal)
+			}
+		}
+		b.Ret()
+	}
+}

@@ -1,0 +1,186 @@
+package workload_test
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/memsys"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func runSpec(t *testing.T, s workload.Spec, scale float64, mode memsys.Mode) sim.RunResult {
+	t.Helper()
+	prog := workload.Build(s, scale)
+	cores := 1
+	if s.Suite == "parsec" {
+		cores = 4
+	}
+	cfg := sim.DefaultConfig(cores)
+	cfg.Mem.Mode = mode
+	sys := sim.New(cfg)
+	p := sys.NewProcess(prog)
+	sys.RunOn(0, p, 0)
+	for th := 1; th < cores; th++ {
+		sys.AddThread(p, th, prog.Entry)
+		sys.RunOn(th, p, th)
+	}
+	res, err := sys.RunUntilHalt(30_000_000)
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name, err)
+	}
+	if msg := sys.Hier.CheckInvariants(); msg != "" {
+		t.Fatalf("%s: coherence invariant violated: %s", s.Name, msg)
+	}
+	return res
+}
+
+var mtMode = memsys.Mode{
+	L0Data: true, L0Inst: true,
+	FilterProtect: true, CoherenceProtect: true,
+	CommitPrefetch: true, FilterTLB: true,
+}
+
+func TestSuiteRosters(t *testing.T) {
+	if n := len(workload.SPEC2006()); n != 26 {
+		t.Fatalf("SPEC2006 has %d kernels, want 26", n)
+	}
+	if n := len(workload.Parsec()); n != 7 {
+		t.Fatalf("Parsec has %d kernels, want 7", n)
+	}
+	seen := map[string]bool{}
+	for _, s := range append(workload.SPEC2006(), workload.Parsec()...) {
+		if seen[s.Name] {
+			t.Fatalf("duplicate kernel %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Iterations <= 0 {
+			t.Fatalf("%s: bad iteration count", s.Name)
+		}
+	}
+	if _, ok := workload.ByName("lbm"); !ok {
+		t.Fatal("ByName(lbm) failed")
+	}
+	if _, ok := workload.ByName("nonesuch"); ok {
+		t.Fatal("ByName should fail for unknown name")
+	}
+}
+
+func TestEverySPECKernelRunsInsecure(t *testing.T) {
+	for _, s := range workload.SPEC2006() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			res := runSpec(t, s, 0.04, memsys.Mode{})
+			if res.Committed < 500 {
+				t.Fatalf("only %d instructions committed", res.Committed)
+			}
+		})
+	}
+}
+
+func TestEverySPECKernelRunsMuonTrap(t *testing.T) {
+	for _, s := range workload.SPEC2006() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			res := runSpec(t, s, 0.04, mtMode)
+			if res.Committed < 500 {
+				t.Fatalf("only %d instructions committed", res.Committed)
+			}
+		})
+	}
+}
+
+func TestEveryParsecKernelRunsBothModes(t *testing.T) {
+	for _, s := range workload.Parsec() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			resI := runSpec(t, s, 0.04, memsys.Mode{})
+			resM := runSpec(t, s, 0.04, mtMode)
+			if resI.Committed < 2000 || resM.Committed < 2000 {
+				t.Fatalf("committed: insecure=%d muontrap=%d", resI.Committed, resM.Committed)
+			}
+			// The same program must commit the same instruction count in
+			// both modes (timing differs, architecture does not), modulo
+			// spin-loop iterations which legitimately vary with timing.
+			// So only check both made full progress.
+		})
+	}
+}
+
+func TestWorkloadDeterminism(t *testing.T) {
+	s, _ := workload.ByName("povray")
+	r1 := runSpec(t, s, 0.04, mtMode)
+	r2 := runSpec(t, s, 0.04, mtMode)
+	if r1.Cycles != r2.Cycles || r1.Committed != r2.Committed {
+		t.Fatalf("non-deterministic run: %d/%d vs %d/%d",
+			r1.Cycles, r1.Committed, r2.Cycles, r2.Committed)
+	}
+}
+
+func TestScaleControlsWork(t *testing.T) {
+	s, _ := workload.ByName("hmmer")
+	small := workload.Build(s, 0.05)
+	big := workload.Build(s, 0.5)
+	if len(small.Text) != len(big.Text) {
+		t.Fatal("scale must not change code size")
+	}
+	rSmall := runSpec(t, s, 0.05, memsys.Mode{})
+	rBig := runSpec(t, s, 0.2, memsys.Mode{})
+	if rBig.Committed <= rSmall.Committed {
+		t.Fatal("larger scale should commit more instructions")
+	}
+}
+
+func TestCodeFootprintGrowsWithCodeKB(t *testing.T) {
+	small, _ := workload.ByName("lbm")     // CodeKB 1
+	large, _ := workload.ByName("omnetpp") // CodeKB 12
+	ps := workload.Build(small, 0.1)
+	pl := workload.Build(large, 0.1)
+	if len(pl.Text) <= len(ps.Text) {
+		t.Fatalf("omnetpp text (%d) should exceed lbm text (%d)", len(pl.Text), len(ps.Text))
+	}
+	if len(pl.Text)*int(isa.InstBytes) < 8*1024 {
+		t.Fatalf("omnetpp text = %d bytes, want > 8KiB", len(pl.Text)*isa.InstBytes)
+	}
+}
+
+func TestStoreHeavyKernelsTriggerUpgrades(t *testing.T) {
+	// Figure 7's high-rate workloads must show store upgrades (their
+	// streaming stores are not already exclusive in the L1).
+	s, _ := workload.ByName("lbm")
+	res := runSpec(t, s, 0.04, mtMode)
+	drains := res.Counters["core0.store.drains"]
+	ups := res.Counters["core0.store.upgrades"]
+	if drains == 0 {
+		t.Fatal("no store drains recorded")
+	}
+	if ups == 0 {
+		t.Fatal("streaming stores should require upgrades")
+	}
+	rate := float64(ups) / float64(drains)
+	if rate < 0.15 {
+		t.Fatalf("lbm upgrade rate %.2f, expected high (Fig 7)", rate)
+	}
+	// A hot-set benchmark keeps its lines exclusive: low rate.
+	s2, _ := workload.ByName("povray")
+	res2 := runSpec(t, s2, 0.04, mtMode)
+	rate2 := float64(res2.Counters["core0.store.upgrades"]) / float64(res2.Counters["core0.store.drains"])
+	if rate2 >= rate {
+		t.Fatalf("povray upgrade rate %.2f should be below lbm %.2f", rate2, rate)
+	}
+}
+
+func TestParsecLocksActuallyLock(t *testing.T) {
+	s, _ := workload.ByName("ferret")
+	res := runSpec(t, s, 0.04, memsys.Mode{})
+	if res.Counters["core0.stores"] == 0 {
+		t.Fatal("no stores at all")
+	}
+	// The critical-section counter in shared memory is incremented under
+	// the lock by all 4 threads; with working locks nothing is lost. We
+	// verify indirectly: all threads completed (RunUntilHalt already
+	// checked) and coherence invariants held (checked in runSpec).
+}

@@ -1,0 +1,206 @@
+// Package muontrap is the public API of the MuonTrap reproduction: a
+// cycle-level multicore simulator implementing the speculative filter
+// caches of Ainsworth & Jones, "MuonTrap: Preventing Cross-Domain
+// Spectre-Like Attacks by Capturing Speculative State" (ISCA 2020), plus
+// the InvisiSpec and STT comparison defenses, the paper's six attacks, and
+// the synthetic SPEC CPU2006 / Parsec workloads the evaluation runs.
+//
+// Quick start:
+//
+//	res, err := muontrap.Run(muontrap.Config{Workload: "povray", Scheme: "muontrap"})
+//	fmt.Println(res.Cycles, res.IPC())
+//
+// Build custom systems with NewSystem, list available knobs with
+// Workloads and Schemes, rerun the paper's experiments via the Figure
+// functions, and replay the attacks with Attack.
+package muontrap
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/attack"
+	"repro/internal/defense"
+	"repro/internal/figures"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Config selects one simulation run.
+type Config struct {
+	// Workload is a benchmark name from Workloads().
+	Workload string
+	// Scheme is a protection scheme name from Schemes(); empty means the
+	// unprotected baseline.
+	Scheme string
+	// Scale multiplies the workload's trip count (default 0.15).
+	Scale float64
+	// MaxCycles bounds the run (default 40M).
+	MaxCycles int
+}
+
+// Result reports one run.
+type Result struct {
+	// Cycles is the simulated execution time.
+	Cycles uint64
+	// Instructions is the committed instruction count across all cores.
+	Instructions uint64
+	// Counters carries every microarchitectural statistic the simulator
+	// collected, keyed as "core0.l0d.hits", "l2.misses", ….
+	Counters map[string]uint64
+}
+
+// IPC reports committed instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// Run executes one workload under one protection scheme.
+func Run(cfg Config) (Result, error) {
+	spec, ok := workload.ByName(cfg.Workload)
+	if !ok {
+		return Result{}, fmt.Errorf("muontrap: unknown workload %q (see Workloads())", cfg.Workload)
+	}
+	name := cfg.Scheme
+	if name == "" {
+		name = "insecure"
+	}
+	sch, err := defense.ByName(name)
+	if err != nil {
+		return Result{}, err
+	}
+	opt := figures.DefaultOptions()
+	if cfg.Scale > 0 {
+		opt.Scale = cfg.Scale
+	}
+	if cfg.MaxCycles > 0 {
+		opt.MaxCycles = cfg.MaxCycles
+	}
+	res, err := figures.RunOne(spec, sch, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Cycles:       uint64(res.Cycles),
+		Instructions: res.Committed,
+		Counters:     res.Counters,
+	}, nil
+}
+
+// Workloads lists the available benchmark names (26 SPEC CPU2006 kernels
+// and 7 Parsec kernels).
+func Workloads() []string {
+	names := append(workload.Names(workload.SPEC2006()), workload.Names(workload.Parsec())...)
+	return names
+}
+
+// Schemes lists the available protection scheme names.
+func Schemes() []string {
+	var names []string
+	for _, s := range defense.All() {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+// SchemeDescriptions maps scheme names to one-line descriptions.
+func SchemeDescriptions() map[string]string {
+	out := make(map[string]string)
+	for _, s := range defense.All() {
+		out[s.Name] = s.Description
+	}
+	return out
+}
+
+// Options sizes a figure regeneration.
+type Options = figures.Options
+
+// DefaultOptions is the bench-harness experiment size.
+func DefaultOptions() Options { return figures.DefaultOptions() }
+
+// Figure regenerates one of the paper's figures ("fig3" … "fig9") as a
+// printable table.
+func Figure(id string, opt Options) (*stats.Table, error) {
+	switch id {
+	case "fig3":
+		return figures.Fig3(opt)
+	case "fig4":
+		return figures.Fig4(opt)
+	case "fig5":
+		return figures.Fig5(opt)
+	case "fig6":
+		return figures.Fig6(opt)
+	case "fig7":
+		return figures.Fig7(opt)
+	case "fig8":
+		return figures.Fig8(opt)
+	case "fig9":
+		return figures.Fig9(opt)
+	}
+	return nil, fmt.Errorf("muontrap: unknown figure %q (fig3..fig9)", id)
+}
+
+// FigureIDs lists the regenerable figures.
+func FigureIDs() []string {
+	ids := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"}
+	sort.Strings(ids)
+	return ids
+}
+
+// TableOne renders the paper's Table 1 from the live configuration.
+func TableOne() string { return figures.TableOne() }
+
+// AttackResult reports one attack trial.
+type AttackResult = attack.Result
+
+// Attack runs one of the paper's six attacks ("spectre", "inclusion",
+// "shareddata", "filtercoherency", "prefetcher", "icache") under the named
+// scheme, leaking the given secret value. The returned result records the
+// probe timings and whether the secret was recovered.
+func Attack(name, scheme string, secret int) (AttackResult, error) {
+	sch, err := defense.ByName(scheme)
+	if err != nil {
+		return AttackResult{}, err
+	}
+	switch name {
+	case "spectre":
+		return attack.SpectrePrimeProbe(sch.Mode, secret), nil
+	case "inclusion":
+		return attack.InclusionPolicy(sch.Mode, secret&1), nil
+	case "shareddata":
+		return attack.SharedData(sch.Mode, secret&1), nil
+	case "filtercoherency":
+		return attack.FilterCoherency(sch.Mode, secret&1), nil
+	case "prefetcher":
+		return attack.Prefetcher(sch.Mode, secret&3), nil
+	case "icache":
+		return attack.InstructionCache(sch.Mode, secret&3), nil
+	}
+	return AttackResult{}, fmt.Errorf("muontrap: unknown attack %q", name)
+}
+
+// AttackNames lists the implemented attacks in paper order.
+func AttackNames() []string {
+	return []string{"spectre", "inclusion", "shareddata", "filtercoherency", "prefetcher", "icache"}
+}
+
+// System re-exports the underlying machine for advanced scenarios (custom
+// programs, per-component statistics, multi-process scheduling). See
+// internal packages' documentation via this type's methods.
+type System = sim.System
+
+// NewSystem builds a machine with the named scheme on n cores.
+func NewSystem(scheme string, cores int) (*System, error) {
+	sch, err := defense.ByName(scheme)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.DefaultConfig(cores)
+	cfg.CPU.Defense = sch.CPU
+	cfg.Mem.Mode = sch.Mode
+	return sim.New(cfg), nil
+}
