@@ -8,6 +8,15 @@ import (
 	"repro/internal/memsys"
 )
 
+// syntheticHalt backs the halts the fetch unit fabricates when running off
+// the text segment or faulting on an instruction fetch.
+var syntheticHalt = isa.NewStaticInst(isa.Inst{Op: isa.OpHalt})
+
+// fetchHandle is the sentinel pool index for typed memory-port completions
+// that belong to the fetch engine rather than a dynamic instruction; such
+// completions validate against the fetch epoch instead of an inst seq.
+const fetchHandle = int32(-1)
+
 // Core is one simulated out-of-order hardware thread.
 type Core struct {
 	id    int
@@ -19,19 +28,28 @@ type Core struct {
 
 	prog *isa.Program
 
-	// Architectural state.
-	regs   [isa.NumRegs]uint64
-	rename [isa.NumRegs]*dynInst
+	// Architectural state, plus the rename map. Rename entries are
+	// validated by seq: an entry whose seq no longer matches points at a
+	// committed-and-recycled producer, whose value lives in regs.
+	regs      [isa.NumRegs]uint64
+	rename    [isa.NumRegs]*dynInst
+	renameSeq [isa.NumRegs]uint64
+
+	// dynInst pool (stable pointers; see dyninst.go).
+	insts    []*dynInst
+	freeList []int32
+	snapFree []*renameSnap
 
 	// ROB, in program order; index 0 is the oldest.
-	rob []*dynInst
+	rob instRing
 	iq  []*dynInst
 	lq  []*dynInst
 	sq  []*dynInst
 
 	// Post-commit store buffer.
-	storeBuf       []*dynInst
+	storeBuf       instRing
 	drainsInFlight int
+	drainDone      func() // prebuilt StoreDrain completion (allocated once)
 
 	seq              uint64
 	fetchPC          uint64
@@ -43,6 +61,8 @@ type Core struct {
 	fetchLineVA   uint64
 	fetchLineOK   bool
 	fetchLinePend bool
+	fetchPendLine uint64 // line VA of the in-flight ifetch translation
+	fetchPendPC   uint64 // pc that requested it (for fault synthesis)
 	fetchEpoch    uint64 // invalidates in-flight ifetches across squashes
 
 	halted           bool
@@ -78,7 +98,7 @@ type Core struct {
 
 // NewCore builds a core attached to a memory port.
 func NewCore(id int, cfg Config, sched *event.Scheduler, port *memsys.Port, phys *mem.Physical) *Core {
-	return &Core{
+	c := &Core{
 		id:      id,
 		cfg:     cfg,
 		sched:   sched,
@@ -87,6 +107,17 @@ func NewCore(id int, cfg Config, sched *event.Scheduler, port *memsys.Port, phys
 		pred:    bpred.New(bpred.DefaultConfig()),
 		divFree: make([]event.Cycle, cfg.MulDivs),
 	}
+	c.drainDone = func() { c.drainsInFlight-- }
+	c.rob.init(cfg.ROBSize)
+	c.storeBuf.init(cfg.StoreBufferSize)
+	c.iq = make([]*dynInst, 0, cfg.IQSize)
+	c.lq = make([]*dynInst, 0, cfg.LQSize)
+	c.sq = make([]*dynInst, 0, cfg.SQSize)
+	c.growPool()
+	if port != nil {
+		port.SetClient(c)
+	}
+	return c
 }
 
 // ID returns the core's index.
@@ -102,6 +133,7 @@ func (c *Core) Predictor() *bpred.Predictor { return c.pred }
 // SetProgram loads a program: architectural registers are cleared, the
 // stack pointer initialised and fetch redirected to the entry point.
 func (c *Core) SetProgram(p *isa.Program) {
+	p.Predecode() // no-op for Builder-produced programs
 	c.prog = p
 	for i := range c.regs {
 		c.regs[i] = 0
@@ -129,7 +161,7 @@ func (c *Core) SetReg(r isa.Reg, v uint64) { c.regs[r] = v }
 func (c *Core) PC() uint64 { return c.fetchPC }
 
 // Drained reports whether all post-commit stores have drained.
-func (c *Core) Drained() bool { return len(c.storeBuf) == 0 && c.drainsInFlight == 0 }
+func (c *Core) Drained() bool { return c.storeBuf.len() == 0 && c.drainsInFlight == 0 }
 
 // CommittedInsts reports the number of committed instructions.
 func (c *Core) CommittedInsts() uint64 { return c.Committed }
@@ -152,15 +184,18 @@ func (c *Core) Stall(d event.Cycle) {
 
 // flushPipeline empties all pipeline state (context switch or program load).
 func (c *Core) flushPipeline() {
-	for _, d := range c.rob {
+	for i := 0; i < c.rob.len(); i++ {
+		d := c.rob.at(i)
 		d.squashed = true
+		c.freeInst(d)
 	}
-	c.rob = c.rob[:0]
+	c.rob.clear()
 	c.iq = c.iq[:0]
 	c.lq = c.lq[:0]
 	c.sq = c.sq[:0]
 	for i := range c.rename {
 		c.rename[i] = nil
+		c.renameSeq[i] = 0
 	}
 	c.fetchStall = false
 	c.fetchWaitResolve = nil
@@ -192,8 +227,8 @@ func (c *Core) commit() {
 	if c.sched.Now() < c.commitStallUntil {
 		return
 	}
-	for n := 0; n < c.cfg.CommitWidth && len(c.rob) > 0; n++ {
-		d := c.rob[0]
+	for n := 0; n < c.cfg.CommitWidth && c.rob.len() > 0; n++ {
+		d := c.rob.at(0)
 		if !c.commitReady(d) {
 			return
 		}
@@ -209,9 +244,11 @@ func (c *Core) commit() {
 			c.regs[d.destReg] = d.result
 			if c.rename[d.destReg] == d {
 				c.rename[d.destReg] = nil
+				c.renameSeq[d.destReg] = 0
 			}
 		}
-		switch d.inst.Op.Class() {
+		cls := d.si.Class
+		switch cls {
 		case isa.ClassLoad:
 			c.CommitLoads++
 			if c.cfg.Defense == DefenseInvisiSpecSpectre && d.needsExpose && !d.exposing && !d.exposeDone {
@@ -229,12 +266,18 @@ func (c *Core) commit() {
 			c.port.CommitTranslation(mem.VAddr(d.effAddr), false)
 			c.removeFromLQ(d)
 		case isa.ClassStore:
-			c.CommitStores++
-			if len(c.storeBuf) >= c.cfg.StoreBufferSize {
+			if c.storeBuf.len() >= c.cfg.StoreBufferSize {
 				return // retry next cycle
 			}
+			c.CommitStores++
 			d.v2 = c.storeData(d)
-			c.storeBuf = append(c.storeBuf, d)
+			// Latch the data: the producer link must not be consulted
+			// after commit (the producer's slot may be recycled, and the
+			// architectural register may be overwritten by younger commits
+			// before a load forwards from the store buffer).
+			d.src2 = nil
+			d.v2Ready = true
+			c.storeBuf.push(d)
 			c.port.CommitTranslation(mem.VAddr(d.effAddr), false)
 			c.removeFromSQ(d)
 		case isa.ClassAmo:
@@ -255,15 +298,22 @@ func (c *Core) commit() {
 		case isa.ClassHalt:
 			c.halted = true
 			c.haltedBad = d.synthetic
-			c.rob = c.rob[1:]
+			c.rob.popFront()
 			c.Committed++
+			c.freeInst(d)
 			return
 		}
 		c.port.CommitIfetch(c.instPaddr(d.pc))
 		c.port.CommitTranslation(mem.VAddr(d.pc), true)
-		c.rob = c.rob[1:]
+		c.rob.popFront()
 		c.Committed++
-		if d.inst.Op.Class() == isa.ClassSyscall {
+
+		// Stores stay alive in the store buffer and are freed after the
+		// drain; everything else is dead once it leaves the ROB.
+		if cls != isa.ClassStore {
+			c.freeInst(d)
+		}
+		if cls == isa.ClassSyscall {
 			return // serialise
 		}
 	}
@@ -304,8 +354,14 @@ func (c *Core) commitReady(d *dynInst) bool {
 
 func (c *Core) storeData(d *dynInst) uint64 {
 	if d.use2 {
-		if d.src2 != nil {
-			return d.src2.result
+		if p := d.src2; p != nil {
+			if p.seq == d.src2Seq {
+				return p.result
+			}
+			// Producer committed and was recycled: its value is
+			// architectural (no younger writer can have committed while
+			// this store is in flight).
+			return c.regs[d.si.Src2]
 		}
 		return d.v2
 	}
@@ -315,9 +371,8 @@ func (c *Core) storeData(d *dynInst) uint64 {
 // --- Store buffer drain ---
 
 func (c *Core) drainStores() {
-	for len(c.storeBuf) > 0 && c.drainsInFlight < c.cfg.MaxDrainsInFlight {
-		d := c.storeBuf[0]
-		c.storeBuf = c.storeBuf[1:]
+	for c.storeBuf.len() > 0 && c.drainsInFlight < c.cfg.MaxDrainsInFlight {
+		d := c.storeBuf.popFront()
 		c.drainsInFlight++
 		// Functional memory is updated the moment the store leaves the
 		// buffer, preserving per-core program order of visibility (the
@@ -325,16 +380,15 @@ func (c *Core) drainStores() {
 		// load could observe a stale value in the window where the store
 		// is neither forwardable nor yet in memory.
 		c.phys.Write64(d.paddr, d.v2)
-		c.port.StoreDrain(d.pc, mem.VAddr(d.effAddr), d.paddr, func() {
-			c.drainsInFlight--
-		})
+		c.port.StoreDrain(d.pc, mem.VAddr(d.effAddr), d.paddr, c.drainDone)
+		c.freeInst(d)
 	}
 }
 
 // --- Fetch & dispatch ---
 
 func (c *Core) roomToDispatch() bool {
-	return len(c.rob) < c.cfg.ROBSize && len(c.iq) < c.cfg.IQSize
+	return c.rob.len() < c.cfg.ROBSize && len(c.iq) < c.cfg.IQSize
 }
 
 // instPaddr derives an instruction's physical address from the cached
@@ -358,18 +412,17 @@ func (c *Core) fetchAndDispatch() {
 		if !c.fetchLineReady(c.fetchPC) {
 			return
 		}
-		inst, ok := c.prog.InstAt(c.fetchPC)
+		si, ok := c.prog.StaticAt(c.fetchPC)
 		if !ok {
 			// Ran off the text segment (usually wrong path): synthesize a
 			// halt; a squash will clean it up, a commit means a real end.
-			inst = isa.Inst{Op: isa.OpHalt}
-			d := c.dispatch(inst, c.fetchPC)
+			d := c.dispatch(&syntheticHalt, c.fetchPC)
 			d.synthetic = true
 			c.fetchStall = true
 			return
 		}
-		cls := inst.Op.Class()
-		d := c.dispatch(inst, c.fetchPC)
+		cls := si.Class
+		d := c.dispatch(si, c.fetchPC)
 		c.Fetched++
 
 		switch cls {
@@ -377,7 +430,7 @@ func (c *Core) fetchAndDispatch() {
 			pr := c.pred.PredictBranch(c.fetchPC)
 			d.pred = pr
 			d.hasPred = true
-			d.checkpoint = c.snapshotRename()
+			d.checkpoint = c.allocSnap()
 			if pr.Taken && pr.BTBHit {
 				d.predNext = pr.Target
 			} else {
@@ -389,22 +442,22 @@ func (c *Core) fetchAndDispatch() {
 			}
 		case isa.ClassJump:
 			// Direct target known at decode: never mispredicts.
-			if inst.Op == isa.OpCall {
+			if si.Inst.Op == isa.OpCall {
 				c.pred.PredictCall(d.pc, d.pc+isa.InstBytes)
 			}
-			d.predNext = uint64(inst.Imm)
+			d.predNext = uint64(si.Inst.Imm)
 			c.fetchPC = d.predNext
 			return
 		case isa.ClassJumpInd:
 			var pr bpred.Prediction
-			if inst.Op == isa.OpRet {
+			if si.Inst.Op == isa.OpRet {
 				pr = c.pred.PredictRet(d.pc)
 			} else {
 				pr = c.pred.PredictJump(d.pc)
 			}
 			d.pred = pr
 			d.hasPred = true
-			d.checkpoint = c.snapshotRename()
+			d.checkpoint = c.allocSnap()
 			if pr.BTBHit && pr.Target != 0 {
 				d.predNext = pr.Target
 				c.fetchPC = pr.Target
@@ -428,7 +481,8 @@ func (c *Core) fetchAndDispatch() {
 
 // fetchLineReady ensures the instruction line containing pc has been
 // fetched through the instruction cache path, issuing the access when
-// needed.
+// needed. Completions arrive through TranslateDone/IfetchDone with the
+// fetch epoch as the staleness check.
 func (c *Core) fetchLineReady(pc uint64) bool {
 	line := mem.LineAddr(pc)
 	if c.fetchLineOK && c.fetchLineVA == line {
@@ -438,36 +492,9 @@ func (c *Core) fetchLineReady(pc uint64) bool {
 		return false
 	}
 	c.fetchLinePend = true
-	epoch := c.fetchEpoch
-	c.port.Translate(mem.VAddr(line), true, true, func(pa mem.Addr, walked, fault bool) {
-		if epoch != c.fetchEpoch {
-			return
-		}
-		if fault {
-			// Wrong-path fetch into unmapped memory: synthesize a halt at
-			// dispatch by leaving the line not-ready and parking fetch.
-			c.fetchLinePend = false
-			c.fetchStallOnFault(pc)
-			return
-		}
-		c.fetchVirtBase = line
-		c.fetchPhysBase = pa
-		c.port.Ifetch(mem.VAddr(line), pa, func(memsys.AccessResult) {
-			if epoch != c.fetchEpoch {
-				return
-			}
-			c.fetchLinePend = false
-			c.fetchLineOK = true
-			c.fetchLineVA = line
-		})
-		// Next-line instruction prefetch: sequential fetch engines run a
-		// line ahead, so straight-line code does not pay the per-line
-		// lookup latency serially. Fire-and-forget; same page only.
-		next := line + mem.LineBytes
-		if mem.PageNum(mem.VAddr(next)) == mem.PageNum(mem.VAddr(line)) {
-			c.port.Ifetch(mem.VAddr(next), pa+mem.LineBytes, func(memsys.AccessResult) {})
-		}
-	})
+	c.fetchPendLine = line
+	c.fetchPendPC = pc
+	c.port.TranslateC(mem.VAddr(line), true, true, fetchHandle, c.fetchEpoch)
 	return false
 }
 
@@ -476,65 +503,57 @@ func (c *Core) fetchStallOnFault(pc uint64) {
 		// Rare: retry via the pending flag staying clear.
 		return
 	}
-	d := c.dispatch(isa.Inst{Op: isa.OpHalt}, pc)
+	d := c.dispatch(&syntheticHalt, pc)
 	d.synthetic = true
 	c.fetchStall = true
 }
 
-func (c *Core) snapshotRename() *[isa.NumRegs]*dynInst {
-	snap := c.rename
-	return &snap
-}
-
-// dispatch allocates the dynInst, renames its operands and inserts it
+// dispatch takes a pooled dynInst, renames its operands and inserts it
 // into the ROB/IQ/LSQ.
-func (c *Core) dispatch(inst isa.Inst, pc uint64) *dynInst {
-	c.seq++
-	d := &dynInst{
-		seq:        c.seq,
-		pc:         pc,
-		inst:       inst,
-		readyCycle: uint64(c.sched.Now() + c.cfg.FrontendDelay),
-	}
-	s1, u1, s2, u2 := inst.SrcRegs()
-	d.use1, d.use2 = u1, u2
-	if u1 {
-		if s1 == isa.Zero {
+func (c *Core) dispatch(si *isa.StaticInst, pc uint64) *dynInst {
+	d := c.allocInst()
+	d.pc = pc
+	d.si = si
+	d.readyCycle = uint64(c.sched.Now() + c.cfg.FrontendDelay)
+	d.use1, d.use2 = si.Use1, si.Use2
+	if si.Use1 {
+		if si.Src1 == isa.Zero {
 			d.v1, d.v1Ready = 0, true
-		} else if p := c.rename[s1]; p != nil {
-			d.src1 = p
-			if p.done {
+		} else if p := c.rename[si.Src1]; p != nil && p.seq == c.renameSeq[si.Src1] {
+			d.src1, d.src1Seq = p, p.seq
+			if p.done && !p.faulted {
 				d.v1, d.v1Ready = p.result, true
 			}
 		} else {
-			d.v1, d.v1Ready = c.regs[s1], true
+			d.v1, d.v1Ready = c.regs[si.Src1], true
 		}
 	}
-	if u2 {
-		if s2 == isa.Zero {
+	if si.Use2 {
+		if si.Src2 == isa.Zero {
 			d.v2, d.v2Ready = 0, true
-		} else if p := c.rename[s2]; p != nil {
-			d.src2 = p
-			if p.done {
+		} else if p := c.rename[si.Src2]; p != nil && p.seq == c.renameSeq[si.Src2] {
+			d.src2, d.src2Seq = p, p.seq
+			if p.done && !p.faulted {
 				d.v2, d.v2Ready = p.result, true
 			}
 		} else {
-			d.v2, d.v2Ready = c.regs[s2], true
+			d.v2, d.v2Ready = c.regs[si.Src2], true
 		}
 	}
-	if rd, writes := inst.WritesReg(); writes {
+	if si.Writes {
 		d.writesReg = true
-		d.destReg = rd
-		c.rename[rd] = d
+		d.destReg = si.Dest
+		c.rename[si.Dest] = d
+		c.renameSeq[si.Dest] = d.seq
 	}
 	// STT taint propagation at dispatch (operand roots recorded; safety
 	// checked lazily at issue time).
 	if c.sttActive() {
-		d.taintRoot = d.operandTaint(c.loadSafe)
+		d.taintRoot, d.taintSeq = c.operandTaint(d)
 	}
 
-	c.rob = append(c.rob, d)
-	switch inst.Op.Class() {
+	c.rob.push(d)
+	switch si.Class {
 	case isa.ClassLoad:
 		c.lq = append(c.lq, d)
 		c.iq = append(c.iq, d)
@@ -551,7 +570,7 @@ func (c *Core) dispatch(inst isa.Inst, pc uint64) *dynInst {
 		d.done = true
 	case isa.ClassJump:
 		// Direct jumps complete at dispatch (target known).
-		r := isa.Exec(inst, pc, 0, 0)
+		r := isa.Exec(si.Inst, pc, 0, 0)
 		d.result = r.Value
 		d.done = true
 	default:
@@ -559,4 +578,88 @@ func (c *Core) dispatch(inst isa.Inst, pc uint64) *dynInst {
 		d.inIQ = true
 	}
 	return d
+}
+
+// --- Typed memory-port completions (memsys.Client) ---
+
+// noopAccess is the completion for fire-and-forget prefetch accesses.
+var noopAccess = func(memsys.AccessResult) {}
+
+// TranslateDone receives a TranslateC completion: either the fetch engine's
+// line translation (idx == fetchHandle, seq == fetch epoch) or a load/store
+// address translation.
+func (c *Core) TranslateDone(idx int32, seq uint64, pa mem.Addr, walked, fault bool) {
+	if idx == fetchHandle {
+		if seq != c.fetchEpoch {
+			return
+		}
+		if fault {
+			// Wrong-path fetch into unmapped memory: synthesize a halt at
+			// dispatch by leaving the line not-ready and parking fetch.
+			c.fetchLinePend = false
+			c.fetchStallOnFault(c.fetchPendPC)
+			return
+		}
+		line := c.fetchPendLine
+		c.fetchVirtBase = line
+		c.fetchPhysBase = pa
+		c.port.IfetchC(mem.VAddr(line), pa, c.fetchEpoch)
+		// Next-line instruction prefetch: sequential fetch engines run a
+		// line ahead, so straight-line code does not pay the per-line
+		// lookup latency serially. Fire-and-forget; same page only.
+		next := line + mem.LineBytes
+		if mem.PageNum(mem.VAddr(next)) == mem.PageNum(mem.VAddr(line)) {
+			c.port.Ifetch(mem.VAddr(next), pa+mem.LineBytes, noopAccess)
+		}
+		return
+	}
+	d := c.inst(uint64(uint32(idx)), seq)
+	if d == nil {
+		return
+	}
+	d.walked = d.walked || walked
+	if fault {
+		d.faulted = true
+		d.result = 0
+		d.done = true
+		d.phase = memDone
+		return
+	}
+	d.paddr = pa
+	d.phase = memTranslated
+	if d.isStore() {
+		// Stores are done once the address is known; data is read
+		// at commit. MuonTrap lets them prefetch their line.
+		d.done = true
+		if !d.prefetched {
+			d.prefetched = true
+			c.port.StorePrefetch(d.pc, mem.VAddr(d.effAddr), d.paddr, nil)
+		}
+		return
+	}
+	c.tryLoadAccess(d)
+}
+
+// LoadDone receives a LoadC/LoadNoFillC completion.
+func (c *Core) LoadDone(idx int32, seq uint64, res memsys.AccessResult) {
+	d := c.inst(uint64(uint32(idx)), seq)
+	if d == nil {
+		return
+	}
+	if res.NACK {
+		c.LoadNACKs++
+		d.phase = memNACKed
+		return
+	}
+	c.finishLoad(d)
+}
+
+// IfetchDone receives the fetch line's IfetchC completion.
+func (c *Core) IfetchDone(epoch uint64, _ memsys.AccessResult) {
+	if epoch != c.fetchEpoch {
+		return
+	}
+	c.fetchLinePend = false
+	c.fetchLineOK = true
+	c.fetchLineVA = c.fetchPendLine
 }

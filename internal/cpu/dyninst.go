@@ -20,11 +20,17 @@ const (
 	memDone
 )
 
-// dynInst is one in-flight dynamic instruction.
+// dynInst is one in-flight dynamic instruction. Instances live in the
+// core's fixed pool and are recycled after commit or squash; every
+// reference that can outlive the instruction (rename entries, producer
+// links, scheduled events) therefore carries the instruction's seq and
+// validates it before use — a recycled slot has a different seq.
 type dynInst struct {
-	seq  uint64
-	pc   uint64
-	inst isa.Inst
+	idx int32  // pool slot; fixed for the slot's lifetime
+	seq uint64 // globally unique dispatch sequence number; 0 = free slot
+
+	pc uint64
+	si *isa.StaticInst
 
 	// Predicted next fetch PC recorded at fetch; branches compare the
 	// resolved target against it.
@@ -32,11 +38,16 @@ type dynInst struct {
 	pred     bpred.Prediction
 	hasPred  bool
 	// checkpoint is the rename-map snapshot for squash recovery, taken
-	// for every instruction that can mispredict.
-	checkpoint *[isa.NumRegs]*dynInst
+	// for every instruction that can mispredict. Pooled; returned on free.
+	checkpoint *renameSnap
 
-	// Dataflow.
-	src1, src2       *dynInst // producers; nil = value from architectural file
+	// Dataflow. Producers are referenced by (pointer, seq); a seq mismatch
+	// means the producer committed and was recycled, in which case its
+	// value is in the architectural register file (in-order commit
+	// guarantees no younger writer has committed while this consumer is in
+	// flight).
+	src1, src2       *dynInst
+	src1Seq, src2Seq uint64
 	use1, use2       bool
 	v1, v2           uint64
 	v1Ready, v2Ready bool
@@ -50,15 +61,22 @@ type dynInst struct {
 	issued     bool
 	done       bool
 	squashed   bool
+	// pins counts outstanding closure references (InvisiSpec exposures)
+	// that captured the pointer directly; a pinned instruction's slot is
+	// not recycled until the pins drain. retired marks a freed-but-pinned
+	// slot awaiting its last unpin.
+	pins    int32
+	retired bool
 
 	// Memory state.
 	phase      memPhase
 	effAddr    uint64
 	paddr      mem.Addr
 	faulted    bool
-	walked     bool // translation required a page-table walk
-	forwarded  bool // value obtained by store-to-load forwarding
-	prefetched bool // store prefetch issued (MuonTrap)
+	walked     bool   // translation required a page-table walk
+	forwarded  bool   // value obtained by store-to-load forwarding
+	prefetched bool   // store prefetch issued (MuonTrap)
+	fwdVal     uint64 // forwarded store data, captured when the bypass fires
 
 	// InvisiSpec.
 	needsExpose bool // executed invisibly; must replay when safe
@@ -67,63 +85,222 @@ type dynInst struct {
 
 	// STT: the unsafe load this instruction's result transitively depends
 	// on (nil when untainted). Lazily untainted by checking the root's
-	// safety at use time.
+	// safety — or its recycling, which implies commit — at use time.
 	taintRoot *dynInst
+	taintSeq  uint64
 
 	// Off-program-text or fault marker for synthesized halts.
 	synthetic bool
 }
 
-func (d *dynInst) isLoad() bool  { return d.inst.Op == isa.OpLoad }
-func (d *dynInst) isStore() bool { return d.inst.Op == isa.OpStore }
-func (d *dynInst) isAmo() bool   { return d.inst.Op == isa.OpAmoCas }
-func (d *dynInst) isBranch() bool {
-	c := d.inst.Op.Class()
-	return c == isa.ClassBranch || c == isa.ClassJumpInd
+func (d *dynInst) isLoad() bool   { return d.si.IsLoad }
+func (d *dynInst) isStore() bool  { return d.si.IsStore }
+func (d *dynInst) isAmo() bool    { return d.si.IsAmo }
+func (d *dynInst) isBranch() bool { return d.si.IsBranch }
+
+// renameSnap is a pooled rename-map checkpoint: the architectural-register
+// producer map plus the seqs that validate its entries at restore time.
+type renameSnap struct {
+	ptr [isa.NumRegs]*dynInst
+	seq [isa.NumRegs]uint64
+}
+
+// --- dynInst pool ---
+
+// poolChunk is the pool growth quantum. The steady-state population is
+// bounded by the ROB plus the store buffer plus in-flight exposures, so
+// growth stops almost immediately.
+const poolChunk = 64
+
+func (c *Core) growPool() {
+	chunk := make([]dynInst, poolChunk)
+	for i := range chunk {
+		d := &chunk[i]
+		d.idx = int32(len(c.insts))
+		c.insts = append(c.insts, d)
+		c.freeList = append(c.freeList, d.idx)
+	}
+}
+
+// allocInst takes a free slot, resets it and assigns a fresh seq.
+func (c *Core) allocInst() *dynInst {
+	if len(c.freeList) == 0 {
+		c.growPool()
+	}
+	idx := c.freeList[len(c.freeList)-1]
+	c.freeList = c.freeList[:len(c.freeList)-1]
+	d := c.insts[idx]
+	*d = dynInst{idx: idx}
+	c.seq++
+	d.seq = c.seq
+	return d
+}
+
+// freeInst retires a slot after the instruction left the ROB (commit or
+// squash) and the store buffer. The seq is invalidated immediately so every
+// (pointer, seq) reference detects staleness; the slot itself is withheld
+// from reuse while closure pins remain.
+func (c *Core) freeInst(d *dynInst) {
+	if d.seq == 0 {
+		panic("cpu: double free of dynInst slot")
+	}
+	d.seq = 0
+	if d.checkpoint != nil {
+		c.snapFree = append(c.snapFree, d.checkpoint)
+		d.checkpoint = nil
+	}
+	if d.pins > 0 {
+		d.retired = true
+		return
+	}
+	c.freeList = append(c.freeList, d.idx)
+}
+
+// unpin releases one closure reference, recycling the slot if the
+// instruction was already freed.
+func (c *Core) unpin(d *dynInst) {
+	d.pins--
+	if d.retired && d.pins == 0 {
+		d.retired = false
+		c.freeList = append(c.freeList, d.idx)
+	}
+}
+
+// inst resolves a scheduled event's (pool index, seq) pair, returning nil
+// for events whose instruction was squashed or recycled since scheduling.
+func (c *Core) inst(a1, a2 uint64) *dynInst {
+	d := c.insts[int32(uint32(a1))]
+	if d.seq != a2 || d.squashed {
+		return nil
+	}
+	return d
+}
+
+// allocSnap checkpoints the current rename map from the pool.
+func (c *Core) allocSnap() *renameSnap {
+	var s *renameSnap
+	if n := len(c.snapFree); n > 0 {
+		s = c.snapFree[n-1]
+		c.snapFree = c.snapFree[:n-1]
+	} else {
+		s = new(renameSnap)
+	}
+	s.ptr = c.rename
+	s.seq = c.renameSeq
+	return s
 }
 
 // operandsReady reports whether both source values are available, pulling
 // them from completed producers. A faulted producer never supplies data:
 // post-Meltdown cores suppress fault data forwarding, so dependents stall
-// until the squash (or until the fault reaches commit and halts).
-func (d *dynInst) operandsReady() bool {
+// until the squash (or until the fault reaches commit and halts). A
+// recycled producer has committed, so its value is read from the
+// architectural file.
+func (c *Core) operandsReady(d *dynInst) bool {
 	if d.use1 && !d.v1Ready {
-		if d.src1 != nil && d.src1.done && !d.src1.faulted {
-			d.v1 = d.src1.result
+		if p := d.src1; p == nil {
 			d.v1Ready = true
-		} else if d.src1 == nil {
-			d.v1Ready = true
+		} else if p.seq != d.src1Seq {
+			d.v1, d.v1Ready = c.regs[d.si.Src1], true
+		} else if p.done && !p.faulted {
+			d.v1, d.v1Ready = p.result, true
 		}
 	}
 	if d.use2 && !d.v2Ready {
-		if d.src2 != nil && d.src2.done && !d.src2.faulted {
-			d.v2 = d.src2.result
+		if p := d.src2; p == nil {
 			d.v2Ready = true
-		} else if d.src2 == nil {
-			d.v2Ready = true
+		} else if p.seq != d.src2Seq {
+			d.v2, d.v2Ready = c.regs[d.si.Src2], true
+		} else if p.done && !p.faulted {
+			d.v2, d.v2Ready = p.result, true
 		}
 	}
 	return (!d.use1 || d.v1Ready) && (!d.use2 || d.v2Ready)
 }
 
-// taintOf computes the effective taint root of this instruction's operands:
-// the youngest producer-load that is still unsafe. Safe roots untaint
-// lazily.
-func (d *dynInst) operandTaint(safe func(*dynInst) bool) *dynInst {
+// operandTaint computes the effective taint root of d's operands: the
+// youngest producer-load that is still unsafe. Safe — or committed, hence
+// recycled — roots untaint lazily.
+func (c *Core) operandTaint(d *dynInst) (*dynInst, uint64) {
 	var root *dynInst
-	for _, s := range []*dynInst{d.src1, d.src2} {
-		if s == nil {
-			continue
+	consider := func(s *dynInst, sSeq uint64) {
+		if s == nil || s.seq != sSeq {
+			return // producer committed: untainted
 		}
-		r := s.taintRoot
+		r, rSeq := s.taintRoot, s.taintSeq
 		if s.isLoad() {
-			r = s
+			r, rSeq = s, s.seq
 		}
-		if r != nil && !safe(r) {
-			if root == nil || r.seq > root.seq {
-				root = r
-			}
+		if r == nil || r.seq != rSeq {
+			return // root committed: safe
+		}
+		if !c.loadSafe(r) && (root == nil || r.seq > root.seq) {
+			root = r
 		}
 	}
-	return root
+	consider(d.src1, d.src1Seq)
+	consider(d.src2, d.src2Seq)
+	if root == nil {
+		return nil, 0
+	}
+	return root, root.seq
 }
+
+// --- instRing: a fixed-capacity FIFO of in-flight instructions ---
+
+// instRing backs the ROB and the store buffer: both are bounded queues that
+// push at the tail and pop at the head every cycle, which a sliced-slice
+// implementation turns into steady reallocation.
+type instRing struct {
+	buf  []*dynInst
+	head int
+	n    int
+}
+
+func (r *instRing) init(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	r.buf = make([]*dynInst, capacity)
+	r.head, r.n = 0, 0
+}
+
+func (r *instRing) len() int { return r.n }
+
+func (r *instRing) at(i int) *dynInst {
+	return r.buf[(r.head+i)%len(r.buf)]
+}
+
+func (r *instRing) push(d *dynInst) {
+	if r.n == len(r.buf) {
+		// The structural size limits (ROBSize, StoreBufferSize) are
+		// enforced by the pipeline; growth only happens if a test
+		// configures a larger window than the ring was initialised for.
+		bigger := make([]*dynInst, 2*len(r.buf))
+		for i := 0; i < r.n; i++ {
+			bigger[i] = r.at(i)
+		}
+		r.buf = bigger
+		r.head = 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = d
+	r.n++
+}
+
+func (r *instRing) popFront() *dynInst {
+	d := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return d
+}
+
+// truncate drops every element at position n and beyond (squash recovery).
+func (r *instRing) truncate(n int) {
+	for i := n; i < r.n; i++ {
+		r.buf[(r.head+i)%len(r.buf)] = nil
+	}
+	r.n = n
+}
+
+func (r *instRing) clear() { r.truncate(0) }

@@ -13,6 +13,43 @@ import (
 // resolution beyond the ALU latency.
 const branchResolveExtra = 4
 
+// Core event ops (event.Handler). Args are (pool index, inst seq); a seq
+// mismatch at fire time means the instruction was squashed or recycled and
+// the event is dropped — the allocation-free replacement for the closures
+// that used to capture (core, dynInst) per event.
+const (
+	opExecDone int32 = iota // ALU/branch latency elapsed: execute & resolve
+	opAgenDone              // address-generation latency elapsed: translate
+	opFwdDone               // store-to-load forward bypass latency elapsed
+)
+
+// HandleEvent dispatches the core's typed pipeline events.
+func (c *Core) HandleEvent(op int32, a1, a2 uint64) {
+	d := c.inst(a1, a2)
+	if d == nil {
+		return
+	}
+	switch op {
+	case opExecDone:
+		r := isa.Exec(d.si.Inst, d.pc, d.v1, d.v2)
+		d.result = r.Value
+		d.done = true
+		if d.isBranch() {
+			c.resolveBranch(d, r)
+		}
+	case opAgenDone:
+		r := isa.Exec(d.si.Inst, d.pc, d.v1, d.v2)
+		d.effAddr = r.EffAddr
+		d.phase = memAgenDone
+		c.port.TranslateC(mem.VAddr(d.effAddr), false, true, d.idx, d.seq)
+	case opFwdDone:
+		d.result = d.fwdVal
+		d.forwarded = true
+		d.done = true
+		d.phase = memDone
+	}
+}
+
 func (c *Core) sttActive() bool {
 	return c.cfg.Defense == DefenseSTTSpectre || c.cfg.Defense == DefenseSTTFuture
 }
@@ -39,7 +76,8 @@ func (c *Core) loadSafe(d *dynInst) bool {
 // firstUnresolvedBranchSeq returns the sequence number of the oldest
 // in-flight unresolved branch, or MaxUint64 when none.
 func (c *Core) firstUnresolvedBranchSeq() uint64 {
-	for _, d := range c.rob {
+	for i := 0; i < c.rob.len(); i++ {
+		d := c.rob.at(i)
 		if d.isBranch() && !d.done {
 			return d.seq
 		}
@@ -50,7 +88,8 @@ func (c *Core) firstUnresolvedBranchSeq() uint64 {
 // firstUndoneSeq returns the sequence number of the oldest instruction
 // that has not finished executing, or MaxUint64 when all are done.
 func (c *Core) firstUndoneSeq() uint64 {
-	for _, d := range c.rob {
+	for i := 0; i < c.rob.len(); i++ {
+		d := c.rob.at(i)
 		if !d.done {
 			return d.seq
 		}
@@ -71,25 +110,27 @@ func (c *Core) issue() {
 	}
 	memFree := 2 // load/store pipes per cycle
 
-	i := 0
-	for i < len(c.iq) && issued < c.cfg.IssueWidth {
-		d := c.iq[i]
+	// Single pass with in-place compaction: issued and squashed entries
+	// are dropped, everything else keeps its age order. The compaction
+	// write index always trails the read index, so the in-place append is
+	// safe.
+	out := c.iq[:0]
+	for _, d := range c.iq {
 		if d.squashed || d.issued {
-			c.iq = append(c.iq[:i], c.iq[i+1:]...)
 			continue
 		}
-		if d.readyCycle > now || !d.operandsReady() {
-			i++
+		if issued >= c.cfg.IssueWidth || d.readyCycle > now || !c.operandsReady(d) {
+			out = append(out, d)
 			continue
 		}
-		cls := d.inst.Op.Class()
+		cls := d.si.Class
 
 		// STT: tainted transmitters may not issue until their taint root
 		// is safe.
 		if c.sttActive() && (cls == isa.ClassLoad || cls == isa.ClassStore || cls == isa.ClassJumpInd) {
-			if root := d.operandTaint(c.loadSafe); root != nil {
+			if root, _ := c.operandTaint(d); root != nil {
 				c.STTStalls++
-				i++
+				out = append(out, d)
 				continue
 			}
 		}
@@ -106,7 +147,7 @@ func (c *Core) issue() {
 			if mdFree > 0 {
 				mdFree--
 				lat := c.cfg.MulLat
-				if d.inst.Op == isa.OpDiv || d.inst.Op == isa.OpRem {
+				if d.si.Inst.Op == isa.OpDiv || d.si.Inst.Op == isa.OpRem {
 					lat = c.cfg.DivLat
 					// Divider is unpipelined: occupy a slot.
 					for s := range c.divFree {
@@ -135,38 +176,29 @@ func (c *Core) issue() {
 		if ok {
 			d.issued = true
 			issued++
-			c.iq = append(c.iq[:i], c.iq[i+1:]...)
 			continue
 		}
-		i++
+		out = append(out, d)
 	}
+	c.iq = out
 }
 
-// execALU runs a register-to-register instruction (including branch
-// resolution) after lat cycles. Branches pay extra resolution latency for
-// the deep-pipeline distance between execute and the front end; this is
-// also what keeps "unresolved branch" windows open long enough for the
-// InvisiSpec/STT safety conditions to matter, as on real hardware.
+// execALU schedules a register-to-register instruction (including branch
+// resolution) to complete after lat cycles. Branches pay extra resolution
+// latency for the deep-pipeline distance between execute and the front
+// end; this is also what keeps "unresolved branch" windows open long
+// enough for the InvisiSpec/STT safety conditions to matter, as on real
+// hardware.
 func (c *Core) execALU(d *dynInst, lat event.Cycle) {
 	if d.isBranch() {
 		lat += branchResolveExtra
 	}
-	c.sched.After(lat, func() {
-		if d.squashed {
-			return
-		}
-		r := isa.Exec(d.inst, d.pc, d.v1, d.v2)
-		d.result = r.Value
-		d.done = true
-		if d.isBranch() {
-			c.resolveBranch(d, r)
-		}
-	})
+	c.sched.AfterEvent(lat, c, opExecDone, uint64(uint32(d.idx)), d.seq)
 }
 
 // resolveBranch trains the predictor and squashes on a misprediction.
 func (c *Core) resolveBranch(d *dynInst, r isa.ExecResult) {
-	isCond := d.inst.Op.Class() == isa.ClassBranch
+	isCond := d.si.Class == isa.ClassBranch
 	c.pred.Update(d.pc, d.pred, r.Taken, r.Target, isCond)
 	actualNext := r.Target
 	if !r.Taken {
@@ -192,8 +224,8 @@ func (c *Core) resolveBranch(d *dynInst, r isa.ExecResult) {
 // map and predictor state, and redirects fetch.
 func (c *Core) squashAfter(d *dynInst, newPC uint64, actualTaken bool) {
 	pos := -1
-	for i, e := range c.rob {
-		if e == d {
+	for i := 0; i < c.rob.len(); i++ {
+		if c.rob.at(i) == d {
 			pos = i
 			break
 		}
@@ -201,23 +233,25 @@ func (c *Core) squashAfter(d *dynInst, newPC uint64, actualTaken bool) {
 	if pos < 0 {
 		return // already squashed by an older branch
 	}
-	for _, e := range c.rob[pos+1:] {
-		e.squashed = true
+	for i := pos + 1; i < c.rob.len(); i++ {
+		c.rob.at(i).squashed = true
 		c.Squashed++
 	}
-	c.rob = c.rob[:pos+1]
 	c.iq = filterSquashed(c.iq)
 	c.lq = filterSquashed(c.lq)
 	c.sq = filterSquashed(c.sq)
 	if d.checkpoint != nil {
-		c.rename = *d.checkpoint
+		c.rename = d.checkpoint.ptr
+		c.renameSeq = d.checkpoint.seq
 	}
-	// Drop rename entries that still point at squashed producers (the
-	// checkpoint predates the branch; anything it references is older and
-	// alive).
+	// Drop rename entries that point at squashed producers, or at
+	// committed-and-recycled ones (the checkpoint predates the branch;
+	// anything it references is older, and a stale seq means it has since
+	// committed — its value is architectural).
 	for i, p := range c.rename {
-		if p != nil && p.squashed {
+		if p != nil && (p.seq != c.renameSeq[i] || p.squashed) {
 			c.rename[i] = nil
+			c.renameSeq[i] = 0
 		}
 	}
 	if d.hasPred {
@@ -230,6 +264,12 @@ func (c *Core) squashAfter(d *dynInst, newPC uint64, actualTaken bool) {
 	c.fetchLinePend = false
 	c.fetchEpoch++
 	c.fetchResumeAt = c.sched.Now() + c.cfg.RedirectPenalty
+	// Recycle the squashed tail. Pending events referencing these
+	// instructions validate (idx, seq) at fire time and drop.
+	for i := pos + 1; i < c.rob.len(); i++ {
+		c.freeInst(c.rob.at(i))
+	}
+	c.rob.truncate(pos + 1)
 	// Optional MuonTrap mode: clear filter state on every misspeculation.
 	c.port.FlushOnMisspec()
 }
@@ -247,42 +287,10 @@ func filterSquashed(s []*dynInst) []*dynInst {
 // --- Memory instructions ---
 
 // execMemAgen starts a load/store: compute the effective address, then
-// translate.
+// translate. Both steps complete through typed events (opAgenDone, then
+// the port's TranslateDone), so the steady-state path allocates nothing.
 func (c *Core) execMemAgen(d *dynInst) {
-	c.sched.After(c.cfg.IntALULat, func() {
-		if d.squashed {
-			return
-		}
-		r := isa.Exec(d.inst, d.pc, d.v1, d.v2)
-		d.effAddr = r.EffAddr
-		d.phase = memAgenDone
-		c.port.Translate(mem.VAddr(d.effAddr), false, true, func(pa mem.Addr, walked, fault bool) {
-			if d.squashed {
-				return
-			}
-			d.walked = d.walked || walked
-			if fault {
-				d.faulted = true
-				d.result = 0
-				d.done = true
-				d.phase = memDone
-				return
-			}
-			d.paddr = pa
-			d.phase = memTranslated
-			if d.isStore() {
-				// Stores are done once the address is known; data is read
-				// at commit. MuonTrap lets them prefetch their line.
-				d.done = true
-				if !d.prefetched {
-					d.prefetched = true
-					c.port.StorePrefetch(d.pc, mem.VAddr(d.effAddr), d.paddr, nil)
-				}
-				return
-			}
-			c.tryLoadAccess(d)
-		})
-	})
+	c.sched.AfterEvent(c.cfg.IntALULat, c, opAgenDone, uint64(uint32(d.idx)), d.seq)
 }
 
 // tryLoadAccess attempts the memory half of a load: disambiguate against
@@ -302,45 +310,22 @@ func (c *Core) tryLoadAccess(d *dynInst) {
 			return
 		}
 		d.phase = memAccessIssued
-		val := c.storeData(fwd)
-		c.sched.After(1, func() {
-			if d.squashed {
-				return
-			}
-			d.result = val
-			d.forwarded = true
-			d.done = true
-			d.phase = memDone
-		})
+		d.fwdVal = c.storeData(fwd)
+		c.sched.AfterEvent(1, c, opFwdDone, uint64(uint32(d.idx)), d.seq)
 		return
 	}
 	d.phase = memAccessIssued
 	if c.invisiSpecActive() && !c.loadSafe(d) {
 		// InvisiSpec: unsafe loads read invisibly and must expose later.
 		d.needsExpose = true
-		c.port.LoadNoFill(d.paddr, func(memsys.AccessResult) {
-			if d.squashed {
-				return
-			}
-			c.finishLoad(d)
-		})
+		c.port.LoadNoFillC(d.paddr, d.idx, d.seq)
 		return
 	}
 	c.issueLoadToPort(d, true)
 }
 
 func (c *Core) issueLoadToPort(d *dynInst, spec bool) {
-	c.port.Load(d.pc, mem.VAddr(d.effAddr), d.paddr, spec, func(res memsys.AccessResult) {
-		if d.squashed {
-			return
-		}
-		if res.NACK {
-			c.LoadNACKs++
-			d.phase = memNACKed
-			return
-		}
-		c.finishLoad(d)
-	})
+	c.port.LoadC(d.pc, mem.VAddr(d.effAddr), d.paddr, spec, d.idx, d.seq)
 }
 
 // reissueLoad reruns a NACKed load non-speculatively once it is the oldest
@@ -354,6 +339,7 @@ func (c *Core) reissueLoad(d *dynInst, spec bool) {
 }
 
 func (c *Core) finishLoad(d *dynInst) {
+
 	d.result = c.phys.Read64(d.paddr)
 	d.done = true
 	d.phase = memDone
@@ -385,12 +371,13 @@ func (c *Core) searchOlderStores(d *dynInst) (match *dynInst, ready, blocked boo
 		}
 	}
 	if match != nil {
-		r := match.src2 == nil || match.src2.done
+		// A recycled data producer has committed, so the data is ready.
+		r := match.src2 == nil || match.src2.seq != match.src2Seq || match.src2.done
 		return match, r, false
 	}
 	// Committed-but-undrained stores in the store buffer, newest first.
-	for i := len(c.storeBuf) - 1; i >= 0; i-- {
-		s := c.storeBuf[i]
+	for i := c.storeBuf.len() - 1; i >= 0; i-- {
+		s := c.storeBuf.at(i)
 		if s.effAddr == d.effAddr {
 			return s, true, false
 		}
@@ -431,24 +418,32 @@ func (c *Core) removeFromSQ(d *dynInst) {
 
 // --- AMO (atomic compare-and-swap), executed at the ROB head ---
 
+// AMOs run at the ROB head, where no older branch can squash them, but a
+// context switch (flushPipeline) can still kill an AMO mid-flight — so the
+// completion closures, which capture the pooled dynInst pointer directly,
+// pin the slot: the squashed flag stays readable until the last completion
+// lands, and a flushed AMO's pending callbacks become no-ops.
 func (c *Core) executeAmoAtHead(d *dynInst) {
-	if d.phase != memIdle || !d.operandsReady() {
+	if d.phase != memIdle || !c.operandsReady(d) {
 		return
 	}
 	// AMOs are full fences: all older stores must be visible first.
-	if len(c.storeBuf) > 0 || c.drainsInFlight > 0 {
+	if c.storeBuf.len() > 0 || c.drainsInFlight > 0 {
 		return
 	}
 	d.phase = memAgenDone
-	r := isa.Exec(d.inst, d.pc, d.v1, d.v2)
+	r := isa.Exec(d.si.Inst, d.pc, d.v1, d.v2)
 	d.effAddr = r.EffAddr
+	d.pins++
 	c.port.Translate(mem.VAddr(d.effAddr), false, false, func(pa mem.Addr, walked, fault bool) {
 		if d.squashed {
+			c.unpin(d)
 			return
 		}
 		if fault {
 			d.faulted = true
 			d.done = true
+			c.unpin(d)
 			return
 		}
 		d.paddr = pa
@@ -456,12 +451,15 @@ func (c *Core) executeAmoAtHead(d *dynInst) {
 		// drain timing for the coherence work.
 		old := c.phys.Read64(pa)
 		if old == d.v2 {
-			c.phys.Write64(pa, uint64(d.inst.Imm))
+			c.phys.Write64(pa, uint64(d.si.Inst.Imm))
 		}
 		d.result = old
 		c.port.StoreDrain(d.pc, mem.VAddr(d.effAddr), pa, func() {
-			d.done = true
-			d.phase = memDone
+			if !d.squashed {
+				d.done = true
+				d.phase = memDone
+			}
+			c.unpin(d)
 		})
 	})
 }
@@ -487,15 +485,19 @@ func (c *Core) defenseMaintenance() {
 
 // exposeLoad replays an invisible load as a normal access, installing the
 // line. blocking marks InvisiSpec-Future validations that hold commit.
+// The closure pins the dynInst: a Spectre-variant exposure can outlive the
+// load's commit, and the pin keeps the pool slot alive until it lands.
 func (c *Core) exposeLoad(d *dynInst, blocking bool) {
 	if d.exposing || d.exposeDone {
 		return
 	}
 	d.exposing = true
 	c.Exposures++
+	d.pins++
 	c.port.LoadExpose(d.pc, mem.VAddr(d.effAddr), d.paddr, func(memsys.AccessResult) {
 		d.exposing = false
 		d.exposeDone = true
+		c.unpin(d)
 	})
 	_ = blocking
 }

@@ -1,51 +1,88 @@
 // Package event provides the discrete-event scheduler that drives the
 // simulator. The clock counts processor cycles; components either tick every
-// cycle (the CPU pipeline) or schedule completion callbacks on the heap (the
-// memory system). Events at the same cycle fire in the order they were
-// scheduled, which keeps whole-system runs deterministic.
+// cycle (the CPU pipeline) or schedule completion callbacks (the memory
+// system). Events at the same cycle fire in the order they were scheduled,
+// which keeps whole-system runs deterministic.
+//
+// The scheduler is built for an allocation-free steady state: events are
+// stored by value (no interface boxing), near-future events live in a ring
+// of per-cycle buckets that reuse their backing arrays, and far-future
+// events go to a hand-rolled 4-ary min-heap. Components that would
+// otherwise allocate a closure per event can instead schedule a typed
+// (Handler, op, args) tuple.
 package event
-
-import "container/heap"
 
 // Cycle is a point in simulated time, measured in core clock cycles.
 type Cycle uint64
+
+// Handler receives typed events scheduled with AtEvent/AfterEvent. The
+// (op, a1, a2) tuple is opaque to the scheduler; receivers use op to select
+// the action and the args to identify the target (typically a pool index
+// plus a generation/sequence number for staleness checks).
+type Handler interface {
+	HandleEvent(op int32, a1, a2 uint64)
+}
 
 type item struct {
 	when Cycle
 	seq  uint64
 	fn   func()
+	h    Handler
+	op   int32
+	a1   uint64
+	a2   uint64
 }
 
-type eventHeap []item
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+func (it *item) run() {
+	if it.fn != nil {
+		it.fn()
+		return
 	}
-	return h[i].seq < h[j].seq
+	it.h.HandleEvent(it.op, it.a1, it.a2)
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+// before reports strict (when, seq) order.
+func (a *item) before(b *item) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(item)) }
+// ringSize is the near-future window: events within ringSize cycles of now
+// are appended to a per-cycle bucket instead of the heap. Same-cycle and
+// next-cycle completions dominate the simulator's event mix, and cache-hit
+// latencies all fall inside the window; only DRAM-class latencies reach the
+// heap. Must be a power of two.
+const ringSize = 64
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = item{}
-	*h = old[:n-1]
-	return it
+type bucket struct {
+	when  Cycle
+	items []item
 }
 
 // Scheduler owns the simulated clock and the pending-event queue.
 // The zero value is ready to use at cycle 0.
 type Scheduler struct {
-	now    Cycle
-	seq    uint64
-	events eventHeap
+	now Cycle
+	seq uint64
+
+	// Far-future events (≥ ringSize cycles out), ordered by (when, seq).
+	heap heap4
+
+	// Near-future events, bucketed per cycle. buckets[c&ringMask] holds
+	// cycle c's events in seq order. ringCount tracks the total.
+	buckets   [ringSize]bucket
+	ringCount int
+
+	// Events scheduled at or before the current cycle after the cycle's
+	// drain already ran; they fire on the next Tick/RunDue, before the
+	// clock advances further. Appended in seq order.
+	overdue []item
+
+	// inDrain marks that runDue is executing: same-cycle events go to the
+	// live bucket (the drain loop picks them up) instead of overdue.
+	inDrain bool
 }
 
 // NewScheduler returns a scheduler starting at cycle 0.
@@ -58,18 +95,52 @@ func (s *Scheduler) Now() Cycle { return s.now }
 // current cycle runs the event on the next Tick before the clock advances
 // further, preserving ordering with already-queued same-cycle events.
 func (s *Scheduler) At(c Cycle, fn func()) {
-	if c < s.now {
-		c = s.now
-	}
-	heap.Push(&s.events, item{when: c, seq: s.seq, fn: fn})
-	s.seq++
+	s.schedule(c, item{fn: fn})
 }
 
 // After schedules fn to run d cycles from now.
 func (s *Scheduler) After(d Cycle, fn func()) { s.At(s.now+d, fn) }
 
+// AtEvent schedules a typed event: at cycle c, h.HandleEvent(op, a1, a2)
+// runs. Unlike At with a fresh closure, this never allocates in steady
+// state (the Handler interface value holds a pointer receiver).
+func (s *Scheduler) AtEvent(c Cycle, h Handler, op int32, a1, a2 uint64) {
+	s.schedule(c, item{h: h, op: op, a1: a1, a2: a2})
+}
+
+// AfterEvent schedules a typed event d cycles from now.
+func (s *Scheduler) AfterEvent(d Cycle, h Handler, op int32, a1, a2 uint64) {
+	s.AtEvent(s.now+d, h, op, a1, a2)
+}
+
+func (s *Scheduler) schedule(c Cycle, it item) {
+	if c < s.now {
+		c = s.now
+	}
+	it.when = c
+	it.seq = s.seq
+	s.seq++
+	switch {
+	case c == s.now && !s.inDrain:
+		// The current cycle's drain has already run (or not yet started,
+		// at cycle 0): park the event for the next drain.
+		s.overdue = append(s.overdue, it)
+	case c-s.now < ringSize:
+		b := &s.buckets[int(c)&(ringSize-1)]
+		if len(b.items) == 0 {
+			b.when = c
+		}
+		b.items = append(b.items, it)
+		s.ringCount++
+	default:
+		s.heap.push(it)
+	}
+}
+
 // Pending reports how many events are queued.
-func (s *Scheduler) Pending() int { return len(s.events) }
+func (s *Scheduler) Pending() int {
+	return len(s.heap) + s.ringCount + len(s.overdue)
+}
 
 // Tick advances the clock by one cycle and runs every event that is due at
 // the new time, including events those events schedule for the same cycle.
@@ -81,23 +152,105 @@ func (s *Scheduler) Tick() {
 // RunDue runs all events due at the current cycle without advancing time.
 func (s *Scheduler) RunDue() { s.runDue() }
 
+// runDue fires every due event in exact (when, seq) order, merging the
+// three sources: overdue events (when ≤ now, lowest whens first), the
+// current cycle's ring bucket, and heap events that have become due. Events
+// scheduled for the current cycle while draining land in the live bucket
+// and are picked up before the drain finishes.
 func (s *Scheduler) runDue() {
-	for len(s.events) > 0 && s.events[0].when <= s.now {
-		it := heap.Pop(&s.events).(item)
-		it.fn()
+	s.inDrain = true
+	b := &s.buckets[int(s.now)&(ringSize-1)]
+	oi, bi := 0, 0
+	for {
+		// Pick the smallest (when, seq) among the three sources. Overdue
+		// events all predate (in seq) anything scheduled afterwards at the
+		// same when, and carry whens ≤ now.
+		const (
+			srcNone = iota
+			srcOverdue
+			srcBucket
+			srcHeap
+		)
+		src := srcNone
+		var best *item
+		if oi < len(s.overdue) {
+			best, src = &s.overdue[oi], srcOverdue
+		}
+		if len(b.items) > bi && b.when == s.now {
+			if it := &b.items[bi]; best == nil || it.before(best) {
+				best, src = it, srcBucket
+			}
+		}
+		if len(s.heap) > 0 && s.heap[0].when <= s.now {
+			if it := &s.heap[0]; best == nil || it.before(best) {
+				best, src = it, srcHeap
+			}
+		}
+		switch src {
+		case srcNone:
+			s.finishDrain(b, oi, bi)
+			return
+		case srcHeap:
+			it := s.heap.pop()
+			it.run()
+		default:
+			if src == srcOverdue {
+				oi++
+			} else {
+				bi++
+				s.ringCount--
+			}
+			// best points into a slice that may be appended to (and thus
+			// reallocated) by the event itself; copy before running.
+			it := *best
+			it.run()
+		}
 	}
+}
+
+// finishDrain resets the consumed sources after a drain completes. The
+// overdue list and the current cycle's bucket are always fully consumed;
+// clearing zeroes the retained backing arrays so captured closures are not
+// kept alive.
+func (s *Scheduler) finishDrain(b *bucket, oi, bi int) {
+	if oi > 0 {
+		clear(s.overdue[:oi])
+		s.overdue = s.overdue[:0]
+	}
+	if bi > 0 || b.when == s.now {
+		clear(b.items)
+		b.items = b.items[:0]
+	}
+	s.inDrain = false
+}
+
+// nextEventTime reports the earliest pending event's cycle.
+func (s *Scheduler) nextEventTime() (Cycle, bool) {
+	var next Cycle
+	have := false
+	if len(s.overdue) > 0 {
+		next, have = s.overdue[0].when, true
+	}
+	if len(s.heap) > 0 && (!have || s.heap[0].when < next) {
+		next, have = s.heap[0].when, true
+	}
+	if s.ringCount > 0 {
+		for i := range s.buckets {
+			b := &s.buckets[i]
+			if len(b.items) > 0 && (!have || b.when < next) {
+				next, have = b.when, true
+			}
+		}
+	}
+	return next, have
 }
 
 // AdvanceTo moves the clock forward to cycle c, firing events in order.
 // It is used by fast-forward paths; c earlier than now is a no-op.
 func (s *Scheduler) AdvanceTo(c Cycle) {
 	for s.now < c {
-		if len(s.events) == 0 {
-			s.now = c
-			return
-		}
-		next := s.events[0].when
-		if next > c {
+		next, ok := s.nextEventTime()
+		if !ok || next > c {
 			s.now = c
 			return
 		}
@@ -105,9 +258,60 @@ func (s *Scheduler) AdvanceTo(c Cycle) {
 			s.now = next
 		}
 		s.runDue()
-		if s.now < c && len(s.events) == 0 {
-			s.now = c
-			return
-		}
 	}
+}
+
+// --- 4-ary min-heap of items, ordered by (when, seq) ---
+
+// A 4-ary heap halves the tree depth of a binary heap, trading slightly
+// more comparisons per level for fewer cache-missing levels — a consistent
+// win for event queues whose pops dominate.
+type heap4 []item
+
+func (h *heap4) push(it item) {
+	*h = append(*h, it)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !q[i].before(&q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *heap4) pop() item {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = item{}
+	q = q[:n]
+	*h = q
+	// Sift down.
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for k := first + 1; k < last; k++ {
+			if q[k].before(&q[min]) {
+				min = k
+			}
+		}
+		if !q[min].before(&q[i]) {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	return top
 }

@@ -1,0 +1,78 @@
+package figures
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/defense"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestCachedRunDeduplicates verifies the singleflight semantics: one
+// execution per key, even under concurrency, and distinct keys stay
+// distinct.
+func TestCachedRunDeduplicates(t *testing.T) {
+	defer ResetRunCache()
+	ResetRunCache()
+	var mu sync.Mutex
+	runs := map[string]int{}
+	mk := func(name string, cycles uint64) func() (sim.RunResult, error) {
+		return func() (sim.RunResult, error) {
+			mu.Lock()
+			runs[name]++
+			mu.Unlock()
+			return sim.RunResult{Cycles: 1}, nil
+		}
+	}
+	keyA := runKey{workload: "w", scheme: "insecure", scale: 0.1, maxCycles: 100}
+	keyB := runKey{workload: "w", scheme: "insecure", scale: 0.1, maxCycles: 100, l0dSize: 64}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := cachedRun(keyA, mk("a", 1)); err != nil {
+				t.Error(err)
+			}
+			if _, err := cachedRun(keyB, mk("b", 2)); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if runs["a"] != 1 || runs["b"] != 1 {
+		t.Fatalf("runs = %v, want one per key", runs)
+	}
+}
+
+// TestMemoizedMatrixMatchesFreshRun verifies the figure-level dedup does
+// not change any individual run's cycle count: a memoized matrix cell must
+// equal an uncached RunOne of the same configuration.
+func TestMemoizedMatrixMatchesFreshRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration")
+	}
+	defer ResetRunCache()
+	ResetRunCache()
+	opt := tinyOptions()
+	spec, _ := workload.ByName("hmmer")
+	jobs := []job{
+		{spec: spec, scheme: defense.Insecure(), series: "baseline", work: spec.Name},
+		{spec: spec, scheme: defense.Insecure(), series: "dup", work: spec.Name},
+	}
+	cycles, err := runMatrix(jobs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := RunOne(spec, defense.Insecure(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cycles["baseline"][spec.Name]; got != fresh.Cycles {
+		t.Fatalf("memoized cycles %d != fresh %d", got, fresh.Cycles)
+	}
+	if cycles["dup"][spec.Name] != cycles["baseline"][spec.Name] {
+		t.Fatal("duplicate job diverged from its memoized twin")
+	}
+}

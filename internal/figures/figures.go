@@ -36,7 +36,60 @@ func DefaultOptions() Options {
 	return Options{Scale: 0.15, MaxCycles: 40_000_000}
 }
 
+// runKey identifies one deterministic simulation: every figure input that
+// can change a run's outcome is part of the key. Geometry fields are only
+// non-zero for the Fig 5/6 filter-cache sweeps.
+type runKey struct {
+	workload  string
+	scheme    string
+	scale     float64
+	maxCycles int
+	l0dSize   uint64
+	l0dAssoc  int
+}
+
+// runEntry is a singleflight-style cache slot: concurrent jobs for the
+// same key share one simulation.
+type runEntry struct {
+	once sync.Once
+	res  sim.RunResult
+	err  error
+}
+
+var (
+	runCacheMu sync.Mutex
+	runCache   = map[runKey]*runEntry{}
+)
+
+// cachedRun memoizes deterministic figure runs for the lifetime of the
+// process: Fig 5 and Fig 6 re-run the insecure Parsec baseline Fig 4
+// already ran, and Fig 7 re-runs Fig 3's MuonTrap SPEC column, so a figure
+// suite (cmd/figures, the Fig benchmarks) pays for each distinct
+// (workload, scheme, scale, geometry) combination exactly once. Every
+// individual run is unchanged — only duplicates are elided. Results are
+// shared; callers must not mutate them.
+func cachedRun(key runKey, run func() (sim.RunResult, error)) (sim.RunResult, error) {
+	runCacheMu.Lock()
+	e := runCache[key]
+	if e == nil {
+		e = &runEntry{}
+		runCache[key] = e
+	}
+	runCacheMu.Unlock()
+	e.once.Do(func() { e.res, e.err = run() })
+	return e.res, e.err
+}
+
+// ResetRunCache drops all memoized figure runs (test hook).
+func ResetRunCache() {
+	runCacheMu.Lock()
+	runCache = map[runKey]*runEntry{}
+	runCacheMu.Unlock()
+}
+
 // RunOne executes one workload under one scheme and returns the result.
+// It is NOT memoized — throughput benchmarks and API users get a fresh
+// simulation; the figure matrices deduplicate through cachedRun.
 func RunOne(spec workload.Spec, sch defense.Scheme, opt Options) (sim.RunResult, error) {
 	prog := workload.Build(spec, opt.Scale)
 	cores := 1
@@ -67,10 +120,11 @@ type job struct {
 	spec   workload.Spec
 	scheme defense.Scheme
 	// custom overrides the scheme-derived run when non-nil (Fig 5/6 cache
-	// sweeps).
-	custom func() (sim.RunResult, error)
-	series string
-	work   string
+	// sweeps); customKey identifies it for memoization.
+	custom    func() (sim.RunResult, error)
+	customKey runKey
+	series    string
+	work      string
 }
 
 // runMatrix executes jobs in parallel and returns cycles per (series,
@@ -98,9 +152,13 @@ func runMatrix(jobs []job, opt Options) (map[string]map[string]event.Cycle, erro
 			var res sim.RunResult
 			var err error
 			if j.custom != nil {
-				res, err = j.custom()
+				res, err = cachedRun(j.customKey, j.custom)
 			} else {
-				res, err = RunOne(j.spec, j.scheme, opt)
+				key := runKey{workload: j.spec.Name, scheme: j.scheme.Name,
+					scale: opt.Scale, maxCycles: opt.MaxCycles}
+				res, err = cachedRun(key, func() (sim.RunResult, error) {
+					return RunOne(j.spec, j.scheme, opt)
+				})
 			}
 			results <- outcome{j.series, j.work, res.Cycles, err}
 		}()
@@ -205,6 +263,9 @@ func Fig5(opt Options) (*stats.Table, error) {
 			size := size
 			jobs = append(jobs, job{
 				work: sp.Name, series: fmt.Sprintf("%dB", size),
+				customKey: runKey{workload: sp.Name, scheme: "muontrap-sweep",
+					scale: opt.Scale, maxCycles: opt.MaxCycles,
+					l0dSize: size, l0dAssoc: int(size / 64)},
 				custom: func() (sim.RunResult, error) {
 					return sweepRun(sp, size, int(size/64), opt) // fully associative
 				},
@@ -236,6 +297,9 @@ func Fig6(opt Options) (*stats.Table, error) {
 			a := a
 			jobs = append(jobs, job{
 				work: sp.Name, series: fmt.Sprintf("%d-way", a),
+				customKey: runKey{workload: sp.Name, scheme: "muontrap-sweep",
+					scale: opt.Scale, maxCycles: opt.MaxCycles,
+					l0dSize: 2048, l0dAssoc: a},
 				custom: func() (sim.RunResult, error) {
 					return sweepRun(sp, 2048, a, opt)
 				},
@@ -275,7 +339,11 @@ func Fig7(opt Options) (*stats.Table, error) {
 		go func() {
 			defer wg.Done()
 			defer func() { <-par }()
-			res, err := RunOne(sp, defense.MuonTrap(), opt)
+			key := runKey{workload: sp.Name, scheme: defense.MuonTrap().Name,
+				scale: opt.Scale, maxCycles: opt.MaxCycles}
+			res, err := cachedRun(key, func() (sim.RunResult, error) {
+				return RunOne(sp, defense.MuonTrap(), opt)
+			})
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {

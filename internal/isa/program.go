@@ -28,6 +28,25 @@ type Program struct {
 	Text  []Inst
 	Data  []DataSegment
 	Entry uint64
+
+	// static is the predecoded per-instruction metadata table, built once
+	// by Predecode (Build does this automatically) and indexed in lockstep
+	// with Text.
+	static []StaticInst
+}
+
+// Predecode builds the static-instruction table. It is idempotent and is
+// called by Build; hand-assembled Programs get it lazily from the core's
+// SetProgram.
+func (p *Program) Predecode() {
+	if len(p.static) == len(p.Text) {
+		return
+	}
+	tab := make([]StaticInst, len(p.Text))
+	for i, in := range p.Text {
+		tab[i] = NewStaticInst(in)
+	}
+	p.static = tab
 }
 
 // InstAt returns the instruction at virtual address pc, or (Inst{}, false)
@@ -41,6 +60,21 @@ func (p *Program) InstAt(pc uint64) (Inst, bool) {
 		return Inst{}, false
 	}
 	return p.Text[idx], true
+}
+
+// StaticAt returns the predecoded instruction at virtual address pc, or
+// (nil, false) when pc is outside the text segment. The returned pointer is
+// into the program's static table and stays valid for the program's
+// lifetime.
+func (p *Program) StaticAt(pc uint64) (*StaticInst, bool) {
+	if pc < TextBase || (pc-TextBase)%InstBytes != 0 {
+		return nil, false
+	}
+	idx := (pc - TextBase) / InstBytes
+	if idx >= uint64(len(p.static)) {
+		return nil, false
+	}
+	return &p.static[idx], true
 }
 
 // TextEnd returns the first address past the text segment.
@@ -298,7 +332,9 @@ func (b *Builder) Build() (*Program, error) {
 			b.text[f.idx].Imm = int64(addr & 0xffff)
 		}
 	}
-	return &Program{Name: b.name, Text: b.text, Data: b.data, Entry: TextBase}, nil
+	p := &Program{Name: b.name, Text: b.text, Data: b.data, Entry: TextBase}
+	p.Predecode()
+	return p, nil
 }
 
 // MustBuild is Build that panics on error; used by workload generators

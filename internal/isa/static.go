@@ -1,0 +1,38 @@
+package isa
+
+// StaticInst is one predecoded static instruction: the raw Inst plus every
+// per-opcode property the pipeline consults for each dynamic instance.
+// Predecoding once per Program turns the hot-path Class/SrcRegs/WritesReg
+// switches into field loads — the simulator dispatches each static
+// instruction millions of times, so the switch cost is pure overhead.
+type StaticInst struct {
+	Inst  Inst
+	Class Class
+
+	// Source operands, in the fixed two-slot form of SrcRegs.
+	Src1, Src2 Reg
+	Use1, Use2 bool
+
+	// Destination register, when Writes.
+	Dest   Reg
+	Writes bool
+
+	// IsLoad/IsStore/IsAmo classify memory instructions; IsBranch marks
+	// instructions that resolve through the branch unit (conditional
+	// branches and indirect jumps — not direct jumps, whose target is
+	// known at decode).
+	IsLoad, IsStore, IsAmo bool
+	IsBranch               bool
+}
+
+// NewStaticInst predecodes one instruction.
+func NewStaticInst(in Inst) StaticInst {
+	si := StaticInst{Inst: in, Class: in.Op.Class()}
+	si.Src1, si.Use1, si.Src2, si.Use2 = in.SrcRegs()
+	si.Dest, si.Writes = in.WritesReg()
+	si.IsLoad = in.Op == OpLoad
+	si.IsStore = in.Op == OpStore
+	si.IsAmo = in.Op == OpAmoCas
+	si.IsBranch = si.Class == ClassBranch || si.Class == ClassJumpInd
+	return si
+}

@@ -1,0 +1,124 @@
+package isa
+
+import "testing"
+
+// TestPredecodeMatchesDynamicQueries verifies the static table agrees with
+// the switch-based queries for every opcode (the predecode is a cache of
+// those switches; divergence would silently corrupt the pipeline).
+func TestPredecodeMatchesDynamicQueries(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		in := Inst{Op: op, Rd: X(5), Rs1: X(6), Rs2: X(7), Imm: 16}
+		si := NewStaticInst(in)
+		if si.Class != op.Class() {
+			t.Fatalf("%v: class %v != %v", op, si.Class, op.Class())
+		}
+		s1, u1, s2, u2 := in.SrcRegs()
+		if si.Src1 != s1 || si.Use1 != u1 || si.Src2 != s2 || si.Use2 != u2 {
+			t.Fatalf("%v: srcs (%v,%v,%v,%v) != (%v,%v,%v,%v)",
+				op, si.Src1, si.Use1, si.Src2, si.Use2, s1, u1, s2, u2)
+		}
+		rd, w := in.WritesReg()
+		if si.Dest != rd || si.Writes != w {
+			t.Fatalf("%v: dest (%v,%v) != (%v,%v)", op, si.Dest, si.Writes, rd, w)
+		}
+		if si.IsLoad != (op == OpLoad) || si.IsStore != (op == OpStore) || si.IsAmo != (op == OpAmoCas) {
+			t.Fatalf("%v: memory flags wrong", op)
+		}
+		wantBranch := op.Class() == ClassBranch || op.Class() == ClassJumpInd
+		if si.IsBranch != wantBranch {
+			t.Fatalf("%v: IsBranch %v, want %v", op, si.IsBranch, wantBranch)
+		}
+	}
+}
+
+// TestProgramStaticAt verifies table indexing agrees with InstAt across
+// the text segment and its boundaries.
+func TestProgramStaticAt(t *testing.T) {
+	b := NewBuilder("s")
+	b.Addi(X(5), Zero, 1)
+	b.Load(X(6), X(5), 8)
+	b.Halt()
+	p := b.MustBuild()
+	for pc := TextBase - InstBytes; pc <= p.TextEnd()+InstBytes; pc += InstBytes {
+		in, ok := p.InstAt(pc)
+		si, sok := p.StaticAt(pc)
+		if ok != sok {
+			t.Fatalf("pc %#x: InstAt ok=%v StaticAt ok=%v", pc, ok, sok)
+		}
+		if ok && si.Inst != in {
+			t.Fatalf("pc %#x: static inst %v != %v", pc, si.Inst, in)
+		}
+	}
+	if _, ok := p.StaticAt(TextBase + 2); ok {
+		t.Fatal("misaligned pc resolved")
+	}
+}
+
+// BenchmarkPredecodedExec measures the per-dynamic-instruction cost of the
+// predecoded metadata path (table load + Exec) against re-deriving the
+// metadata through the opcode switches, isolating what the predecode layer
+// saves the pipeline per instruction.
+func BenchmarkPredecodedExec(b *testing.B) {
+	bl := NewBuilder("bench")
+	for i := 0; i < 256; i++ {
+		switch i % 4 {
+		case 0:
+			bl.Add(X(5), X(6), X(7))
+		case 1:
+			bl.Load(X(8), X(5), 8)
+		case 2:
+			bl.Beq(X(5), X(6), "end")
+		case 3:
+			bl.Store(X(8), X(5), 16)
+		}
+	}
+	bl.Label("end")
+	bl.Halt()
+	p := bl.MustBuild()
+
+	b.Run("predecoded", func(b *testing.B) {
+		b.ReportAllocs()
+		var acc uint64
+		for i := 0; i < b.N; i++ {
+			pc := TextBase + uint64(i%256)*InstBytes
+			si, _ := p.StaticAt(pc)
+			if si.Writes {
+				acc += uint64(si.Dest)
+			}
+			if si.Use1 {
+				acc += uint64(si.Src1)
+			}
+			if si.IsBranch || si.IsLoad || si.IsStore {
+				acc++
+			}
+			acc += uint64(si.Class)
+			r := Exec(si.Inst, pc, acc, 2)
+			acc += r.Value
+		}
+		sink = acc
+	})
+	b.Run("switch-decoded", func(b *testing.B) {
+		b.ReportAllocs()
+		var acc uint64
+		for i := 0; i < b.N; i++ {
+			pc := TextBase + uint64(i%256)*InstBytes
+			in, _ := p.InstAt(pc)
+			if rd, w := in.WritesReg(); w {
+				acc += uint64(rd)
+			}
+			if s1, u1, _, _ := in.SrcRegs(); u1 {
+				acc += uint64(s1)
+			}
+			cls := in.Op.Class()
+			if cls == ClassBranch || cls == ClassJumpInd || cls == ClassLoad || cls == ClassStore {
+				acc++
+			}
+			acc += uint64(cls)
+			r := Exec(in, pc, acc, 2)
+			acc += r.Value
+		}
+		sink = acc
+	})
+}
+
+var sink uint64

@@ -202,8 +202,8 @@ func TestCommitWriteThroughInstallsAndUpgrades(t *testing.T) {
 	if p.L2Peek(pa) == nil {
 		t.Fatal("inclusive L2 missing committed line")
 	}
-	if p.SEUpgrades != 1 {
-		t.Fatalf("SEUpgrades = %d, want 1", p.SEUpgrades)
+	if p.Stat(PCSEUpgrades) != 1 {
+		t.Fatalf("SEUpgrades = %d, want 1", p.Stat(PCSEUpgrades))
 	}
 }
 
@@ -225,8 +225,8 @@ func TestCommitOfEvictedLineReloads(t *testing.T) {
 	for i := 0; i < 500; i++ {
 		r.sched.Tick()
 	}
-	if p.CommitReloads != 1 {
-		t.Fatalf("CommitReloads = %d, want 1", p.CommitReloads)
+	if p.Stat(PCCommitReloads) != 1 {
+		t.Fatalf("CommitReloads = %d, want 1", p.Stat(PCCommitReloads))
 	}
 	if p.L1DPeek(pa) == nil {
 		t.Fatal("passive reload did not install the line in L1")
@@ -303,13 +303,13 @@ func TestFigure7Accounting(t *testing.T) {
 	va := mem.VAddr(0x300000)
 	// First store: nothing local -> upgrade counted.
 	r.store(t, 0, va, pa)
-	if p.StoreUpgrades != 1 || p.StoreDrains != 1 {
-		t.Fatalf("upgrades/drains = %d/%d, want 1/1", p.StoreUpgrades, p.StoreDrains)
+	if p.Stat(PCStoreUpgrades) != 1 || p.Stat(PCStoreDrains) != 1 {
+		t.Fatalf("upgrades/drains = %d/%d, want 1/1", p.Stat(PCStoreUpgrades), p.Stat(PCStoreDrains))
 	}
 	// Second store to the same line: already M locally -> no upgrade.
 	r.store(t, 0, va, pa)
-	if p.StoreUpgrades != 1 || p.StoreDrains != 2 {
-		t.Fatalf("upgrades/drains = %d/%d, want 1/2", p.StoreUpgrades, p.StoreDrains)
+	if p.Stat(PCStoreUpgrades) != 1 || p.Stat(PCStoreDrains) != 2 {
+		t.Fatalf("upgrades/drains = %d/%d, want 1/2", p.Stat(PCStoreUpgrades), p.Stat(PCStoreDrains))
 	}
 }
 

@@ -8,13 +8,70 @@ import (
 	"repro/internal/tlb"
 )
 
+// PortCounter indexes a Port's fixed counter array. Hot-path statistic
+// bumps are plain array increments; the name table is only consulted when
+// counters are dumped for the figures harness.
+type PortCounter uint8
+
+// Port counters.
+const (
+	PCLoads PortCounter = iota
+	PCStores
+	PCIfetches
+	PCL1DHits
+	PCL1DMisses
+	PCL1IHits
+	PCL1IMisses
+	PCStoreDrains
+	PCStoreUpgrades // drains that were not already M/E locally (fig 7)
+	PCCommitWrites  // commit-time write-throughs of filter lines
+	PCCommitReloads // passive reloads of lines evicted before commit
+	PCSEUpgrades    // asynchronous S->E upgrades at commit
+	PCDomainFlushes
+	PCMisspecFlushes
+	PCPTWalks
+	PCNACKRetries
+	numPortCounters
+)
+
+var portCounterNames = [numPortCounters]string{
+	PCLoads:          "loads",
+	PCStores:         "stores",
+	PCIfetches:       "ifetches",
+	PCL1DHits:        "l1d.hits",
+	PCL1DMisses:      "l1d.misses",
+	PCL1IHits:        "l1i.hits",
+	PCL1IMisses:      "l1i.misses",
+	PCStoreDrains:    "store.drains",
+	PCStoreUpgrades:  "store.upgrades",
+	PCCommitWrites:   "commit.writes",
+	PCCommitReloads:  "commit.reloads",
+	PCSEUpgrades:     "commit.se_upgrades",
+	PCDomainFlushes:  "flush.domain",
+	PCMisspecFlushes: "flush.misspec",
+	PCPTWalks:        "ptwalks",
+	PCNACKRetries:    "nack.retries",
+}
+
+// Client receives typed completions for the allocation-free request paths
+// (TranslateC/LoadC/LoadNoFillC/IfetchC). The out-of-order core implements
+// it; requests carry a (pool index, seq) pair — or (fetch sentinel, epoch)
+// for instruction fetches — that the client validates against recycling.
+type Client interface {
+	TranslateDone(idx int32, seq uint64, paddr mem.Addr, walked, fault bool)
+	LoadDone(idx int32, seq uint64, res AccessResult)
+	IfetchDone(epoch uint64, res AccessResult)
+}
+
 // Port is one core's window onto the memory system: its filter caches,
 // L1 caches and TLBs, plus the operations the pipeline invokes. All
-// operations complete through callbacks scheduled on the hierarchy's
-// event scheduler; none block.
+// operations complete through callbacks or typed client notifications
+// scheduled on the hierarchy's event scheduler; none block.
 type Port struct {
 	h  *Hierarchy
 	id int
+
+	client Client
 
 	l0d *core.FilterCache // nil unless Mode.L0Data
 	l0i *core.FilterCache // nil unless Mode.L0Inst
@@ -33,23 +90,14 @@ type Port struct {
 
 	lastCommitILine uint64
 
-	// Stats.
-	Loads          uint64
-	Stores         uint64
-	Ifetches       uint64
-	L1DHits        uint64
-	L1DMisses      uint64
-	L1IHits        uint64
-	L1IMisses      uint64
-	StoreDrains    uint64
-	StoreUpgrades  uint64 // drains that were not already M/E locally (fig 7)
-	CommitWrites   uint64 // commit-time write-throughs of filter lines
-	CommitReloads  uint64 // passive reloads of lines evicted before commit
-	SEUpgrades     uint64 // asynchronous S->E upgrades at commit
-	DomainFlushes  uint64
-	MisspecFlushes uint64
-	PTWalks        uint64
-	NACKRetries    uint64
+	ctr [numPortCounters]uint64
+
+	// Deferred-callback registries: completion closures parked in reused
+	// slots so scheduling a delivery event never boxes or re-allocates.
+	cbs     []func(AccessResult)
+	cbFree  []int32
+	vcbs    []func()
+	vcbFree []int32
 }
 
 func newPort(h *Hierarchy, id int) *Port {
@@ -78,6 +126,9 @@ func newPort(h *Hierarchy, id int) *Port {
 	return p
 }
 
+// SetClient installs the typed-completion receiver (the owning core).
+func (p *Port) SetClient(cl Client) { p.client = cl }
+
 // SetProcess installs the address space the port translates for.
 func (p *Port) SetProcess(asid uint64, pt *tlb.PageTable) {
 	p.asid = asid
@@ -86,6 +137,9 @@ func (p *Port) SetProcess(asid uint64, pt *tlb.PageTable) {
 
 // ASID returns the current address-space ID.
 func (p *Port) ASID() uint64 { return p.asid }
+
+// Stat reads one hot-path counter.
+func (p *Port) Stat(c PortCounter) uint64 { return p.ctr[c] }
 
 // FilterD returns the data filter cache (may be nil).
 func (p *Port) FilterD() *core.FilterCache { return p.l0d }
@@ -104,6 +158,165 @@ func (p *Port) L2Peek(paddr mem.Addr) *cache.Line { return p.h.l2.Peek(uint64(pa
 
 func (p *Port) after(d event.Cycle, fn func()) { p.h.sched.After(d, fn) }
 
+// --- Typed event plumbing (event.Handler) ---
+
+// Port event ops.
+const (
+	popDeliverAccess int32 = iota // a1 = cb slot, a2 = encoded AccessResult
+	popDeliverVoid                // a1 = vcb slot
+	popLoadDone                   // a1 = idx | res<<32, a2 = inst seq
+	popIfetchDone                 // a1 = encoded AccessResult, a2 = fetch epoch
+	popDrainFin                   // a1 = line, a2 = (vslot+1)<<1 | broadcast
+	popCommitWT                   // a1 = line paddr, a2 = cache state
+)
+
+func encodeResult(res AccessResult) uint64 {
+	v := uint64(res.Level)
+	if res.NACK {
+		v |= 1 << 8
+	}
+	return v
+}
+
+func decodeResult(v uint64) AccessResult {
+	return AccessResult{Level: FillLevel(v & 0xff), NACK: v&(1<<8) != 0}
+}
+
+// HandleEvent dispatches the port's scheduled completions.
+func (p *Port) HandleEvent(op int32, a1, a2 uint64) {
+	switch op {
+	case popDeliverAccess:
+		p.cbTake(int32(a1))(decodeResult(a2))
+	case popDeliverVoid:
+		p.vcbTake(int32(a1))()
+	case popLoadDone:
+		p.client.LoadDone(int32(uint32(a1)), a2, decodeResult(a1>>32))
+	case popIfetchDone:
+		p.client.IfetchDone(a2, decodeResult(a1))
+	case popDrainFin:
+		line := a1
+		p.h.invalidateSharers(line, p.id)
+		if a2&1 != 0 {
+			p.h.broadcastFilterInvalidate(line, p.id)
+		}
+		p.l1InstallData(line, cache.Modified)
+		if l2 := p.h.l2.Peek(line); l2 != nil {
+			l2.State = cache.Modified
+		}
+		if slot := a2 >> 1; slot != 0 {
+			p.vcbTake(int32(slot - 1))()
+		}
+	case popCommitWT:
+		p.commitWTFin(uint64(a1), cache.State(a2))
+	}
+}
+
+func (p *Port) cbPut(fn func(AccessResult)) int32 {
+	if n := len(p.cbFree); n > 0 {
+		slot := p.cbFree[n-1]
+		p.cbFree = p.cbFree[:n-1]
+		p.cbs[slot] = fn
+		return slot
+	}
+	p.cbs = append(p.cbs, fn)
+	return int32(len(p.cbs) - 1)
+}
+
+func (p *Port) cbTake(slot int32) func(AccessResult) {
+	fn := p.cbs[slot]
+	p.cbs[slot] = nil
+	p.cbFree = append(p.cbFree, slot)
+	return fn
+}
+
+func (p *Port) vcbPut(fn func()) int32 {
+	if n := len(p.vcbFree); n > 0 {
+		slot := p.vcbFree[n-1]
+		p.vcbFree = p.vcbFree[:n-1]
+		p.vcbs[slot] = fn
+		return slot
+	}
+	p.vcbs = append(p.vcbs, fn)
+	return int32(len(p.vcbs) - 1)
+}
+
+func (p *Port) vcbTake(slot int32) func() {
+	fn := p.vcbs[slot]
+	p.vcbs[slot] = nil
+	p.vcbFree = append(p.vcbFree, slot)
+	return fn
+}
+
+// comp is a pending data-access completion: either a typed client delivery
+// (idx ≥ 0, validated by seq) or a stored callback.
+type comp struct {
+	idx int32
+	seq uint64
+	cb  func(AccessResult)
+}
+
+func compOf(cb func(AccessResult)) comp { return comp{idx: -1, cb: cb} }
+
+// complete schedules delivery of a data-access result after lat cycles
+// without allocating.
+func (p *Port) complete(lat event.Cycle, cm comp, res AccessResult) {
+	if cm.idx >= 0 {
+		p.h.sched.AfterEvent(lat, p, popLoadDone,
+			uint64(uint32(cm.idx))|encodeResult(res)<<32, cm.seq)
+		return
+	}
+	p.h.sched.AfterEvent(lat, p, popDeliverAccess, uint64(p.cbPut(cm.cb)), encodeResult(res))
+}
+
+// completeNow delivers synchronously (MSHR coalescing wake-ups fire inside
+// the primary miss's completion event).
+func (p *Port) completeNow(cm comp, res AccessResult) {
+	if cm.idx >= 0 {
+		p.client.LoadDone(cm.idx, cm.seq, res)
+		return
+	}
+	cm.cb(res)
+}
+
+// icomp is a pending instruction-fetch completion.
+type icomp struct {
+	typed bool
+	epoch uint64
+	cb    func(AccessResult)
+}
+
+func (p *Port) completeI(lat event.Cycle, cm icomp, res AccessResult) {
+	if cm.typed {
+		p.h.sched.AfterEvent(lat, p, popIfetchDone, encodeResult(res), cm.epoch)
+		return
+	}
+	p.h.sched.AfterEvent(lat, p, popDeliverAccess, uint64(p.cbPut(cm.cb)), encodeResult(res))
+}
+
+func (p *Port) completeINow(cm icomp, res AccessResult) {
+	if cm.typed {
+		p.client.IfetchDone(cm.epoch, res)
+		return
+	}
+	cm.cb(res)
+}
+
+// tcomp is a pending translation completion.
+type tcomp struct {
+	typed bool
+	idx   int32
+	seq   uint64
+	fn    func(paddr mem.Addr, walked, fault bool)
+}
+
+func (p *Port) translateDone(cm tcomp, pa mem.Addr, walked, fault bool) {
+	if cm.typed {
+		p.client.TranslateDone(cm.idx, cm.seq, pa, walked, fault)
+		return
+	}
+	cm.fn(pa, walked, fault)
+}
+
 // --- Translation ---
 
 // Translate resolves vaddr through the TLBs, walking the page table on a
@@ -111,18 +324,29 @@ func (p *Port) after(d event.Cycle, fn func()) { p.h.sched.After(d, fn) }
 // the physical address, whether the translation required a walk, and
 // whether the page was unmapped (fault).
 func (p *Port) Translate(vaddr mem.VAddr, instr, spec bool, done func(paddr mem.Addr, walked, fault bool)) {
+	p.translate(vaddr, instr, spec, tcomp{fn: done})
+}
+
+// TranslateC is the allocation-free Translate: the completion goes to the
+// client's TranslateDone with the given (idx, seq) identification. TLB
+// hits complete synchronously.
+func (p *Port) TranslateC(vaddr mem.VAddr, instr, spec bool, idx int32, seq uint64) {
+	p.translate(vaddr, instr, spec, tcomp{typed: true, idx: idx, seq: seq})
+}
+
+func (p *Port) translate(vaddr mem.VAddr, instr, spec bool, cm tcomp) {
 	vpn := mem.PageNum(vaddr)
 	main := p.dtlb
 	if instr {
 		main = p.itlb
 	}
 	if pfn, ok := main.Lookup(p.asid, vpn); ok {
-		done(mem.Addr(pfn<<mem.PageShift|uint64(vaddr)%mem.PageBytes), false, false)
+		p.translateDone(cm, mem.Addr(pfn<<mem.PageShift|uint64(vaddr)%mem.PageBytes), false, false)
 		return
 	}
 	if p.fdtlb != nil {
 		if pfn, ok := p.fdtlb.Lookup(p.asid, vpn); ok {
-			done(mem.Addr(pfn<<mem.PageShift|uint64(vaddr)%mem.PageBytes), false, false)
+			p.translateDone(cm, mem.Addr(pfn<<mem.PageShift|uint64(vaddr)%mem.PageBytes), false, false)
 			return
 		}
 	}
@@ -130,10 +354,10 @@ func (p *Port) Translate(vaddr mem.VAddr, instr, spec bool, done func(paddr mem.
 	// the data-cache path.
 	pfn, mapped := p.pt.Translate(vpn)
 	if !mapped {
-		done(0, true, true)
+		p.translateDone(cm, 0, true, true)
 		return
 	}
-	p.PTWalks++
+	p.ctr[PCPTWalks]++
 	addrs := p.pt.WalkAddrs(vpn)
 	var step func(i int)
 	step = func(i int) {
@@ -144,12 +368,12 @@ func (p *Port) Translate(vaddr mem.VAddr, instr, spec bool, done func(paddr mem.
 			} else {
 				main.Insert(p.asid, vpn, pfn)
 			}
-			done(mem.Addr(pfn<<mem.PageShift|uint64(vaddr)%mem.PageBytes), true, false)
+			p.translateDone(cm, mem.Addr(pfn<<mem.PageShift|uint64(vaddr)%mem.PageBytes), true, false)
 			return
 		}
-		p.dataRead(0, mem.VAddr(addrs[i]), addrs[i], spec, false, func(AccessResult) {
+		p.dataRead(0, mem.VAddr(addrs[i]), addrs[i], spec, false, compOf(func(AccessResult) {
 			step(i + 1)
-		})
+		}))
 	}
 	step(0)
 }
@@ -186,15 +410,25 @@ func (p *Port) CommitTranslation(vaddr mem.VAddr, instr bool) {
 // which case the core reissues with spec=false once the load is the
 // oldest instruction.
 func (p *Port) Load(pc uint64, vaddr mem.VAddr, paddr mem.Addr, spec bool, done func(AccessResult)) {
-	p.Loads++
+	p.load(pc, vaddr, paddr, spec, compOf(done))
+}
+
+// LoadC is the allocation-free Load: completion goes to the client's
+// LoadDone identified by (idx, seq).
+func (p *Port) LoadC(pc uint64, vaddr mem.VAddr, paddr mem.Addr, spec bool, idx int32, seq uint64) {
+	p.load(pc, vaddr, paddr, spec, comp{idx: idx, seq: seq})
+}
+
+func (p *Port) load(pc uint64, vaddr mem.VAddr, paddr mem.Addr, spec bool, cm comp) {
+	p.ctr[PCLoads]++
 	if !spec {
-		p.NACKRetries++
+		p.ctr[PCNACKRetries]++
 	}
-	p.dataRead(pc, vaddr, paddr, spec, true, done)
+	p.dataRead(pc, vaddr, paddr, spec, true, cm)
 }
 
 // dataRead is the shared load/PTW read path.
-func (p *Port) dataRead(pc uint64, vaddr mem.VAddr, paddr mem.Addr, spec, train bool, done func(AccessResult)) {
+func (p *Port) dataRead(pc uint64, vaddr mem.VAddr, paddr mem.Addr, spec, train bool, cm comp) {
 	m := p.h.cfg.Mode
 	lat := p.h.cfg.Lat
 	line := uint64(mem.LineAddr(paddr))
@@ -203,7 +437,7 @@ func (p *Port) dataRead(pc uint64, vaddr mem.VAddr, paddr mem.Addr, spec, train 
 	l0Penalty := event.Cycle(0)
 	if p.l0d != nil {
 		if l := p.l0d.Lookup(mem.LineAddr(vaddr)); l != nil && l.Tag == line {
-			p.after(lat.L0Hit, func() { done(AccessResult{Level: FromL0}) })
+			p.complete(lat.L0Hit, cm, AccessResult{Level: FromL0})
 			return
 		}
 		if !m.ParallelL1 {
@@ -221,16 +455,16 @@ func (p *Port) dataRead(pc uint64, vaddr mem.VAddr, paddr mem.Addr, spec, train 
 		l1l = p.l1d.Lookup(line)
 	}
 	if l1l != nil {
-		p.L1DHits++
+		p.ctr[PCL1DHits]++
 		total := l0Penalty + lat.L1DHit
 		if p.l0d != nil {
 			// Data already non-speculative: the L0 copy starts committed.
 			p.fillL0(vaddr, paddr, cache.Shared, true, uint8(FromL1))
 		}
-		p.after(total, func() { done(AccessResult{Level: FromL1}) })
+		p.complete(total, cm, AccessResult{Level: FromL1})
 		return
 	}
-	p.L1DMisses++
+	p.ctr[PCL1DMisses]++
 
 	// Front-level MSHRs: the L0's when present, else the L1D's.
 	mshrs := p.l1dMSHRs
@@ -238,11 +472,11 @@ func (p *Port) dataRead(pc uint64, vaddr mem.VAddr, paddr mem.Addr, spec, train 
 		mshrs = p.l0d.MSHRs
 	}
 	if existing := mshrs.Lookup(line); existing != nil {
-		mshrs.Allocate(line, func() { done(AccessResult{Level: FromL2}) })
+		mshrs.Allocate(line, func() { p.completeNow(cm, AccessResult{Level: FromL2}) })
 		return
 	}
 	if mshrs.Full() {
-		p.after(lat.MSHRRetry, func() { p.dataRead(pc, vaddr, paddr, spec, train, done) })
+		p.after(lat.MSHRRetry, func() { p.dataRead(pc, vaddr, paddr, spec, train, cm) })
 		return
 	}
 	mshrs.Allocate(line, nil)
@@ -254,7 +488,7 @@ func (p *Port) dataRead(pc uint64, vaddr mem.VAddr, paddr mem.Addr, spec, train 
 	if out.nack {
 		p.after(total, func() {
 			mshrs.Complete(line)
-			done(AccessResult{NACK: true})
+			p.completeNow(cm, AccessResult{NACK: true})
 		})
 		return
 	}
@@ -291,7 +525,7 @@ func (p *Port) dataRead(pc uint64, vaddr mem.VAddr, paddr mem.Addr, spec, train 
 			}
 		}
 		mshrs.Complete(line)
-		done(AccessResult{Level: out.level})
+		p.completeNow(cm, AccessResult{Level: out.level})
 	})
 }
 
@@ -371,12 +605,15 @@ func (p *Port) StorePrefetch(pc uint64, vaddr mem.VAddr, paddr mem.Addr, done fu
 		}
 		return
 	}
-	p.dataRead(pc, vaddr, paddr, true, false, func(AccessResult) {
-		if done != nil {
-			done()
-		}
-	})
+	cb := noopAccessResult
+	if done != nil {
+		cb = func(AccessResult) { done() }
+	}
+	p.dataRead(pc, vaddr, paddr, true, false, compOf(cb))
 }
+
+// noopAccessResult discards a completion (fire-and-forget accesses).
+var noopAccessResult = func(AccessResult) {}
 
 // StoreDrain performs a committed store's cache write: obtain the line in
 // Modified state in the L1 and write the data through the hierarchy's
@@ -384,8 +621,8 @@ func (p *Port) StorePrefetch(pc uint64, vaddr mem.VAddr, paddr mem.Addr, done fu
 // line was not already held E/M by this core's own L1 — the event Figure 7
 // counts.
 func (p *Port) StoreDrain(pc uint64, vaddr mem.VAddr, paddr mem.Addr, done func()) {
-	p.Stores++
-	p.StoreDrains++
+	p.ctr[PCStores]++
+	p.ctr[PCStoreDrains]++
 	m := p.h.cfg.Mode
 	lat := p.h.cfg.Lat
 	line := uint64(mem.LineAddr(paddr))
@@ -395,11 +632,7 @@ func (p *Port) StoreDrain(pc uint64, vaddr mem.VAddr, paddr mem.Addr, done func(
 		if e := p.h.dir[line]; e != nil {
 			e.ownerState = cache.Modified
 		}
-		p.after(lat.L1DHit, func() {
-			if done != nil {
-				done()
-			}
-		})
+		p.deliverVoid(lat.L1DHit, done)
 		return
 	}
 
@@ -414,16 +647,7 @@ func (p *Port) StoreDrain(pc uint64, vaddr mem.VAddr, paddr mem.Addr, done func(
 			e := p.h.dir[line]
 			soleOwner := e == nil || ((e.owner < 0 || e.owner == p.id) && e.sharers&^(1<<uint(p.id)) == 0)
 			if soleOwner {
-				p.after(lat.L1DHit+lat.L2Port, func() {
-					p.h.invalidateSharers(line, p.id)
-					p.l1InstallData(line, cache.Modified)
-					if l2 := p.h.l2.Peek(line); l2 != nil {
-						l2.State = cache.Modified
-					}
-					if done != nil {
-						done()
-					}
-				})
+				p.scheduleDrainFin(lat.L1DHit+lat.L2Port, line, false, done)
 				return
 			}
 		}
@@ -431,9 +655,10 @@ func (p *Port) StoreDrain(pc uint64, vaddr mem.VAddr, paddr mem.Addr, done func(
 
 	// Upgrade / RFO. Latency decided from current state; all coherence
 	// state changes happen atomically at the completion event.
-	p.StoreUpgrades++
+	p.ctr[PCStoreUpgrades]++
 	extra := p.h.l2PortDelay()
-	if m.FilterProtect && m.CoherenceProtect {
+	broadcast := m.FilterProtect && m.CoherenceProtect
+	if broadcast {
 		extra += lat.Broadcast
 	}
 	// Data fetch: free if any on-chip copy exists (own L0 counts — the
@@ -453,20 +678,30 @@ func (p *Port) StoreDrain(pc uint64, vaddr mem.VAddr, paddr mem.Addr, done func(
 		p.h.DRAMFills++
 		extra += lat.L2Hit + lat.DRAMCtrl + wait
 	}
-	total := lat.L1DHit + extra
-	p.after(total, func() {
-		p.h.invalidateSharers(line, p.id)
-		if m.FilterProtect && m.CoherenceProtect {
-			p.h.broadcastFilterInvalidate(line, p.id)
-		}
-		p.l1InstallData(line, cache.Modified)
-		if l2 := p.h.l2.Peek(line); l2 != nil {
-			l2.State = cache.Modified
-		}
-		if done != nil {
-			done()
-		}
-	})
+	p.scheduleDrainFin(lat.L1DHit+extra, line, broadcast, done)
+}
+
+// deliverVoid schedules done() after lat cycles through the reusable-slot
+// registry (no per-event closure).
+func (p *Port) deliverVoid(lat event.Cycle, done func()) {
+	if done == nil {
+		return
+	}
+	p.h.sched.AfterEvent(lat, p, popDeliverVoid, uint64(p.vcbPut(done)), 0)
+}
+
+// scheduleDrainFin schedules the store-drain completion work (sharer
+// invalidation, optional filter broadcast, Modified install) as a typed
+// event.
+func (p *Port) scheduleDrainFin(lat event.Cycle, line uint64, broadcast bool, done func()) {
+	var a2 uint64
+	if done != nil {
+		a2 = uint64(p.vcbPut(done)+1) << 1
+	}
+	if broadcast {
+		a2 |= 1
+	}
+	p.h.sched.AfterEvent(lat, p, popDrainFin, line, a2)
 }
 
 // --- Commit-time actions (FilterProtect) ---
@@ -488,11 +723,11 @@ func (p *Port) CommitLoad(pc uint64, vaddr mem.VAddr, paddr mem.Addr) {
 			if !wasUncommitted {
 				return // already visible; nothing new for the hierarchy
 			}
-			p.CommitWrites++
+			p.ctr[PCCommitWrites]++
 			st := cache.Shared
 			if prev == cache.SharedExclusivePending {
 				st = cache.Exclusive
-				p.SEUpgrades++
+				p.ctr[PCSEUpgrades]++
 			}
 			fl := FromL2
 			if l := p.l0d.Snoop(mem.LineAddr(paddr)); l != nil {
@@ -506,7 +741,7 @@ func (p *Port) CommitLoad(pc uint64, vaddr mem.VAddr, paddr mem.Addr) {
 		}
 		// Evicted before commit: a valid in-order execution would have
 		// cached it, so passively reload into the L1 (§4.2).
-		p.CommitReloads++
+		p.ctr[PCCommitReloads]++
 		p.after(p.h.cfg.Lat.L2Port, func() {
 			out := p.h.l2LoadAccess(p.id, line, false, true, pc, false)
 			p.after(out.extraLat, func() {
@@ -527,22 +762,24 @@ func (p *Port) CommitLoad(pc uint64, vaddr mem.VAddr, paddr mem.Addr) {
 // asynchronously, performing the SE→E upgrade broadcast when st is
 // Exclusive (§4.5: the upgrade invalidates copies in other filter caches).
 func (p *Port) commitLineWriteThrough(paddr mem.Addr, st cache.State) {
-	line := uint64(mem.LineAddr(paddr))
 	delay := p.h.l2PortDelay() + p.h.cfg.Lat.L2Port
-	p.after(delay, func() {
-		if st == cache.Exclusive {
-			if !p.h.exclusiveAtFill(line, p.id) {
-				// Someone non-speculative took the line meanwhile; fall
-				// back to Shared.
-				st = cache.Shared
-			} else if p.h.cfg.Mode.CoherenceProtect {
-				p.h.broadcastFilterInvalidate(line, p.id)
-			}
-		} else {
-			p.h.sharedAtFill(line, p.id)
+	p.h.sched.AfterEvent(delay, p, popCommitWT, uint64(mem.LineAddr(paddr)), uint64(st))
+}
+
+// commitWTFin is the completion-time half of commitLineWriteThrough.
+func (p *Port) commitWTFin(line uint64, st cache.State) {
+	if st == cache.Exclusive {
+		if !p.h.exclusiveAtFill(line, p.id) {
+			// Someone non-speculative took the line meanwhile; fall
+			// back to Shared.
+			st = cache.Shared
+		} else if p.h.cfg.Mode.CoherenceProtect {
+			p.h.broadcastFilterInvalidate(line, p.id)
 		}
-		p.l1InstallData(line, st)
-	})
+	} else {
+		p.h.sharedAtFill(line, p.id)
+	}
+	p.l1InstallData(line, st)
 }
 
 // --- Instruction fetch ---
@@ -550,7 +787,17 @@ func (p *Port) commitLineWriteThrough(paddr mem.Addr, st cache.State) {
 // Ifetch performs an instruction-cache access for the line containing
 // paddr. All fetches are speculative until the instructions commit.
 func (p *Port) Ifetch(vaddr mem.VAddr, paddr mem.Addr, done func(AccessResult)) {
-	p.Ifetches++
+	p.ifetch(vaddr, paddr, icomp{cb: done})
+}
+
+// IfetchC is the allocation-free Ifetch: completion goes to the client's
+// IfetchDone carrying the given fetch epoch.
+func (p *Port) IfetchC(vaddr mem.VAddr, paddr mem.Addr, epoch uint64) {
+	p.ifetch(vaddr, paddr, icomp{typed: true, epoch: epoch})
+}
+
+func (p *Port) ifetch(vaddr mem.VAddr, paddr mem.Addr, cm icomp) {
+	p.ctr[PCIfetches]++
 	m := p.h.cfg.Mode
 	lat := p.h.cfg.Lat
 	line := uint64(mem.LineAddr(paddr))
@@ -558,7 +805,7 @@ func (p *Port) Ifetch(vaddr mem.VAddr, paddr mem.Addr, done func(AccessResult)) 
 	l0Penalty := event.Cycle(0)
 	if p.l0i != nil {
 		if l := p.l0i.Lookup(mem.LineAddr(vaddr)); l != nil && l.Tag == line {
-			p.after(lat.L0Hit, func() { done(AccessResult{Level: FromL0}) })
+			p.completeI(lat.L0Hit, cm, AccessResult{Level: FromL0})
 			return
 		}
 		if !m.ParallelL1 {
@@ -573,25 +820,25 @@ func (p *Port) Ifetch(vaddr mem.VAddr, paddr mem.Addr, done func(AccessResult)) 
 		l1l = p.l1i.Lookup(line)
 	}
 	if l1l != nil {
-		p.L1IHits++
+		p.ctr[PCL1IHits]++
 		if p.l0i != nil {
 			p.fillL0I(vaddr, paddr, true, uint8(FromL1))
 		}
-		p.after(l0Penalty+lat.L1IHit, func() { done(AccessResult{Level: FromL1}) })
+		p.completeI(l0Penalty+lat.L1IHit, cm, AccessResult{Level: FromL1})
 		return
 	}
-	p.L1IMisses++
+	p.ctr[PCL1IMisses]++
 
 	mshrs := p.l1iMSHRs
 	if p.l0i != nil {
 		mshrs = p.l0i.MSHRs
 	}
 	if existing := mshrs.Lookup(line); existing != nil {
-		mshrs.Allocate(line, func() { done(AccessResult{Level: FromL2}) })
+		mshrs.Allocate(line, func() { p.completeINow(cm, AccessResult{Level: FromL2}) })
 		return
 	}
 	if mshrs.Full() {
-		p.after(lat.MSHRRetry, func() { p.Ifetch(vaddr, paddr, done) })
+		p.after(lat.MSHRRetry, func() { p.ifetch(vaddr, paddr, cm) })
 		return
 	}
 	mshrs.Allocate(line, nil)
@@ -629,7 +876,7 @@ func (p *Port) Ifetch(vaddr mem.VAddr, paddr mem.Addr, done func(AccessResult)) 
 			}
 		}
 		mshrs.Complete(line)
-		done(AccessResult{Level: level})
+		p.completeINow(cm, AccessResult{Level: level})
 	})
 }
 
@@ -678,7 +925,7 @@ func (p *Port) CommitIfetch(paddr mem.Addr) {
 // entry (§4.3, §4.9). The flash invalidate itself is a single cycle; the
 // protection-domain switch cost is charged by the caller.
 func (p *Port) FlushDomain() {
-	p.DomainFlushes++
+	p.ctr[PCDomainFlushes]++
 	if p.l0d != nil {
 		p.l0d.FlashInvalidate(func(pa mem.Addr) { p.h.noteFilterDrop(uint64(pa), p.id) })
 	}
@@ -697,7 +944,7 @@ func (p *Port) FlushOnMisspec() {
 	if !p.h.cfg.Mode.ClearOnMisspec {
 		return
 	}
-	p.MisspecFlushes++
+	p.ctr[PCMisspecFlushes]++
 	if p.l0d != nil {
 		p.l0d.FlashInvalidate(func(pa mem.Addr) { p.h.noteFilterDrop(uint64(pa), p.id) })
 	}
@@ -716,11 +963,21 @@ func (p *Port) FlushOnMisspec() {
 // changes anywhere. (DRAM open-row state does change — InvisiSpec does not
 // claim to hide DRAM timing.)
 func (p *Port) LoadNoFill(paddr mem.Addr, done func(AccessResult)) {
-	p.Loads++
+	p.loadNoFill(paddr, compOf(done))
+}
+
+// LoadNoFillC is the allocation-free LoadNoFill, delivered to the client's
+// LoadDone.
+func (p *Port) LoadNoFillC(paddr mem.Addr, idx int32, seq uint64) {
+	p.loadNoFill(paddr, comp{idx: idx, seq: seq})
+}
+
+func (p *Port) loadNoFill(paddr mem.Addr, cm comp) {
+	p.ctr[PCLoads]++
 	lat := p.h.cfg.Lat
 	line := uint64(mem.LineAddr(paddr))
 	if p.l1d.Peek(line) != nil {
-		p.after(lat.L1DHit, func() { done(AccessResult{Level: FromL1}) })
+		p.complete(lat.L1DHit, cm, AccessResult{Level: FromL1})
 		return
 	}
 	extra := event.Cycle(0)
@@ -729,7 +986,7 @@ func (p *Port) LoadNoFill(paddr mem.Addr, done func(AccessResult)) {
 		extra += lat.RemoteWB
 	}
 	if p.h.l2.Peek(line) != nil {
-		p.after(lat.L1DHit+lat.L2Hit+extra, func() { done(AccessResult{Level: FromL2}) })
+		p.complete(lat.L1DHit+lat.L2Hit+extra, cm, AccessResult{Level: FromL2})
 		return
 	}
 	dramDone := p.h.dram.Access(mem.Addr(line))
@@ -737,34 +994,19 @@ func (p *Port) LoadNoFill(paddr mem.Addr, done func(AccessResult)) {
 	if dramDone > p.h.sched.Now() {
 		wait = dramDone - p.h.sched.Now()
 	}
-	p.after(lat.L1DHit+lat.L2Hit+lat.DRAMCtrl+wait+extra, func() {
-		done(AccessResult{Level: FromMem})
-	})
+	p.complete(lat.L1DHit+lat.L2Hit+lat.DRAMCtrl+wait+extra, cm, AccessResult{Level: FromMem})
 }
 
 // LoadExpose performs the InvisiSpec exposure/validation access: a normal
 // non-speculative load that installs the line in the caches.
 func (p *Port) LoadExpose(pc uint64, vaddr mem.VAddr, paddr mem.Addr, done func(AccessResult)) {
-	p.dataRead(pc, vaddr, paddr, false, true, done)
+	p.dataRead(pc, vaddr, paddr, false, true, compOf(done))
 }
 
 func (p *Port) dumpCounters(c map[string]uint64, prefix string) {
-	c[prefix+"loads"] = p.Loads
-	c[prefix+"stores"] = p.Stores
-	c[prefix+"ifetches"] = p.Ifetches
-	c[prefix+"l1d.hits"] = p.L1DHits
-	c[prefix+"l1d.misses"] = p.L1DMisses
-	c[prefix+"l1i.hits"] = p.L1IHits
-	c[prefix+"l1i.misses"] = p.L1IMisses
-	c[prefix+"store.drains"] = p.StoreDrains
-	c[prefix+"store.upgrades"] = p.StoreUpgrades
-	c[prefix+"commit.writes"] = p.CommitWrites
-	c[prefix+"commit.reloads"] = p.CommitReloads
-	c[prefix+"commit.se_upgrades"] = p.SEUpgrades
-	c[prefix+"flush.domain"] = p.DomainFlushes
-	c[prefix+"flush.misspec"] = p.MisspecFlushes
-	c[prefix+"ptwalks"] = p.PTWalks
-	c[prefix+"nack.retries"] = p.NACKRetries
+	for i := PortCounter(0); i < numPortCounters; i++ {
+		c[prefix+portCounterNames[i]] = p.ctr[i]
+	}
 	if p.l0d != nil {
 		c[prefix+"l0d.hits"] = p.l0d.Hits
 		c[prefix+"l0d.misses"] = p.l0d.Misses
