@@ -1,17 +1,27 @@
 // Command figures regenerates the paper's evaluation tables and figures
 // (Table 1 and Figures 3-9) as text tables.
 //
+// Runs are memoized at two levels: in-process (duplicate matrix cells run
+// once) and, unless disabled, in a disk cache keyed by the full run
+// configuration and the simulator build, so re-running a figure re-emits
+// previously computed rows without re-simulating. With -warmup N, each
+// workload's warm-up is executed once and every per-scheme run forks from
+// the restored snapshot.
+//
 // Usage:
 //
 //	figures -exp fig3 -scale 0.15
 //	figures -exp all
+//	figures -exp fig4 -warmup 50000
 //	figures -exp table1
+//	figures -cache off -exp fig3     # force fresh simulation
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/muontrap"
@@ -19,13 +29,26 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: table1, fig3..fig9, or all")
-		scale = flag.Float64("scale", 0.15, "workload trip-count multiplier")
+		exp    = flag.String("exp", "all", "experiment: table1, fig3..fig9, or all")
+		scale  = flag.Float64("scale", 0.15, "workload trip-count multiplier")
+		warmup = flag.Int("warmup", 0, "instructions to fast-forward per workload before the measured region (0 = run from reset)")
+		cache  = flag.String("cache", "auto", `disk cache directory; "auto" uses the user cache dir, "off" disables`)
 	)
 	flag.Parse()
 
 	opt := muontrap.DefaultOptions()
 	opt.Scale = *scale
+	opt.WarmupInsts = *warmup
+	switch *cache {
+	case "off", "":
+		opt.CacheDir = ""
+	case "auto":
+		if dir, err := os.UserCacheDir(); err == nil {
+			opt.CacheDir = filepath.Join(dir, "muontrap-figures")
+		}
+	default:
+		opt.CacheDir = *cache
+	}
 
 	run := func(id string) {
 		start := time.Now()

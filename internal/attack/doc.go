@@ -1,0 +1,27 @@
+// Package attack implements the six speculative side-channel attacks the
+// paper uses to motivate and validate MuonTrap (Attacks 1-6, §2-§4). Each
+// attack builds a small system with a victim program that really executes
+// speculatively on the out-of-order core, a receiver that measures access
+// timing, and a scoring rule. Run under the unprotected configuration the
+// attacks recover the secret; under the configuration whose mechanism the
+// paper credits as the defense, they must fail.
+//
+// Key types:
+//
+//   - Result: one trial's outcome — the probe timings, the recovered
+//     value and whether it matches the planted secret.
+//   - The attack functions (SpectrePrimeProbe, InclusionPolicy,
+//     SharedData, FilterCoherency, Prefetcher, InstructionCache), each
+//     parameterised by the memsys.Mode under test.
+//
+// Invariants:
+//
+//   - The receivers (prime, probe, timing) are driven by the harness
+//     through committed, non-speculative port accesses — exactly the
+//     attacker capability in the paper's threat model (§3): an attacker
+//     observes only its own committed accesses' timing, after a
+//     protection-domain switch.
+//   - Evictions of victim lines are performed by Hierarchy.EvictLine, the
+//     stand-in for set-contention eviction on the shared L2, which is
+//     always available to a real attacker.
+package attack

@@ -1,13 +1,3 @@
-// Package bpred implements the branch prediction hardware from the paper's
-// Table 1: a tournament predictor (2048-entry local history, 8192-entry
-// global, 2048-entry chooser), a 4096-entry branch target buffer and a
-// 16-entry return address stack.
-//
-// Spectre-style attacks depend on an attacker being able to mistrain these
-// structures, so they are modelled faithfully: saturating-counter tables
-// indexed exactly as classic tournament predictors are, a tagged
-// direct-mapped BTB that victim and attacker branches can alias in, and a
-// RAS with checkpoint/restore for squashes.
 package bpred
 
 // Config sizes the predictor.

@@ -1,0 +1,82 @@
+package bpred
+
+import (
+	"testing"
+
+	"repro/internal/checkpoint"
+)
+
+func predBytes(p *Predictor) string {
+	s := checkpoint.New()
+	p.Save(s.Section("p"))
+	return s.Hash()
+}
+
+func TestPredictorSaveRestoreRoundTrip(t *testing.T) {
+	a := New(DefaultConfig())
+	// Train through both the speculative path and warm-up training.
+	for i := 0; i < 200; i++ {
+		pc := uint64(0x400000 + (i%13)*4)
+		pr := a.PredictBranch(pc)
+		a.Update(pc, pr, i%3 != 0, pc+64, true)
+	}
+	a.WarmCall(0x400100, 0x400104, 0x400800)
+	a.WarmBranch(0x400200, true, 0x400300)
+	a.WarmRet(0x400900, 0x400104)
+
+	snap := checkpoint.New()
+	a.Save(snap.Section("p"))
+	b := New(DefaultConfig())
+	r, _ := snap.Open("p")
+	if err := b.Restore(r); err != nil {
+		t.Fatal(err)
+	}
+	if predBytes(a) != predBytes(b) {
+		t.Fatal("restored predictor differs")
+	}
+	// Behavioural check: same prediction for a trained branch.
+	pa := a.PredictBranch(0x400004)
+	pb := b.PredictBranch(0x400004)
+	if pa.Taken != pb.Taken || pa.Target != pb.Target || pa.BTBHit != pb.BTBHit {
+		t.Fatalf("prediction diverged: %+v vs %+v", pa, pb)
+	}
+}
+
+func TestPredictorRestoreRejectsConfigMismatch(t *testing.T) {
+	a := New(DefaultConfig())
+	snap := checkpoint.New()
+	a.Save(snap.Section("p"))
+	small := DefaultConfig()
+	small.BTBEntries = 64
+	b := New(small)
+	r, _ := snap.Open("p")
+	if err := b.Restore(r); err == nil {
+		t.Fatal("restore into mismatched config succeeded")
+	}
+}
+
+// TestWarmBranchMatchesDetailedTraining verifies warm-up training leaves
+// the predictor in the same state as the detailed predict/update pair for
+// sequential (never-squashed) execution — the property that makes a warm
+// snapshot equivalent to having trained the predictor in place.
+func TestWarmBranchMatchesDetailedTraining(t *testing.T) {
+	det := New(DefaultConfig())
+	warm := New(DefaultConfig())
+	outcomes := []bool{true, true, false, true, false, false, true, true}
+	pc := uint64(0x400040)
+	for _, taken := range outcomes {
+		pr := det.PredictBranch(pc)
+		if pr.Taken != taken {
+			// Mispredicted: sequential architectural execution restores the
+			// history the same way a squash would.
+			det.Squash(pr, taken)
+		}
+		det.Update(pc, pr, taken, pc+128, true)
+		warm.WarmBranch(pc, taken, pc+128)
+	}
+	dp := det.PredictBranch(pc)
+	wp := warm.PredictBranch(pc)
+	if dp.Taken != wp.Taken || dp.Target != wp.Target {
+		t.Fatalf("training diverged: detailed %+v, warm %+v", dp, wp)
+	}
+}

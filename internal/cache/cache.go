@@ -1,11 +1,3 @@
-// Package cache provides the building blocks every cache in the hierarchy
-// is made of: set-associative tag arrays with MESI line states and LRU
-// replacement, and a miss-status holding register (MSHR) file that
-// coalesces outstanding misses to the same line.
-//
-// Caches here hold metadata only; data bytes live in internal/mem. The
-// filter-cache specialisations (committed bits, dual virtual/physical tags,
-// register valid bits) are layered on by internal/core.
 package cache
 
 import (

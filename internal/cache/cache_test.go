@@ -196,14 +196,22 @@ func TestArrayInvariantsProperty(t *testing.T) {
 	}
 }
 
+// slotRecorder is a test Waker that records woken slots in order.
+type slotRecorder struct {
+	woken []int32
+}
+
+func (s *slotRecorder) MSHRWake(slot int32) { s.woken = append(s.woken, slot) }
+
 func TestMSHRCoalescing(t *testing.T) {
 	f := NewMSHRFile(2)
-	calls := 0
-	m1, ok := f.Allocate(0x1000, func() { calls++ })
+	rec := &slotRecorder{}
+	f.SetWaker(rec)
+	m1, ok := f.Allocate(0x1000, 7)
 	if !ok || m1 == nil {
 		t.Fatal("first allocation failed")
 	}
-	m2, ok := f.Allocate(0x1020, func() { calls++ }) // same line
+	m2, ok := f.Allocate(0x1020, 9) // same line
 	if !ok || m2 != m1 {
 		t.Fatal("same-line allocation should coalesce")
 	}
@@ -211,8 +219,8 @@ func TestMSHRCoalescing(t *testing.T) {
 		t.Fatalf("InUse = %d, want 1", f.InUse())
 	}
 	f.Complete(0x1000)
-	if calls != 2 {
-		t.Fatalf("waiters run = %d, want 2", calls)
+	if len(rec.woken) != 2 || rec.woken[0] != 7 || rec.woken[1] != 9 {
+		t.Fatalf("woken slots = %v, want [7 9]", rec.woken)
 	}
 	if f.InUse() != 0 {
 		t.Fatal("MSHR not released")
@@ -221,19 +229,19 @@ func TestMSHRCoalescing(t *testing.T) {
 
 func TestMSHRFullStalls(t *testing.T) {
 	f := NewMSHRFile(1)
-	f.Allocate(0x1000, nil)
-	if _, ok := f.Allocate(0x2000, nil); ok {
+	f.Allocate(0x1000, NoWaiter)
+	if _, ok := f.Allocate(0x2000, NoWaiter); ok {
 		t.Fatal("full file should refuse new line")
 	}
 	if !f.Full() {
 		t.Fatal("Full() should be true")
 	}
 	// Coalescing is still allowed when full.
-	if _, ok := f.Allocate(0x1000, nil); !ok {
+	if _, ok := f.Allocate(0x1000, NoWaiter); !ok {
 		t.Fatal("coalescing should succeed even when full")
 	}
 	f.Complete(0x1000)
-	if _, ok := f.Allocate(0x2000, nil); !ok {
+	if _, ok := f.Allocate(0x2000, NoWaiter); !ok {
 		t.Fatal("allocation after release should succeed")
 	}
 }
@@ -245,15 +253,31 @@ func TestMSHRCompleteUnknownLineIsNoop(t *testing.T) {
 
 func TestMSHRWaiterOrder(t *testing.T) {
 	f := NewMSHRFile(4)
-	var order []int
-	for i := 0; i < 5; i++ {
-		i := i
-		f.Allocate(0x40, func() { order = append(order, i) })
+	rec := &slotRecorder{}
+	f.SetWaker(rec)
+	for i := int32(0); i < 5; i++ {
+		f.Allocate(0x40, i)
 	}
 	f.Complete(0x40)
-	for i, v := range order {
-		if v != i {
-			t.Fatalf("waiter order = %v", order)
+	for i, v := range rec.woken {
+		if v != int32(i) {
+			t.Fatalf("waiter order = %v", rec.woken)
 		}
+	}
+}
+
+// TestMSHRRegisterPooling verifies retired registers are reused rather
+// than reallocated (the slot-parked design's no-allocation goal).
+func TestMSHRRegisterPooling(t *testing.T) {
+	f := NewMSHRFile(2)
+	f.SetWaker(&slotRecorder{})
+	m1, _ := f.Allocate(0x40, 1)
+	f.Complete(0x40)
+	m2, _ := f.Allocate(0x80, 2)
+	if m1 != m2 {
+		t.Fatal("register not recycled from the pool")
+	}
+	if m2.LineAddr != 0x80 || m2.Waiters() != 1 {
+		t.Fatalf("recycled register state wrong: %+v", m2)
 	}
 }

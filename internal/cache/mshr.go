@@ -2,20 +2,39 @@ package cache
 
 import "repro/internal/mem"
 
+// NoWaiter marks an Allocate that needs no wake-up when the fill returns
+// (the primary miss schedules its own completion event).
+const NoWaiter int32 = -1
+
+// Waker receives slot-parked wake-ups when a line's fill completes. The
+// owner parks its completion state in a reusable slot of its own and hands
+// the MSHR file the slot index; Complete hands the index back. This keeps
+// the coalescing path free of per-miss closures (the same scheme the
+// memory ports use for scheduled events).
+type Waker interface {
+	MSHRWake(slot int32)
+}
+
 // MSHR is one miss-status holding register: a pending miss to a line with
-// the set of waiters to notify when the fill returns.
+// the parked waiter slots to wake when the fill returns.
 type MSHR struct {
 	LineAddr uint64
-	Waiters  []func()
+	slots    []int32
 }
+
+// Waiters reports how many wake-ups are parked on the register.
+func (m *MSHR) Waiters() int { return len(m.slots) }
 
 // MSHRFile tracks outstanding misses for one cache. Requests to a line
 // that already has an MSHR coalesce onto it; when every register is busy
 // the cache must stall new misses (paper Table 1 gives 4 MSHRs for the L1s
-// and filter caches, 16 for the L2).
+// and filter caches, 16 for the L2). Registers are pooled so the
+// steady-state miss path performs no allocation.
 type MSHRFile struct {
 	cap     int
 	entries map[uint64]*MSHR
+	waker   Waker
+	free    []*MSHR
 
 	// Stats
 	Allocs    uint64
@@ -28,6 +47,10 @@ func NewMSHRFile(capacity int) *MSHRFile {
 	return &MSHRFile{cap: capacity, entries: make(map[uint64]*MSHR)}
 }
 
+// SetWaker installs the receiver for parked wake-up slots. A file whose
+// callers only ever pass NoWaiter may leave it nil.
+func (f *MSHRFile) SetWaker(w Waker) { f.waker = w }
+
 // Lookup returns the MSHR for a line, if any.
 func (f *MSHRFile) Lookup(addr uint64) *MSHR {
 	return f.entries[mem.LineAddr(addr)]
@@ -39,17 +62,21 @@ func (f *MSHRFile) Full() bool { return len(f.entries) >= f.cap }
 // InUse reports the number of live registers.
 func (f *MSHRFile) InUse() int { return len(f.entries) }
 
-// Allocate records a miss on addr. It returns (mshr, true) when this call
-// created the registration or coalesced onto an existing one, and
-// (nil, false) when the file is full and the request must retry.
-// The primary return distinguishes coalescing via MSHR identity:
-// callers that need to know can Lookup first.
-func (f *MSHRFile) Allocate(addr uint64, onFill func()) (*MSHR, bool) {
+// Allocate records a miss on addr, parking slot (NoWaiter for none) to be
+// woken through the file's Waker when the line completes. It returns
+// (mshr, true) when this call created the registration or coalesced onto
+// an existing one, and (nil, false) when the file is full and the request
+// must retry.
+func (f *MSHRFile) Allocate(addr uint64, slot int32) (*MSHR, bool) {
+	if slot != NoWaiter && f.waker == nil {
+		// Fail at the misuse site, not cycles later inside Complete.
+		panic("cache: MSHR waiter parked on a file with no Waker installed")
+	}
 	la := mem.LineAddr(addr)
 	if m, ok := f.entries[la]; ok {
 		f.Coalesced++
-		if onFill != nil {
-			m.Waiters = append(m.Waiters, onFill)
+		if slot != NoWaiter {
+			m.slots = append(m.slots, slot)
 		}
 		return m, true
 	}
@@ -57,17 +84,25 @@ func (f *MSHRFile) Allocate(addr uint64, onFill func()) (*MSHR, bool) {
 		f.FullStall++
 		return nil, false
 	}
-	m := &MSHR{LineAddr: la}
-	if onFill != nil {
-		m.Waiters = append(m.Waiters, onFill)
+	var m *MSHR
+	if n := len(f.free); n > 0 {
+		m = f.free[n-1]
+		f.free = f.free[:n-1]
+		m.LineAddr = la
+	} else {
+		m = &MSHR{LineAddr: la}
+	}
+	if slot != NoWaiter {
+		m.slots = append(m.slots, slot)
 	}
 	f.entries[la] = m
 	f.Allocs++
 	return m, true
 }
 
-// Complete retires the MSHR for a line and runs its waiters in arrival
-// order. Completing a line with no MSHR is a no-op (squashed requests).
+// Complete retires the MSHR for a line and wakes its parked waiters in
+// arrival order. Completing a line with no MSHR is a no-op (squashed
+// requests).
 func (f *MSHRFile) Complete(addr uint64) {
 	la := mem.LineAddr(addr)
 	m, ok := f.entries[la]
@@ -75,7 +110,9 @@ func (f *MSHRFile) Complete(addr uint64) {
 		return
 	}
 	delete(f.entries, la)
-	for _, w := range m.Waiters {
-		w()
+	for _, s := range m.slots {
+		f.waker.MSHRWake(s)
 	}
+	m.slots = m.slots[:0]
+	f.free = append(f.free, m)
 }

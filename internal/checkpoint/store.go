@@ -1,0 +1,111 @@
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Store is a content-addressed snapshot directory: encoded snapshots live
+// in <dir>/<content-hash>.snap, and small ref files map an input key (the
+// configuration that produced a snapshot) to the content hash so callers
+// can resolve a snapshot without rebuilding it.
+type Store struct {
+	dir string
+}
+
+// NewStore opens (creating if needed) a snapshot store rooted at dir.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("checkpoint: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (st *Store) Dir() string { return st.dir }
+
+func (st *Store) snapPath(hash string) string {
+	return filepath.Join(st.dir, hash+".snap")
+}
+
+func (st *Store) refPath(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(st.dir, hex.EncodeToString(sum[:])+".ref")
+}
+
+// WriteAtomic writes data to path via a temp file + rename, so concurrent
+// figure runs never observe a torn file. Shared by the snapshot store and
+// the figures disk cache.
+func WriteAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, path)
+}
+
+// Put writes the snapshot under its content hash and returns the hash.
+// A snapshot that is already present is not rewritten.
+func (st *Store) Put(s *Snapshot) (string, error) {
+	enc := s.Encode()
+	sum := sha256.Sum256(enc)
+	hash := hex.EncodeToString(sum[:])
+	path := st.snapPath(hash)
+	if _, err := os.Stat(path); err == nil {
+		return hash, nil
+	}
+	if err := WriteAtomic(path, enc); err != nil {
+		return "", err
+	}
+	return hash, nil
+}
+
+// Load reads the snapshot with the given content hash, verifying the
+// content actually hashes to it.
+func (st *Store) Load(hash string) (*Snapshot, error) {
+	b, err := os.ReadFile(st.snapPath(hash))
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(b)
+	if got := hex.EncodeToString(sum[:]); got != hash {
+		return nil, fmt.Errorf("checkpoint: store corruption: %s.snap hashes to %s", hash, got)
+	}
+	return Decode(b)
+}
+
+// Link records that the given input key produced the snapshot with the
+// given content hash.
+func (st *Store) Link(key, hash string) error {
+	return WriteAtomic(st.refPath(key), []byte(hash+"\n"))
+}
+
+// Resolve returns the content hash previously linked to the input key.
+func (st *Store) Resolve(key string) (string, bool) {
+	b, err := os.ReadFile(st.refPath(key))
+	if err != nil {
+		return "", false
+	}
+	hash := strings.TrimSpace(string(b))
+	if len(hash) != sha256.Size*2 {
+		return "", false
+	}
+	return hash, true
+}

@@ -1,28 +1,3 @@
-// Package cpu implements the out-of-order superscalar core of the paper's
-// Table 1: 8-wide, 192-entry ROB, 64-entry issue queue, 32-entry load and
-// store queues, 6 integer ALUs, 4 FP ALUs and 2 multiply/divide units, fed
-// by the tournament branch predictor of internal/bpred and backed by the
-// memory system of internal/memsys.
-//
-// The core performs real speculative functional execution: wrong-path
-// instructions execute with whatever register values the rename map holds
-// and issue real memory accesses, which is exactly the behaviour Spectre
-// attacks exploit and MuonTrap contains. Squashes restore rename-map
-// checkpoints and predictor state.
-//
-// The package also models the two comparison defenses the paper evaluates
-// against:
-//
-//   - InvisiSpec (Spectre and Future variants): speculative loads read
-//     data without installing anything in the cache hierarchy, and replay
-//     an "exposure" access once safe (asynchronously for the Spectre
-//     variant; blocking commit for the Future variant);
-//   - STT (Spectre and Future variants): results of unsafe loads taint
-//     their dependents, and tainted transmitters (loads, stores, indirect
-//     jumps) may not issue until the source load becomes safe.
-//
-// MuonTrap itself needs almost nothing from the core beyond commit-time
-// hooks and NACK retries: the protection lives in the memory system.
 package cpu
 
 import "repro/internal/event"

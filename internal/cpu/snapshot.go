@@ -1,0 +1,119 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/event"
+	"repro/internal/mem"
+)
+
+// Quiesced reports whether the core holds no in-flight pipeline state:
+// empty ROB, queues and store buffer, no outstanding drains and no pending
+// instruction fetch. Checkpoints are only valid in this state — the
+// snapshot format deliberately has no encoding for in-flight dynInsts.
+func (c *Core) Quiesced() error {
+	switch {
+	case c.rob.len() > 0:
+		return fmt.Errorf("cpu: %d instructions in the ROB", c.rob.len())
+	case len(c.iq) > 0 || len(c.lq) > 0 || len(c.sq) > 0:
+		return fmt.Errorf("cpu: non-empty issue/load/store queues")
+	case c.storeBuf.len() > 0 || c.drainsInFlight > 0:
+		return fmt.Errorf("cpu: undrained stores")
+	case c.fetchLinePend:
+		return fmt.Errorf("cpu: in-flight instruction fetch")
+	}
+	return nil
+}
+
+// Save serialises the core's architectural and quiesced-microarchitectural
+// state: registers, fetch state, statistics and the branch predictor.
+func (c *Core) Save(w *checkpoint.Writer) {
+	for _, v := range c.regs {
+		w.U64(v)
+	}
+	w.U64(c.fetchPC)
+	w.Bool(c.fetchStall)
+	w.Bool(c.halted)
+	w.Bool(c.haltedBad)
+	w.U64(uint64(c.commitStallUntil))
+	w.U64(uint64(c.fetchResumeAt))
+	w.U64(c.fetchVirtBase)
+	w.U64(uint64(c.fetchPhysBase))
+	w.U64(c.fetchLineVA)
+	w.Bool(c.fetchLineOK)
+	w.U64(c.fetchEpoch)
+	w.U64(c.seq)
+	w.U32(uint32(len(c.divFree)))
+	for _, f := range c.divFree {
+		w.U64(uint64(f))
+	}
+	w.U64(c.Committed)
+	w.U64(c.Fetched)
+	w.U64(c.Squashed)
+	w.U64(c.Mispredicts)
+	w.U64(c.LoadNACKs)
+	w.U64(c.Syscalls)
+	w.U64(c.Barriers)
+	w.U64(c.Exposures)
+	w.U64(c.STTStalls)
+	w.U64(c.CommitStores)
+	w.U64(c.CommitLoads)
+	c.pred.Save(w)
+}
+
+// Restore loads state saved by Save. The core must be quiesced (it is
+// after SetProgram / RunOn on a fresh machine).
+func (c *Core) Restore(r *checkpoint.Reader) error {
+	if err := c.Quiesced(); err != nil {
+		return err
+	}
+	for i := range c.regs {
+		c.regs[i] = r.U64()
+	}
+	c.fetchPC = r.U64()
+	c.fetchStall = r.Bool()
+	c.halted = r.Bool()
+	c.haltedBad = r.Bool()
+	c.commitStallUntil = event.Cycle(r.U64())
+	c.fetchResumeAt = event.Cycle(r.U64())
+	c.fetchVirtBase = r.U64()
+	c.fetchPhysBase = mem.Addr(r.U64())
+	c.fetchLineVA = r.U64()
+	c.fetchLineOK = r.Bool()
+	c.fetchEpoch = r.U64()
+	c.seq = r.U64()
+	nd := int(r.U32())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if nd != len(c.divFree) {
+		return r.Failf("core has %d divider slots, snapshot %d", len(c.divFree), nd)
+	}
+	for i := range c.divFree {
+		c.divFree[i] = event.Cycle(r.U64())
+	}
+	c.Committed = r.U64()
+	c.Fetched = r.U64()
+	c.Squashed = r.U64()
+	c.Mispredicts = r.U64()
+	c.LoadNACKs = r.U64()
+	c.Syscalls = r.U64()
+	c.Barriers = r.U64()
+	c.Exposures = r.U64()
+	c.STTStalls = r.U64()
+	c.CommitStores = r.U64()
+	c.CommitLoads = r.U64()
+	if err := c.pred.Restore(r); err != nil {
+		return err
+	}
+	return r.Err()
+}
+
+// WarmHalt stops the hardware thread from the functional warm-up executor
+// (a halt — or an abnormal condition — reached architecturally before the
+// measured region began).
+func (c *Core) WarmHalt(bad bool) {
+	c.halted = true
+	c.haltedBad = bad
+}

@@ -1,8 +1,3 @@
-// Package defense names the protection configurations the evaluation
-// compares: the unprotected baseline, the cumulative MuonTrap stages of
-// Figures 8/9, the complete MuonTrap design (with its clear-on-misspec and
-// parallel-L1 variants), and the InvisiSpec and STT comparison points of
-// Figures 3/4.
 package defense
 
 import (

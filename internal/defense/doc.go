@@ -1,0 +1,22 @@
+// Package defense names the protection configurations the evaluation
+// compares: the unprotected baseline, the cumulative MuonTrap stages of
+// Figures 8/9, the complete MuonTrap design (with its clear-on-misspec
+// and parallel-L1 variants), and the InvisiSpec and STT comparison points
+// of Figures 3/4.
+//
+// Key types:
+//
+//   - Scheme: one named configuration — a pipeline defense model
+//     (cpu.Defense) plus a memory-system mode (memsys.Mode) and a
+//     one-line description. The split mirrors the designs themselves:
+//     InvisiSpec and STT live in the pipeline, MuonTrap lives in the
+//     memory system.
+//
+// Invariants:
+//
+//   - Scheme values are plain data; constructing one has no side effects,
+//     and equal names always denote equal configurations — figure cache
+//     keys and the attack harness depend on that.
+//   - Comparison() and CumulativeStages() return schemes in the paper's
+//     plot order.
+package defense

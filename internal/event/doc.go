@@ -1,0 +1,32 @@
+// Package event provides the discrete-event scheduler that drives the
+// simulator. The clock counts processor cycles; components either tick
+// every cycle (the CPU pipeline) or schedule completion callbacks (the
+// memory system).
+//
+// Key types:
+//
+//   - Cycle: a point in simulated time.
+//   - Scheduler: the clock plus the pending-event queue. At/After schedule
+//     closures; AtEvent/AfterEvent schedule typed (Handler, op, a1, a2)
+//     tuples that never allocate in steady state.
+//   - Handler: the typed-event receiver. The (op, a1, a2) tuple is opaque
+//     to the scheduler; receivers use op to select the action and the args
+//     to identify the target (typically a pool index plus a generation or
+//     sequence number validated at fire time).
+//
+// Invariants:
+//
+//   - The (when, seq) event-ordering contract: events fire in strictly
+//     increasing (when, seq) order, where seq is the global scheduling
+//     order. Two events due the same cycle fire in the order they were
+//     scheduled. This total order is load-bearing for every figure in the
+//     evaluation — whole-system determinism (and therefore the golden
+//     tests, the run memoization and the snapshot fast-forward) depends on
+//     it.
+//   - Scheduling at or before the current cycle never loses the event: it
+//     fires on the next Tick/RunDue before the clock advances further.
+//   - Allocation-free steady state: events are stored by value (no
+//     interface boxing), near-future events live in a ring of per-cycle
+//     buckets that reuse their backing arrays, and far-future (DRAM-class)
+//     events go to a hand-rolled 4-ary min-heap.
+package event

@@ -1,15 +1,3 @@
-// Package event provides the discrete-event scheduler that drives the
-// simulator. The clock counts processor cycles; components either tick every
-// cycle (the CPU pipeline) or schedule completion callbacks (the memory
-// system). Events at the same cycle fire in the order they were scheduled,
-// which keeps whole-system runs deterministic.
-//
-// The scheduler is built for an allocation-free steady state: events are
-// stored by value (no interface boxing), near-future events live in a ring
-// of per-cycle buckets that reuse their backing arrays, and far-future
-// events go to a hand-rolled 4-ary min-heap. Components that would
-// otherwise allocate a closure per event can instead schedule a typed
-// (Handler, op, args) tuple.
 package event
 
 // Cycle is a point in simulated time, measured in core clock cycles.

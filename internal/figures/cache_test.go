@@ -32,10 +32,10 @@ func TestCachedRunDeduplicates(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := cachedRun(keyA, mk("a", 1)); err != nil {
+			if _, err := cachedRun(Options{}, keyA, mk("a", 1)); err != nil {
 				t.Error(err)
 			}
-			if _, err := cachedRun(keyB, mk("b", 2)); err != nil {
+			if _, err := cachedRun(Options{}, keyB, mk("b", 2)); err != nil {
 				t.Error(err)
 			}
 		}()

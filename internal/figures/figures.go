@@ -1,10 +1,3 @@
-// Package figures regenerates every table and figure of the paper's
-// evaluation section (Table 1, Figures 3-9) on the simulated machine.
-// Each figure function runs the relevant (workload × scheme) matrix and
-// returns a stats.Table whose rows mirror the paper's plots: normalised
-// execution time against the unprotected baseline, or (Figure 7) the
-// store broadcast rate. Runs execute in parallel across GOMAXPROCS; every
-// individual simulation is single-threaded and deterministic.
 package figures
 
 import (
@@ -28,6 +21,17 @@ type Options struct {
 	MaxCycles int
 	// Parallelism caps concurrent runs (0 = GOMAXPROCS).
 	Parallelism int
+	// WarmupInsts, when positive, architecturally fast-forwards this many
+	// instructions per workload once, checkpoints the warmed machine, and
+	// forks every per-scheme run of that workload's figure row from the
+	// restored snapshot instead of re-simulating the warm-up per scheme.
+	// Zero (the default) preserves the historical from-reset runs.
+	WarmupInsts int
+	// CacheDir, when non-empty, backs the run memoization with a disk
+	// cache (results plus warm snapshots) keyed by the full run
+	// configuration and the simulator build fingerprint, so figure sweeps
+	// resume across process invocations.
+	CacheDir string
 }
 
 // DefaultOptions is sized for the bench harness: big enough for stable
@@ -38,7 +42,8 @@ func DefaultOptions() Options {
 
 // runKey identifies one deterministic simulation: every figure input that
 // can change a run's outcome is part of the key. Geometry fields are only
-// non-zero for the Fig 5/6 filter-cache sweeps.
+// non-zero for the Fig 5/6 filter-cache sweeps; warmup/snapHash only when
+// snapshot forking is enabled.
 type runKey struct {
 	workload  string
 	scheme    string
@@ -46,6 +51,8 @@ type runKey struct {
 	maxCycles int
 	l0dSize   uint64
 	l0dAssoc  int
+	warmup    int
+	snapHash  string
 }
 
 // runEntry is a singleflight-style cache slot: concurrent jobs for the
@@ -61,14 +68,15 @@ var (
 	runCache   = map[runKey]*runEntry{}
 )
 
-// cachedRun memoizes deterministic figure runs for the lifetime of the
-// process: Fig 5 and Fig 6 re-run the insecure Parsec baseline Fig 4
-// already ran, and Fig 7 re-runs Fig 3's MuonTrap SPEC column, so a figure
-// suite (cmd/figures, the Fig benchmarks) pays for each distinct
-// (workload, scheme, scale, geometry) combination exactly once. Every
-// individual run is unchanged — only duplicates are elided. Results are
-// shared; callers must not mutate them.
-func cachedRun(key runKey, run func() (sim.RunResult, error)) (sim.RunResult, error) {
+// cachedRun memoizes deterministic figure runs: an in-process singleflight
+// layer (Fig 5 and Fig 6 re-run the insecure Parsec baseline Fig 4 already
+// ran, and Fig 7 re-runs Fig 3's MuonTrap SPEC column, so a figure suite
+// pays for each distinct key exactly once per process) over an optional
+// disk layer (opt.CacheDir), which lets cmd/figures resume a sweep across
+// invocations: a previously computed row is re-emitted without
+// re-simulating. Every individual run is unchanged — only duplicates are
+// elided. Results are shared; callers must not mutate them.
+func cachedRun(opt Options, key runKey, run func() (sim.RunResult, error)) (sim.RunResult, error) {
 	runCacheMu.Lock()
 	e := runCache[key]
 	if e == nil {
@@ -76,21 +84,34 @@ func cachedRun(key runKey, run func() (sim.RunResult, error)) (sim.RunResult, er
 		runCache[key] = e
 	}
 	runCacheMu.Unlock()
-	e.once.Do(func() { e.res, e.err = run() })
+	e.once.Do(func() {
+		if opt.CacheDir != "" {
+			if res, ok := diskGet(opt.CacheDir, key); ok {
+				e.res = res
+				return
+			}
+		}
+		e.res, e.err = run()
+		if e.err == nil && opt.CacheDir != "" {
+			diskPut(opt.CacheDir, key, e.res)
+		}
+	})
 	return e.res, e.err
 }
 
-// ResetRunCache drops all memoized figure runs (test hook).
+// ResetRunCache drops all memoized figure runs and warm snapshots (test
+// hook). The disk layer, if any, is untouched.
 func ResetRunCache() {
 	runCacheMu.Lock()
 	runCache = map[runKey]*runEntry{}
 	runCacheMu.Unlock()
+	resetSnapCache()
 }
 
-// RunOne executes one workload under one scheme and returns the result.
-// It is NOT memoized — throughput benchmarks and API users get a fresh
-// simulation; the figure matrices deduplicate through cachedRun.
-func RunOne(spec workload.Spec, sch defense.Scheme, opt Options) (sim.RunResult, error) {
+// buildRun assembles the standard figure machine for one workload under
+// one scheme: program built at opt.Scale, one core for SPEC or four for
+// Parsec, processes loaded and scheduled, nothing yet simulated.
+func buildRun(spec workload.Spec, sch defense.Scheme, opt Options) *sim.System {
 	prog := workload.Build(spec, opt.Scale)
 	cores := 1
 	if spec.Suite == "parsec" {
@@ -113,7 +134,16 @@ func RunOne(spec workload.Spec, sch defense.Scheme, opt Options) (sim.RunResult,
 		sys.AddThread(p, th, prog.Entry)
 		sys.RunOn(th, p, th)
 	}
-	return sys.RunUntilHalt(opt.MaxCycles)
+	return sys
+}
+
+// RunOne executes one workload under one scheme and returns the result.
+// It is NOT memoized — throughput benchmarks and API users get a fresh
+// simulation; the figure matrices deduplicate through cachedRun. With
+// opt.WarmupInsts set, the run forks from the workload's shared warm
+// snapshot (which is memoized) instead of simulating from reset.
+func RunOne(spec workload.Spec, sch defense.Scheme, opt Options) (sim.RunResult, error) {
+	return forkOrRun(spec, opt, buildRun(spec, sch, opt))
 }
 
 type job struct {
@@ -150,15 +180,21 @@ func runMatrix(jobs []job, opt Options) (map[string]map[string]event.Cycle, erro
 			defer wg.Done()
 			defer func() { <-sem }()
 			var res sim.RunResult
-			var err error
-			if j.custom != nil {
-				res, err = cachedRun(j.customKey, j.custom)
-			} else {
-				key := runKey{workload: j.spec.Name, scheme: j.scheme.Name,
-					scale: opt.Scale, maxCycles: opt.MaxCycles}
-				res, err = cachedRun(key, func() (sim.RunResult, error) {
-					return RunOne(j.spec, j.scheme, opt)
-				})
+			snapHash, err := snapHashFor(j.spec, opt)
+			if err == nil {
+				if j.custom != nil {
+					key := j.customKey
+					key.warmup = opt.WarmupInsts
+					key.snapHash = snapHash
+					res, err = cachedRun(opt, key, j.custom)
+				} else {
+					key := runKey{workload: j.spec.Name, scheme: j.scheme.Name,
+						scale: opt.Scale, maxCycles: opt.MaxCycles,
+						warmup: opt.WarmupInsts, snapHash: snapHash}
+					res, err = cachedRun(opt, key, func() (sim.RunResult, error) {
+						return RunOne(j.spec, j.scheme, opt)
+					})
+				}
 			}
 			results <- outcome{j.series, j.work, res.Cycles, err}
 		}()
@@ -231,7 +267,9 @@ func Fig4(opt Options) (*stats.Table, error) {
 }
 
 // sweepRun runs a Parsec workload under full MuonTrap with a custom data
-// filter cache geometry.
+// filter cache geometry. The warm snapshot (if any) is shared with the
+// standard-geometry runs: filter caches hold no warm state, so L0 geometry
+// does not enter the snapshot.
 func sweepRun(spec workload.Spec, sizeBytes uint64, assoc int, opt Options) (sim.RunResult, error) {
 	prog := workload.Build(spec, opt.Scale)
 	cfg := sim.DefaultConfig(4)
@@ -246,7 +284,7 @@ func sweepRun(spec workload.Spec, sizeBytes uint64, assoc int, opt Options) (sim
 		sys.AddThread(p, th, prog.Entry)
 		sys.RunOn(th, p, th)
 	}
-	return sys.RunUntilHalt(opt.MaxCycles)
+	return forkOrRun(spec, opt, sys)
 }
 
 // Fig5 sweeps the (fully associative) data filter cache size on Parsec
@@ -262,7 +300,7 @@ func Fig5(opt Options) (*stats.Table, error) {
 		for _, size := range sizes {
 			size := size
 			jobs = append(jobs, job{
-				work: sp.Name, series: fmt.Sprintf("%dB", size),
+				spec: sp, work: sp.Name, series: fmt.Sprintf("%dB", size),
 				customKey: runKey{workload: sp.Name, scheme: "muontrap-sweep",
 					scale: opt.Scale, maxCycles: opt.MaxCycles,
 					l0dSize: size, l0dAssoc: int(size / 64)},
@@ -296,7 +334,7 @@ func Fig6(opt Options) (*stats.Table, error) {
 		for _, a := range assocs {
 			a := a
 			jobs = append(jobs, job{
-				work: sp.Name, series: fmt.Sprintf("%d-way", a),
+				spec: sp, work: sp.Name, series: fmt.Sprintf("%d-way", a),
 				customKey: runKey{workload: sp.Name, scheme: "muontrap-sweep",
 					scale: opt.Scale, maxCycles: opt.MaxCycles,
 					l0dSize: 2048, l0dAssoc: a},
@@ -339,11 +377,16 @@ func Fig7(opt Options) (*stats.Table, error) {
 		go func() {
 			defer wg.Done()
 			defer func() { <-par }()
-			key := runKey{workload: sp.Name, scheme: defense.MuonTrap().Name,
-				scale: opt.Scale, maxCycles: opt.MaxCycles}
-			res, err := cachedRun(key, func() (sim.RunResult, error) {
-				return RunOne(sp, defense.MuonTrap(), opt)
-			})
+			var res sim.RunResult
+			snapHash, err := snapHashFor(sp, opt)
+			if err == nil {
+				key := runKey{workload: sp.Name, scheme: defense.MuonTrap().Name,
+					scale: opt.Scale, maxCycles: opt.MaxCycles,
+					warmup: opt.WarmupInsts, snapHash: snapHash}
+				res, err = cachedRun(opt, key, func() (sim.RunResult, error) {
+					return RunOne(sp, defense.MuonTrap(), opt)
+				})
+			}
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {

@@ -1,0 +1,122 @@
+package figures
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/checkpoint"
+	"repro/internal/defense"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Per-workload warm snapshots: when Options.WarmupInsts > 0, every run of
+// a figure row forks from one snapshot of post-warm-up machine state
+// instead of re-simulating the warm-up per scheme. The snapshot is built
+// by functionally fast-forwarding an *unprotected* machine (warm state is
+// scheme-independent; see sim.Warmup) and is memoized in-process and — when
+// a cache directory is configured — in a content-addressed disk store, so
+// later invocations resume without re-executing the warm-up at all.
+
+type snapEntry struct {
+	once sync.Once
+	snap *checkpoint.Snapshot
+	hash string
+	err  error
+}
+
+var (
+	snapMu    sync.Mutex
+	snapCache = map[string]*snapEntry{}
+)
+
+// warmInputKey identifies the inputs that determine a warm snapshot's
+// content: the simulator build, the workload program (name and scale) and
+// the warm-up depth. Core count and machine geometry follow from the
+// workload's suite and the default configuration, which the build
+// fingerprint pins.
+func warmInputKey(spec workload.Spec, opt Options) string {
+	return fmt.Sprintf("warm|v%d|bin=%s|wl=%s|scale=%g|insts=%d",
+		checkpoint.FormatVersion, binFingerprint(), spec.Name, opt.Scale, opt.WarmupInsts)
+}
+
+// warmSnapshot returns (building if necessary) the shared warm snapshot
+// for a workload, plus its content hash.
+func warmSnapshot(spec workload.Spec, opt Options) (*checkpoint.Snapshot, string, error) {
+	ikey := warmInputKey(spec, opt)
+	snapMu.Lock()
+	e := snapCache[ikey]
+	if e == nil {
+		e = &snapEntry{}
+		snapCache[ikey] = e
+	}
+	snapMu.Unlock()
+	e.once.Do(func() {
+		var st *checkpoint.Store
+		if opt.CacheDir != "" {
+			st, _ = checkpoint.NewStore(filepath.Join(opt.CacheDir, "snapshots"))
+		}
+		if st != nil {
+			if hash, ok := st.Resolve(ikey); ok {
+				if snap, err := st.Load(hash); err == nil {
+					e.snap, e.hash = snap, hash
+					return
+				}
+			}
+		}
+		sys := buildRun(spec, defense.Insecure(), opt)
+		sys.Warmup(opt.WarmupInsts)
+		snap, err := sys.Checkpoint()
+		if err != nil {
+			e.err = fmt.Errorf("%s: warm snapshot: %w", spec.Name, err)
+			return
+		}
+		e.snap = snap
+		if st != nil {
+			// Put returns the content hash of the encoding it just wrote;
+			// reuse it rather than re-encoding and re-hashing the snapshot.
+			if h, err := st.Put(snap); err == nil {
+				e.hash = h
+				_ = st.Link(ikey, h)
+				return
+			}
+		}
+		e.hash = snap.Hash()
+	})
+	return e.snap, e.hash, e.err
+}
+
+// snapHashFor returns the warm snapshot's content hash for disk-cache
+// keying (materialising the snapshot if needed). With warm-up disabled it
+// returns the empty string.
+func snapHashFor(spec workload.Spec, opt Options) (string, error) {
+	if opt.WarmupInsts <= 0 {
+		return "", nil
+	}
+	_, hash, err := warmSnapshot(spec, opt)
+	return hash, err
+}
+
+// resetSnapCache drops memoized warm snapshots (test hook, with
+// ResetRunCache).
+func resetSnapCache() {
+	snapMu.Lock()
+	snapCache = map[string]*snapEntry{}
+	snapMu.Unlock()
+}
+
+// forkOrRun optionally restores the workload's shared warm snapshot into
+// a freshly built system, then runs it to completion.
+func forkOrRun(spec workload.Spec, opt Options, sys *sim.System) (sim.RunResult, error) {
+	if opt.WarmupInsts > 0 {
+		snap, _, err := warmSnapshot(spec, opt)
+		if err != nil {
+			return sim.RunResult{}, err
+		}
+		if err := sys.RestoreSnapshot(snap); err != nil {
+			return sim.RunResult{}, fmt.Errorf("%s: snapshot fork: %w", spec.Name, err)
+		}
+	}
+	return sys.RunUntilHalt(opt.MaxCycles)
+}

@@ -1,15 +1,3 @@
-// Package isa defines the small RISC-style instruction set the simulator
-// executes. Workloads and attack programs are expressed in this ISA; the
-// out-of-order core in internal/cpu provides its timing and speculative
-// behaviour, while Exec in this package provides its functional semantics.
-//
-// The ISA is deliberately minimal but covers everything the paper's
-// evaluation needs: integer and floating-point arithmetic (with multi-cycle
-// multiply/divide classes), loads and stores, conditional branches,
-// indirect jumps, call/return, an atomic compare-and-swap for Parsec-style
-// locking, syscalls (which enter the kernel and, under MuonTrap, flush the
-// filter caches), a speculation barrier and an explicit filter-flush
-// instruction for sandbox boundaries (paper §4.9).
 package isa
 
 import "fmt"

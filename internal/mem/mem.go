@@ -1,12 +1,3 @@
-// Package mem provides the physical address space (sparse page-frame
-// storage with byte-accurate contents) and the DRAM timing model at the
-// bottom of the simulated memory hierarchy.
-//
-// The simulator uses the classic timing/functional split: caches above
-// this package carry tags and coherence state only, while actual data
-// bytes live here. Attack programs depend on real data flow (a
-// speculatively loaded secret byte must steer a second access), so the
-// contents are exact.
 package mem
 
 import "encoding/binary"

@@ -1,10 +1,3 @@
-// Package memsys implements the coherent memory hierarchy of the simulated
-// machine: per-core filter caches (L0) and L1 instruction/data caches, a
-// shared inclusive L2 with a directory-tracked MESI protocol and stride
-// prefetcher, split TLBs with a hardware page-table walker, and a DRAM
-// backend. It implements both the unprotected baseline behaviour and every
-// MuonTrap protection mechanism (paper §4), selected per-mechanism so the
-// evaluation can reproduce the cumulative cost breakdowns of Figures 8/9.
 package memsys
 
 import (

@@ -1,0 +1,39 @@
+// Package memsys implements the coherent memory hierarchy of the
+// simulated machine: per-core filter caches (L0) and L1 instruction/data
+// caches, a shared inclusive L2 with a directory-tracked MESI protocol
+// and stride prefetcher, split TLBs with a hardware page-table walker,
+// and a DRAM backend. It implements both the unprotected baseline
+// behaviour and every MuonTrap protection mechanism (paper §4), selected
+// per-mechanism so the evaluation can reproduce the cumulative cost
+// breakdowns of Figures 8/9.
+//
+// Key types:
+//
+//   - Hierarchy: the shared level — L2, directory, DRAM, prefetcher, and
+//     the filter-sharer tracking used for §4.5 broadcast invalidation.
+//   - Port: one core's window onto the memory system (its L0s, L1s and
+//     TLBs plus every operation the pipeline invokes). Nothing blocks:
+//     completions arrive through scheduled events, either as parked
+//     callbacks or as typed Client notifications identified by
+//     (pool index, seq) pairs the core validates against recycling.
+//   - Mode: the per-mechanism protection switches (filter protection,
+//     coherence protection, commit-time prefetch, filter TLB, …).
+//   - Client: the typed completion receiver the core implements.
+//
+// Invariants (enforced by CheckInvariants, used by the property tests):
+//
+//   - At most one L1D owner per line, never alongside sharers.
+//   - Inclusion: every L1 line is present in the L2; back-invalidation on
+//     L2 eviction maintains it.
+//   - Under CoherenceProtect, filter caches only ever hold
+//     protocol-shared lines.
+//   - All state-changing coherence decisions happen at completion events,
+//     so concurrent transactions to a line are totally ordered by the
+//     event queue's (when, seq) contract.
+//
+// The Warm* methods deposit an architectural access stream's footprint
+// (main TLBs, L1s, L2, directory) without events or elapsed cycles; they
+// never consult Mode, which is what makes checkpoint warm-up state
+// scheme-independent. Save/Restore serialise the whole hierarchy for the
+// checkpoint subsystem; both require a quiesced machine.
+package memsys

@@ -292,7 +292,7 @@ func (h *Hierarchy) prefetchFill(addr mem.Addr) {
 	if h.l2.Peek(line) != nil {
 		return
 	}
-	if _, ok := h.l2MSHRs.Allocate(line, nil); !ok {
+	if _, ok := h.l2MSHRs.Allocate(line, cache.NoWaiter); !ok {
 		return // prefetches are best-effort; drop on MSHR pressure
 	}
 	done := h.dram.Access(mem.Addr(line))

@@ -98,6 +98,60 @@ type Port struct {
 	cbFree  []int32
 	vcbs    []func()
 	vcbFree []int32
+
+	// Parked MSHR-coalescing waiters: a secondary miss parks its pending
+	// completion here and hands the MSHR file the slot index; the wake-up
+	// at fill time retrieves it — no per-miss closure.
+	mwait     []comp
+	mwaitFree []int32
+	iwait     []icomp
+	iwaitFree []int32
+}
+
+// dataMSHRWaker delivers data-side MSHR wake-ups (loads, page-walk reads)
+// parked in the port's comp slots.
+type dataMSHRWaker struct{ p *Port }
+
+func (wk dataMSHRWaker) MSHRWake(slot int32) {
+	p := wk.p
+	cm := p.mwait[slot]
+	p.mwait[slot] = comp{}
+	p.mwaitFree = append(p.mwaitFree, slot)
+	p.completeNow(cm, AccessResult{Level: FromL2})
+}
+
+// instMSHRWaker delivers instruction-side MSHR wake-ups parked in the
+// port's icomp slots.
+type instMSHRWaker struct{ p *Port }
+
+func (wk instMSHRWaker) MSHRWake(slot int32) {
+	p := wk.p
+	cm := p.iwait[slot]
+	p.iwait[slot] = icomp{}
+	p.iwaitFree = append(p.iwaitFree, slot)
+	p.completeINow(cm, AccessResult{Level: FromL2})
+}
+
+func (p *Port) mwaitPut(cm comp) int32 {
+	if n := len(p.mwaitFree); n > 0 {
+		slot := p.mwaitFree[n-1]
+		p.mwaitFree = p.mwaitFree[:n-1]
+		p.mwait[slot] = cm
+		return slot
+	}
+	p.mwait = append(p.mwait, cm)
+	return int32(len(p.mwait) - 1)
+}
+
+func (p *Port) iwaitPut(cm icomp) int32 {
+	if n := len(p.iwaitFree); n > 0 {
+		slot := p.iwaitFree[n-1]
+		p.iwaitFree = p.iwaitFree[:n-1]
+		p.iwait[slot] = cm
+		return slot
+	}
+	p.iwait = append(p.iwait, cm)
+	return int32(len(p.iwait) - 1)
 }
 
 func newPort(h *Hierarchy, id int) *Port {
@@ -122,6 +176,14 @@ func newPort(h *Hierarchy, id int) *Port {
 	}
 	if cfg.Mode.FilterTLB {
 		p.fdtlb = tlb.New("fdtlb", cfg.FilterTLBEntries)
+	}
+	p.l1dMSHRs.SetWaker(dataMSHRWaker{p})
+	p.l1iMSHRs.SetWaker(instMSHRWaker{p})
+	if p.l0d != nil {
+		p.l0d.MSHRs.SetWaker(dataMSHRWaker{p})
+	}
+	if p.l0i != nil {
+		p.l0i.MSHRs.SetWaker(instMSHRWaker{p})
 	}
 	return p
 }
@@ -472,14 +534,14 @@ func (p *Port) dataRead(pc uint64, vaddr mem.VAddr, paddr mem.Addr, spec, train 
 		mshrs = p.l0d.MSHRs
 	}
 	if existing := mshrs.Lookup(line); existing != nil {
-		mshrs.Allocate(line, func() { p.completeNow(cm, AccessResult{Level: FromL2}) })
+		mshrs.Allocate(line, p.mwaitPut(cm))
 		return
 	}
 	if mshrs.Full() {
 		p.after(lat.MSHRRetry, func() { p.dataRead(pc, vaddr, paddr, spec, train, cm) })
 		return
 	}
-	mshrs.Allocate(line, nil)
+	mshrs.Allocate(line, cache.NoWaiter)
 
 	fillL2 := !(m.FilterProtect && spec)
 	out := p.h.l2LoadAccess(p.id, line, spec, fillL2, pc, train)
@@ -834,14 +896,14 @@ func (p *Port) ifetch(vaddr mem.VAddr, paddr mem.Addr, cm icomp) {
 		mshrs = p.l0i.MSHRs
 	}
 	if existing := mshrs.Lookup(line); existing != nil {
-		mshrs.Allocate(line, func() { p.completeINow(cm, AccessResult{Level: FromL2}) })
+		mshrs.Allocate(line, p.iwaitPut(cm))
 		return
 	}
 	if mshrs.Full() {
 		p.after(lat.MSHRRetry, func() { p.ifetch(vaddr, paddr, cm) })
 		return
 	}
-	mshrs.Allocate(line, nil)
+	mshrs.Allocate(line, cache.NoWaiter)
 
 	// Instructions are read-only: no coherence interaction beyond the L2.
 	specBypass := m.FilterProtect && p.l0i != nil

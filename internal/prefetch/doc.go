@@ -1,0 +1,25 @@
+// Package prefetch implements the stride prefetcher attached to the
+// shared L2 (paper Table 1), with the two training ports the evaluation
+// compares:
+//
+//   - the conventional port, trained by every demand access the cache
+//     sees, including speculative ones — this is the side channel attack 5
+//     exploits; and
+//   - the commit-time port (paper §4.6), fed by prefetch notifications
+//     sent when a filter-cache line transitions from uncommitted to
+//     committed, so the prefetcher only ever observes the committed
+//     instruction stream.
+//
+// Key types:
+//
+//   - Prefetcher: a classic per-PC stride table — detect a repeating
+//     stride for a load PC, and once TrainThreshold consecutive strides
+//     match, issue Degree lines ahead of the observed stream through the
+//     owner-installed Issue callback.
+//
+// Invariants:
+//
+//   - The caller decides *when* accesses are observed (execute time or
+//     commit time); the table itself is policy-free.
+//   - Issue receives line-aligned addresses only.
+package prefetch

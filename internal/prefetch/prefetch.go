@@ -1,16 +1,3 @@
-// Package prefetch implements the stride prefetcher attached to the shared
-// L2 (paper Table 1), with the two training ports the evaluation compares:
-//
-//   - the conventional port, trained by every demand access the cache sees,
-//     including speculative ones — this is the side channel attack 5
-//     exploits; and
-//   - the commit-time port (paper §4.6), fed by prefetch notifications sent
-//     when a filter-cache line transitions from uncommitted to committed,
-//     so the prefetcher only ever observes the committed instruction
-//     stream.
-//
-// The prefetcher is a classic per-PC stride table: detect a repeating
-// stride for a load PC and issue prefetches ahead of the observed stream.
 package prefetch
 
 import "repro/internal/mem"

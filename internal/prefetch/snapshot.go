@@ -1,0 +1,44 @@
+package prefetch
+
+import (
+	"repro/internal/checkpoint"
+	"repro/internal/mem"
+)
+
+// Save serialises the stride table and statistics.
+func (p *Prefetcher) Save(w *checkpoint.Writer) {
+	w.U32(uint32(len(p.table)))
+	for i := range p.table {
+		e := &p.table[i]
+		w.U64(e.pc)
+		w.U64(uint64(e.lastAddr))
+		w.I64(e.stride)
+		w.U32(uint32(e.conf))
+		w.Bool(e.valid)
+	}
+	w.U64(p.Trained)
+	w.U64(p.Issued)
+}
+
+// Restore loads state saved by Save into a prefetcher of identical table
+// size.
+func (p *Prefetcher) Restore(r *checkpoint.Reader) error {
+	n := int(r.U32())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != len(p.table) {
+		return r.Failf("prefetch table has %d entries, snapshot %d", len(p.table), n)
+	}
+	for i := range p.table {
+		e := &p.table[i]
+		e.pc = r.U64()
+		e.lastAddr = mem.Addr(r.U64())
+		e.stride = r.I64()
+		e.conf = int(r.U32())
+		e.valid = r.Bool()
+	}
+	p.Trained = r.U64()
+	p.Issued = r.U64()
+	return r.Err()
+}

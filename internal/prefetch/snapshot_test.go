@@ -1,0 +1,55 @@
+package prefetch
+
+import (
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/mem"
+)
+
+func TestPrefetcherSaveRestoreRoundTrip(t *testing.T) {
+	a := New(DefaultConfig())
+	var issuedA []mem.Addr
+	a.Issue = func(addr mem.Addr) { issuedA = append(issuedA, addr) }
+	for i := 0; i < 4; i++ {
+		a.Observe(0x400100, mem.Addr(0x1000+i*128))
+	}
+
+	snap := checkpoint.New()
+	a.Save(snap.Section("pf"))
+	b := New(DefaultConfig())
+	r, _ := snap.Open("pf")
+	if err := b.Restore(r); err != nil {
+		t.Fatal(err)
+	}
+	if b.Trained != a.Trained || b.Issued != a.Issued {
+		t.Fatal("stats lost")
+	}
+	// The locked stride must keep issuing identically from restored state.
+	var issuedB []mem.Addr
+	b.Issue = func(addr mem.Addr) { issuedB = append(issuedB, addr) }
+	issuedA = issuedA[:0]
+	a.Observe(0x400100, 0x1200)
+	b.Observe(0x400100, 0x1200)
+	if len(issuedA) != len(issuedB) {
+		t.Fatalf("issue counts diverged: %d vs %d", len(issuedA), len(issuedB))
+	}
+	for i := range issuedA {
+		if issuedA[i] != issuedB[i] {
+			t.Fatalf("issue %d diverged: %#x vs %#x", i, issuedA[i], issuedB[i])
+		}
+	}
+}
+
+func TestPrefetcherRestoreRejectsSizeMismatch(t *testing.T) {
+	a := New(DefaultConfig())
+	snap := checkpoint.New()
+	a.Save(snap.Section("pf"))
+	cfg := DefaultConfig()
+	cfg.TableEntries = 8
+	b := New(cfg)
+	r, _ := snap.Open("pf")
+	if err := b.Restore(r); err == nil {
+		t.Fatal("restore into mismatched table succeeded")
+	}
+}

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/event"
+)
+
+// machineFormat versions the machine-state payload layout inside a
+// snapshot (the container format is versioned separately by the
+// checkpoint package). Bump on any incompatible change to a component's
+// Save encoding.
+const machineFormat = 1
+
+// Quiesced reports whether the whole machine is at a checkpointable
+// boundary: no pending events, no in-flight pipeline state on any core,
+// no outstanding memory transactions.
+func (s *System) Quiesced() error {
+	if n := s.Sched.Pending(); n > 0 {
+		return fmt.Errorf("sim: %d pending events", n)
+	}
+	for ci, c := range s.Cores {
+		if err := c.Quiesced(); err != nil {
+			return fmt.Errorf("sim: core %d: %w", ci, err)
+		}
+	}
+	return s.Hier.Quiesced()
+}
+
+// Checkpoint serialises the machine into a snapshot: physical memory,
+// per-core architectural state and branch predictors, cache and TLB
+// contents, directory/coherence state, DRAM timing state and every
+// statistics baseline. The machine must be quiesced — the format has no
+// encoding for in-flight state, which is what keeps restores bit-exact.
+func (s *System) Checkpoint() (*checkpoint.Snapshot, error) {
+	if err := s.Quiesced(); err != nil {
+		return nil, fmt.Errorf("sim: checkpoint requires a quiesced machine: %w", err)
+	}
+	snap := checkpoint.New()
+	w := snap.Section("machine")
+	w.U32(machineFormat)
+	w.U32(uint32(len(s.Cores)))
+	w.U64(uint64(s.Sched.Now()))
+	w.U64(s.WarmedInsts)
+	w.U64(s.ContextSwitches)
+	w.U64(s.TimerTicks)
+	s.Phys.Save(snap.Section("phys"))
+	s.Hier.Save(snap)
+	for i, c := range s.Cores {
+		c.Save(snap.Section(fmt.Sprintf("core%d", i)))
+	}
+	return snap, nil
+}
+
+// RestoreSnapshot loads a snapshot into this machine, which must be
+// freshly assembled the same way the checkpointed one was (same core
+// count, same cache/TLB/predictor geometry, processes created and
+// scheduled with the same RunOn sequence) and still quiesced at the same
+// simulated time. After it returns, running the machine produces
+// bit-identical cycles, instruction counts and statistics to continuing
+// the machine the snapshot was taken from.
+//
+// Protection schemes may differ between the two machines: snapshots carry
+// no speculative state (filter caches, filter TLBs and pipelines are
+// empty at any quiesce point), so a warm-up snapshot taken on an
+// unprotected machine restores into any scheme's machine.
+func (s *System) RestoreSnapshot(snap *checkpoint.Snapshot) error {
+	if err := s.Quiesced(); err != nil {
+		return fmt.Errorf("sim: restore requires a quiesced machine: %w", err)
+	}
+	r, err := snap.Open("machine")
+	if err != nil {
+		return err
+	}
+	if f := r.U32(); f != machineFormat {
+		return fmt.Errorf("sim: snapshot machine format %d, want %d", f, machineFormat)
+	}
+	if n := int(r.U32()); n != len(s.Cores) {
+		return fmt.Errorf("sim: snapshot has %d cores, machine has %d", n, len(s.Cores))
+	}
+	if now := event.Cycle(r.U64()); now != s.Sched.Now() {
+		return fmt.Errorf("sim: snapshot taken at cycle %d, machine at %d", now, s.Sched.Now())
+	}
+	s.WarmedInsts = r.U64()
+	s.ContextSwitches = r.U64()
+	s.TimerTicks = r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	pr, err := snap.Open("phys")
+	if err != nil {
+		return err
+	}
+	if err := s.Phys.Restore(pr); err != nil {
+		return err
+	}
+	if err := s.Hier.Restore(snap); err != nil {
+		return err
+	}
+	for i, c := range s.Cores {
+		cr, err := snap.Open(fmt.Sprintf("core%d", i))
+		if err != nil {
+			return err
+		}
+		if err := c.Restore(cr); err != nil {
+			return fmt.Errorf("sim: core %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+// Package sim assembles the full simulated machine: cores, the coherent
+// memory hierarchy, processes with page tables, and the minimal OS
+// behaviour the evaluation needs (program loading, context switches with
+// protection-domain flushes, syscall handling, timer interrupts).
+//
+// Key types:
+//
+//   - System: the whole machine. Step/RunUntilHalt drive detailed
+//     simulation; Warmup architecturally fast-forwards it; Checkpoint and
+//     RestoreSnapshot serialise and reload complete machine state.
+//   - Config: machine shape plus OS costs (context switch, timer) and the
+//     BTB-isolation option of §4.9.
+//   - Process: one address space (program, page table) plus saved
+//     per-thread execution contexts.
+//   - RunResult: cycles, committed instructions and the full counter dump
+//     of one run.
+//
+// Invariants:
+//
+//   - Determinism: a run is a pure function of (program, config). Cores
+//     tick in index order within a cycle and the event queue fires in
+//     (when, seq) order, so repeated runs are bit-identical — the property
+//     the golden tests pin and the figure caches rely on.
+//   - Warm-up is architectural: Warmup executes instructions functionally
+//     (registers, memory, TLBs, L1/L2, predictor warm; zero cycles, zero
+//     events, no speculation), so its end state is identical under every
+//     protection scheme. One warm snapshot therefore forks all per-scheme
+//     runs of a figure row, and a forked run reproduces a cold
+//     (warm-up-in-place) run bit-exactly.
+//   - Checkpoints require a quiesced machine (no pending events, empty
+//     pipelines, drained stores, idle MSHRs) at the same simulated time as
+//     the restore target; Quiesced() enforces it. Mismatched geometry or
+//     core counts are rejected at restore.
+package sim

@@ -1,7 +1,3 @@
-// Package sim assembles the full simulated machine: cores, the coherent
-// memory hierarchy, processes with page tables, and the minimal OS
-// behaviour the evaluation needs (program loading, context switches with
-// protection-domain flushes, syscall handling, timer interrupts).
 package sim
 
 import (
@@ -89,6 +85,10 @@ type System struct {
 	// Stats.
 	ContextSwitches uint64
 	TimerTicks      uint64
+	// WarmedInsts counts instructions executed architecturally by Warmup
+	// (the checkpoint fast-forward); they are not part of the measured
+	// region and are excluded from per-core Committed counts.
+	WarmedInsts uint64
 }
 
 // New builds a machine.
@@ -335,6 +335,7 @@ func (s *System) RunUntilHalt(maxCycles int) (RunResult, error) {
 	}
 	res.Cycles = s.Sched.Now() - start
 	res.Counters = make(map[string]uint64)
+	res.Counters["warmup.insts"] = s.WarmedInsts
 	s.Hier.DumpCounters(res.Counters)
 	for ci, c := range s.Cores {
 		prefix := fmt.Sprintf("core%d.", ci)

@@ -1,0 +1,167 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// warmMachine builds a 1-core machine running the hmmer kernel and
+// fast-forwards it n instructions.
+func warmMachine(t *testing.T, n int) *sim.System {
+	t.Helper()
+	spec, ok := workload.ByName("hmmer")
+	if !ok {
+		t.Fatal("hmmer workload missing")
+	}
+	prog := workload.Build(spec, 0.02)
+	s := sim.New(sim.DefaultConfig(1))
+	p := s.NewProcess(prog)
+	s.RunOn(0, p, 0)
+	if got := s.Warmup(n); got != n {
+		t.Fatalf("warm-up executed %d insts, want %d", got, n)
+	}
+	return s
+}
+
+// TestCheckpointRoundTripIsLossless checkpoints a warmed machine, restores
+// into a freshly assembled twin, and re-checkpoints: the two snapshots
+// must be byte-identical (equal content hashes), proving Save/Restore
+// loses nothing for any component.
+func TestCheckpointRoundTripIsLossless(t *testing.T) {
+	a := warmMachine(t, 2000)
+	snapA, err := a.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := warmMachine(t, 0) // fresh twin, no warm-up
+	if err := b.RestoreSnapshot(snapA); err != nil {
+		t.Fatal(err)
+	}
+	snapB, err := b.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapA.Hash() != snapB.Hash() {
+		t.Fatalf("round trip lost state: %s vs %s", snapA.Hash(), snapB.Hash())
+	}
+}
+
+// TestCheckpointIsDeterministic asserts two identically warmed machines
+// produce byte-identical snapshots — the property the content-addressed
+// store and the disk cache keys depend on.
+func TestCheckpointIsDeterministic(t *testing.T) {
+	s1, err := warmMachine(t, 1500).Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := warmMachine(t, 1500).Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Hash() != s2.Hash() {
+		t.Fatal("identical machines, different snapshots")
+	}
+	s3, err := warmMachine(t, 1501).Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Hash() == s1.Hash() {
+		t.Fatal("different warm-up depth, same snapshot")
+	}
+}
+
+// TestCheckpointRequiresQuiescedMachine verifies a machine with in-flight
+// pipeline state refuses to checkpoint instead of silently dropping it.
+func TestCheckpointRequiresQuiescedMachine(t *testing.T) {
+	s := warmMachine(t, 0)
+	s.Step(3) // fetch in flight, events pending
+	if _, err := s.Checkpoint(); err == nil {
+		t.Fatal("checkpoint of a busy machine succeeded")
+	}
+}
+
+// TestRestoreRejectsMismatchedMachine verifies core-count mismatches are
+// detected rather than corrupting state.
+func TestRestoreRejectsMismatchedMachine(t *testing.T) {
+	snap, err := warmMachine(t, 100).Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := sim.New(sim.DefaultConfig(2))
+	prog := workload.Build(mustSpec(t, "hmmer"), 0.02)
+	p := wide.NewProcess(prog)
+	wide.RunOn(0, p, 0)
+	wide.AddThread(p, 1, prog.Entry)
+	wide.RunOn(1, p, 1)
+	if err := wide.RestoreSnapshot(snap); err == nil {
+		t.Fatal("restored a 1-core snapshot into a 2-core machine")
+	}
+}
+
+func mustSpec(t *testing.T, name string) workload.Spec {
+	t.Helper()
+	spec, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("workload %s missing", name)
+	}
+	return spec
+}
+
+// TestWarmupIsArchitecturallyFaithful runs a small program entirely under
+// the functional warm-up executor and checks its architectural results
+// (register values through memory) against the detailed pipeline's.
+func TestWarmupIsArchitecturallyFaithful(t *testing.T) {
+	build := func() *isa.Program {
+		b := isa.NewBuilder("arch")
+		buf := b.Alloc("buf", 256, 64)
+		b.Li(isa.X(5), buf)
+		b.Li(isa.X(6), 7)
+		b.Li(isa.X(7), 9)
+		b.Mul(isa.X(8), isa.X(6), isa.X(7)) // 63
+		b.Store(isa.X(8), isa.X(5), 0)
+		b.Load(isa.X(9), isa.X(5), 0)
+		b.Addi(isa.X(9), isa.X(9), 1) // 64
+		b.Store(isa.X(9), isa.X(5), 8)
+		b.Halt()
+		return b.MustBuild()
+	}
+
+	// Detailed run.
+	det := sim.New(sim.DefaultConfig(1))
+	pd := det.NewProcess(build())
+	det.RunOn(0, pd, 0)
+	if _, err := det.RunUntilHalt(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	// Functional warm-up run of the same program to completion.
+	fn := sim.New(sim.DefaultConfig(1))
+	pf := fn.NewProcess(build())
+	fn.RunOn(0, pf, 0)
+	fn.Warmup(1_000_000)
+	if !fn.Cores[0].Halted() {
+		t.Fatal("warm-up did not reach the halt")
+	}
+
+	for _, r := range []isa.Reg{isa.X(5), isa.X(6), isa.X(7), isa.X(8), isa.X(9)} {
+		if a, b := det.Cores[0].Reg(r), fn.Cores[0].Reg(r); a != b {
+			t.Fatalf("reg %v: detailed %#x, warm-up %#x", r, a, b)
+		}
+	}
+	// Memory contents must agree too.
+	buf := fn.Cores[0].Reg(isa.X(5))
+	pfnD, _ := pd.PT.Translate(buf >> mem.PageShift)
+	pfnF, _ := pf.PT.Translate(buf >> mem.PageShift)
+	for off := uint64(0); off < 16; off += 8 {
+		va := buf + off
+		a := det.Phys.Read64(mem.Addr(pfnD<<mem.PageShift | va%mem.PageBytes))
+		b := fn.Phys.Read64(mem.Addr(pfnF<<mem.PageShift | va%mem.PageBytes))
+		if a != b {
+			t.Fatalf("mem[+%d]: detailed %#x, warm-up %#x", off, a, b)
+		}
+	}
+}

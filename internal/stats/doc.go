@@ -1,0 +1,20 @@
+// Package stats collects simulation statistics and provides the summary
+// arithmetic used by the evaluation harness (ratios, geometric means and
+// normalised-execution-time tables in the style of the paper's figures).
+//
+// Key types:
+//
+//   - Counters: a named set of monotonically increasing event counts.
+//   - Table / Series: the data behind one paper figure — workloads on the
+//     x-axis, one or more named series of per-workload values, rendered by
+//     String with a trailing geomean row.
+//   - Geomean: geometric mean; it panics on non-positive input because a
+//     normalised execution time can never be <= 0.
+//
+// Invariants:
+//
+//   - Rendering is deterministic: counters print in sorted name order and
+//     tables in their construction order, so figure output is directly
+//     diffable across runs (the disk cache's re-emitted rows are
+//     byte-identical to freshly simulated ones).
+package stats

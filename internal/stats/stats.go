@@ -1,6 +1,3 @@
-// Package stats collects simulation statistics and provides the summary
-// arithmetic used by the evaluation harness (ratios, geometric means and
-// normalised-execution-time tables in the style of the paper's figures).
 package stats
 
 import (

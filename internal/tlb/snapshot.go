@@ -1,0 +1,44 @@
+package tlb
+
+import "repro/internal/checkpoint"
+
+// Save serialises the TLB's entries, replacement state and statistics.
+func (t *TLB) Save(w *checkpoint.Writer) {
+	w.U32(uint32(len(t.entries)))
+	w.U64(t.tick)
+	for i := range t.entries {
+		e := &t.entries[i]
+		w.Bool(t.valid[i])
+		w.U64(e.VPN)
+		w.U64(e.PFN)
+		w.U64(e.ASID)
+		w.U64(e.lru)
+	}
+	w.U64(t.Lookups)
+	w.U64(t.Hits)
+	w.U64(t.Fills)
+}
+
+// Restore loads state saved by Save into a TLB of identical capacity.
+func (t *TLB) Restore(r *checkpoint.Reader) error {
+	n := int(r.U32())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != len(t.entries) {
+		return r.Failf("tlb %q has %d entries, snapshot %d", t.name, len(t.entries), n)
+	}
+	t.tick = r.U64()
+	for i := range t.entries {
+		t.valid[i] = r.Bool()
+		e := &t.entries[i]
+		e.VPN = r.U64()
+		e.PFN = r.U64()
+		e.ASID = r.U64()
+		e.lru = r.U64()
+	}
+	t.Lookups = r.U64()
+	t.Hits = r.U64()
+	t.Fills = r.U64()
+	return r.Err()
+}

@@ -1,9 +1,3 @@
-// Package tlb implements address translation: per-process page tables, the
-// split instruction/data TLBs from the paper's Table 1 (64-entry, fully
-// associative), the speculative filter TLB of §4.7, and the hardware
-// page-table walker whose memory accesses are routed through the data-cache
-// path so that speculative walks are themselves captured by the filter
-// cache under MuonTrap.
 package tlb
 
 import (

@@ -1,11 +1,3 @@
-// Package workload generates the synthetic benchmark kernels that stand in
-// for SPEC CPU2006 and Parsec in the evaluation (the paper ran the real
-// suites under gem5; see DESIGN.md for the substitution argument). Each
-// benchmark is described by a Spec whose parameters are chosen to
-// reproduce the sensitivity the paper reports for that workload: working
-// set and access pattern (streaming, strided-conflict, random, pointer
-// chase), memory-level parallelism, store intensity, branch behaviour,
-// code footprint, and (for Parsec) data sharing and locking.
 package workload
 
 // Pattern is the dominant data-access pattern of a kernel.

@@ -1,0 +1,35 @@
+// Package muontrap is the public API of the MuonTrap reproduction: a
+// cycle-level multicore simulator implementing the speculative filter
+// caches of Ainsworth & Jones, "MuonTrap: Preventing Cross-Domain
+// Spectre-Like Attacks by Capturing Speculative State" (ISCA 2020), plus
+// the InvisiSpec and STT comparison defenses, the paper's six attacks,
+// and the synthetic SPEC CPU2006 / Parsec workloads the evaluation runs.
+//
+// Quick start:
+//
+//	res, err := muontrap.Run(muontrap.Config{Workload: "povray", Scheme: "muontrap"})
+//	fmt.Println(res.Cycles, res.IPC())
+//
+// Key entry points:
+//
+//   - Run executes one workload under one protection scheme; Workloads
+//     and Schemes list the available knobs.
+//   - Figure regenerates one of the paper's figures ("fig3".."fig9") as a
+//     printable table; TableOne renders the experimental setup. Options
+//     sizes a regeneration and exposes the two scale levers: WarmupInsts
+//     (execute each workload's warm-up once and fork all per-scheme runs
+//     from a restored snapshot) and CacheDir (a disk-backed result cache
+//     so figure sweeps resume across invocations).
+//   - Attack replays one of the paper's six attacks under a scheme and
+//     reports whether the secret leaked.
+//   - NewSystem builds the underlying machine for advanced scenarios.
+//
+// Invariants:
+//
+//   - Every simulation is deterministic: equal configuration, bit-equal
+//     cycles, instruction counts and counters. The golden tests pin this,
+//     and both caching layers and the snapshot fast-forward depend on it.
+//
+// See ARCHITECTURE.md at the repository root for the layer map and the
+// checkpoint subsystem's design.
+package muontrap

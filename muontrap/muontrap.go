@@ -1,18 +1,3 @@
-// Package muontrap is the public API of the MuonTrap reproduction: a
-// cycle-level multicore simulator implementing the speculative filter
-// caches of Ainsworth & Jones, "MuonTrap: Preventing Cross-Domain
-// Spectre-Like Attacks by Capturing Speculative State" (ISCA 2020), plus
-// the InvisiSpec and STT comparison defenses, the paper's six attacks, and
-// the synthetic SPEC CPU2006 / Parsec workloads the evaluation runs.
-//
-// Quick start:
-//
-//	res, err := muontrap.Run(muontrap.Config{Workload: "povray", Scheme: "muontrap"})
-//	fmt.Println(res.Cycles, res.IPC())
-//
-// Build custom systems with NewSystem, list available knobs with
-// Workloads and Schemes, rerun the paper's experiments via the Figure
-// functions, and replay the attacks with Attack.
 package muontrap
 
 import (
