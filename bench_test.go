@@ -18,6 +18,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/defense"
@@ -28,7 +29,7 @@ import (
 
 // benchOptions sizes the figure regenerations for the bench harness.
 func benchOptions() muontrap.Options {
-	opt := figures.DefaultOptions()
+	opt := muontrap.DefaultOptions()
 	opt.Scale = 0.12
 	return opt
 }
@@ -115,11 +116,11 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 // (train, fire, switch, probe) on both the vulnerable and defended
 // configurations.
 func BenchmarkAttackSpectre(b *testing.B) {
-	for _, scheme := range []string{"insecure", "muontrap"} {
+	for _, scheme := range []muontrap.Scheme{"insecure", "muontrap"} {
 		scheme := scheme
-		b.Run(scheme, func(b *testing.B) {
+		b.Run(scheme.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := muontrap.Attack("spectre", scheme, 7); err != nil {
+				if _, err := muontrap.Attack(muontrap.AttackSpectre, scheme, 7); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -132,7 +133,8 @@ func BenchmarkAttackSpectre(b *testing.B) {
 // disabled, every store to a loaded line pays an exclusive upgrade.
 func BenchmarkAblationSEUpgrade(b *testing.B) {
 	spec, _ := workload.ByName("lbm")
-	opt := benchOptions()
+	mo := benchOptions()
+	opt := figures.Options{Scale: mo.Scale, MaxCycles: mo.MaxCycles}
 	for _, cfg := range []struct {
 		name string
 		sch  defense.Scheme
@@ -143,7 +145,7 @@ func BenchmarkAblationSEUpgrade(b *testing.B) {
 		cfg := cfg
 		b.Run(cfg.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := figures.RunOne(spec, cfg.sch, opt)
+				res, err := figures.RunOne(context.Background(), spec, cfg.sch, opt)
 				if err != nil {
 					b.Fatal(err)
 				}

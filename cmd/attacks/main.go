@@ -27,28 +27,38 @@ func main() {
 
 	attacks := muontrap.AttackNames()
 	if *name != "" {
-		attacks = []string{*name}
+		a, err := muontrap.ParseAttackName(*name)
+		if err != nil {
+			fatal(err)
+		}
+		attacks = []muontrap.AttackName{a}
 	}
-	schemes := []string{"insecure", "muontrap"}
+	schemes := []muontrap.Scheme{muontrap.SchemeInsecure, "muontrap"}
 	if *scheme != "" {
-		schemes = []string{*scheme}
+		s, err := muontrap.ParseScheme(*scheme)
+		if err != nil {
+			fatal(err)
+		}
+		schemes = []muontrap.Scheme{s}
 	}
 
-	fail := false
 	for _, sch := range schemes {
 		fmt.Printf("== scheme %s ==\n", sch)
 		for _, a := range attacks {
 			res, err := muontrap.Attack(a, sch, *secret)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "error:", err)
-				os.Exit(1)
+				fatal(err)
 			}
 			verdict := "defeated"
 			if res.Succeeded {
 				verdict = "LEAKED"
 			}
 			fmt.Printf("%-18s %-9s %v\n", a, verdict, res.Latencies)
-			_ = fail
 		}
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
 }

@@ -1,26 +1,29 @@
 // Command figures regenerates the paper's evaluation tables and figures
-// (Table 1 and Figures 3-9) as text tables.
+// (Table 1 and Figures 3-9) as text tables, through the experiment
+// service (muontrap.Runner).
 //
 // Runs are memoized at two levels: in-process (duplicate matrix cells run
 // once) and, unless disabled, in a disk cache keyed by the full run
 // configuration and the simulator build, so re-running a figure re-emits
 // previously computed rows without re-simulating. With -warmup N, each
 // workload's warm-up is executed once and every per-scheme run forks from
-// the restored snapshot.
+// the restored snapshot. Ctrl-C cancels in-flight simulations promptly.
 //
 // Usage:
 //
 //	figures -exp fig3 -scale 0.15
 //	figures -exp all
-//	figures -exp fig4 -warmup 50000
+//	figures -exp fig4 -warmup 50000 -workers 8
 //	figures -exp table1
 //	figures -cache off -exp fig3     # force fresh simulation
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"time"
 
@@ -29,30 +32,38 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1, fig3..fig9, or all")
-		scale  = flag.Float64("scale", 0.15, "workload trip-count multiplier")
-		warmup = flag.Int("warmup", 0, "instructions to fast-forward per workload before the measured region (0 = run from reset)")
-		cache  = flag.String("cache", "auto", `disk cache directory; "auto" uses the user cache dir, "off" disables`)
+		exp     = flag.String("exp", "all", "experiment: table1, fig3..fig9, or all")
+		scale   = flag.Float64("scale", 0.15, "workload trip-count multiplier")
+		warmup  = flag.Int("warmup", 0, "instructions to fast-forward per workload before the measured region (0 = run from reset)")
+		cache   = flag.String("cache", "auto", `disk cache directory; "auto" uses the user cache dir, "off" disables`)
+		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	opt := muontrap.DefaultOptions()
-	opt.Scale = *scale
-	opt.WarmupInsts = *warmup
+	cacheDir := ""
 	switch *cache {
 	case "off", "":
-		opt.CacheDir = ""
 	case "auto":
 		if dir, err := os.UserCacheDir(); err == nil {
-			opt.CacheDir = filepath.Join(dir, "muontrap-figures")
+			cacheDir = filepath.Join(dir, "muontrap-figures")
 		}
 	default:
-		opt.CacheDir = *cache
+		cacheDir = *cache
 	}
 
-	run := func(id string) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	r := muontrap.NewRunner(
+		muontrap.WithScale(*scale),
+		muontrap.WithWarmup(*warmup),
+		muontrap.WithCacheDir(cacheDir),
+		muontrap.WithWorkers(*workers),
+	)
+
+	run := func(id muontrap.FigureID) {
 		start := time.Now()
-		t, err := muontrap.Figure(id, opt)
+		t, err := r.Figure(ctx, id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			os.Exit(1)
@@ -71,6 +82,11 @@ func main() {
 			run(id)
 		}
 	default:
-		run(*exp)
+		id, err := muontrap.ParseFigureID(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		run(id)
 	}
 }

@@ -8,9 +8,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 
 	"repro/muontrap"
@@ -27,6 +29,8 @@ func main() {
 	flag.Parse()
 
 	if *list {
+		// Workloads() and Schemes() are sorted and deduplicated, so this
+		// help text is deterministic.
 		fmt.Println("workloads:")
 		for _, w := range muontrap.Workloads() {
 			fmt.Printf("  %s\n", w)
@@ -39,13 +43,26 @@ func main() {
 		return
 	}
 
-	res, err := muontrap.Run(muontrap.Config{Workload: *work, Scheme: *sch, Scale: *scale})
+	workload, err := muontrap.ParseWorkload(*work)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	fmt.Printf("workload      %s\n", *work)
-	fmt.Printf("scheme        %s\n", *sch)
+	scheme, err := muontrap.ParseScheme(*sch)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Ctrl-C cancels the simulation mid-run instead of killing the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	r := muontrap.NewRunner()
+	res, err := r.Run(ctx, muontrap.RunSpec{Workload: workload, Scheme: scheme, Scale: *scale})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workload      %s\n", res.Workload)
+	fmt.Printf("scheme        %s\n", res.Scheme)
 	fmt.Printf("cycles        %d\n", res.Cycles)
 	fmt.Printf("instructions  %d\n", res.Instructions)
 	fmt.Printf("IPC           %.3f\n", res.IPC())
@@ -59,4 +76,9 @@ func main() {
 			fmt.Printf("%-40s %12d\n", k, res.Counters[k])
 		}
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
 }

@@ -1,11 +1,13 @@
-// Parsec-style run: a 4-thread shared-memory kernel (locks, shared
-// writes, coherence traffic) under the unprotected baseline and MuonTrap.
-// The paper's counterintuitive result is that Parsec *speeds up* under
+// Parsec-style run: 4-thread shared-memory kernels (locks, shared
+// writes, coherence traffic) under the unprotected baseline and MuonTrap,
+// swept as one declarative matrix over the Runner's worker pool. The
+// paper's counterintuitive result is that Parsec *speeds up* under
 // MuonTrap: the 1-cycle L0 in front of the 2-cycle L1 wins more than the
 // protections cost.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,17 +15,25 @@ import (
 )
 
 func main() {
-	for _, workload := range []string{"blackscholes", "ferret", "streamcluster"} {
-		base, err := muontrap.Run(muontrap.Config{Workload: workload, Scheme: "insecure"})
-		if err != nil {
-			log.Fatal(err)
-		}
-		mt, err := muontrap.Run(muontrap.Config{Workload: workload, Scheme: "muontrap"})
-		if err != nil {
-			log.Fatal(err)
+	workloads := []muontrap.Workload{"blackscholes", "ferret", "streamcluster"}
+
+	r := muontrap.NewRunner(muontrap.WithWorkers(4))
+	sweep, err := r.Sweep(context.Background(), muontrap.Sweep{
+		Workloads: workloads,
+		Schemes:   []muontrap.Scheme{muontrap.SchemeInsecure, "muontrap"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, w := range workloads {
+		base, ok := sweep.Find(w, muontrap.SchemeInsecure)
+		mt, ok2 := sweep.Find(w, "muontrap")
+		if !ok || !ok2 {
+			log.Fatalf("%s missing from sweep results", w)
 		}
 		fmt.Printf("%-16s insecure %9d cy | muontrap %9d cy | normalised %.3f\n",
-			workload, base.Cycles, mt.Cycles, float64(mt.Cycles)/float64(base.Cycles))
+			w, base.Cycles, mt.Cycles, float64(mt.Cycles)/float64(base.Cycles))
 		fmt.Printf("%16s coherence: %d NACKs, %d broadcasts, %d remote downgrades\n", "",
 			mt.Counters["coh.nacks"], mt.Counters["coh.filter_broadcasts"],
 			mt.Counters["coh.remote_downgrades"])

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,11 +14,14 @@ import (
 func main() {
 	const workload = "povray" // small hot set: one of the kernels MuonTrap speeds up
 
-	base, err := muontrap.Run(muontrap.Config{Workload: workload, Scheme: "insecure"})
+	ctx := context.Background()
+	r := muontrap.NewRunner()
+
+	base, err := r.Run(ctx, muontrap.RunSpec{Workload: workload, Scheme: muontrap.SchemeInsecure})
 	if err != nil {
 		log.Fatal(err)
 	}
-	protected, err := muontrap.Run(muontrap.Config{Workload: workload, Scheme: "muontrap"})
+	protected, err := r.Run(ctx, muontrap.RunSpec{Workload: workload, Scheme: "muontrap"})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -21,8 +21,8 @@ func main() {
 
 	fmt.Printf("victim secret: %d\n\n", secret)
 	fmt.Printf("%-20s %-10s %-8s %s\n", "scheme", "verdict", "leaked", "probe latencies (cycles)")
-	for _, scheme := range []string{"insecure", "insecure-l0", "fcache", "muontrap", "clear-misspec"} {
-		res, err := muontrap.Attack("spectre", scheme, secret)
+	for _, scheme := range []muontrap.Scheme{"insecure", "insecure-l0", "fcache", "muontrap", "clear-misspec"} {
+		res, err := muontrap.Attack(muontrap.AttackSpectre, scheme, secret)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,10 +13,9 @@ import (
 )
 
 func main() {
-	opt := muontrap.DefaultOptions()
-	opt.Scale = 0.08
+	r := muontrap.NewRunner(muontrap.WithScale(0.08))
 
-	t, err := muontrap.Figure("fig5", opt)
+	t, err := r.Figure(context.Background(), muontrap.Fig5)
 	if err != nil {
 		log.Fatal(err)
 	}

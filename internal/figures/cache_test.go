@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -17,8 +18,8 @@ func TestCachedRunDeduplicates(t *testing.T) {
 	ResetRunCache()
 	var mu sync.Mutex
 	runs := map[string]int{}
-	mk := func(name string, cycles uint64) func() (sim.RunResult, error) {
-		return func() (sim.RunResult, error) {
+	mk := func(name string, cycles uint64) func(context.Context) (sim.RunResult, error) {
+		return func(context.Context) (sim.RunResult, error) {
 			mu.Lock()
 			runs[name]++
 			mu.Unlock()
@@ -32,10 +33,10 @@ func TestCachedRunDeduplicates(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := cachedRun(Options{}, keyA, mk("a", 1)); err != nil {
+			if _, err := cachedRun(context.Background(), Options{}, keyA, mk("a", 1)); err != nil {
 				t.Error(err)
 			}
-			if _, err := cachedRun(Options{}, keyB, mk("b", 2)); err != nil {
+			if _, err := cachedRun(context.Background(), Options{}, keyB, mk("b", 2)); err != nil {
 				t.Error(err)
 			}
 		}()
@@ -57,15 +58,15 @@ func TestMemoizedMatrixMatchesFreshRun(t *testing.T) {
 	ResetRunCache()
 	opt := tinyOptions()
 	spec, _ := workload.ByName("hmmer")
-	jobs := []job{
-		{spec: spec, scheme: defense.Insecure(), series: "baseline", work: spec.Name},
-		{spec: spec, scheme: defense.Insecure(), series: "dup", work: spec.Name},
+	jobs := []Job{
+		{Spec: spec, Scheme: defense.Insecure(), Opt: opt, Series: "baseline", Work: spec.Name},
+		{Spec: spec, Scheme: defense.Insecure(), Opt: opt, Series: "dup", Work: spec.Name},
 	}
-	cycles, err := runMatrix(jobs, opt)
+	cycles, err := runMatrix(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fresh, err := RunOne(spec, defense.Insecure(), opt)
+	fresh, err := RunOne(context.Background(), spec, defense.Insecure(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}

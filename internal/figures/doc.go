@@ -1,20 +1,30 @@
-// Package figures regenerates every table and figure of the paper's
-// evaluation section (Table 1, Figures 3-9) on the simulated machine.
-// Each figure function runs the relevant (workload x scheme) matrix and
+// Package figures hosts the experiment executor and regenerates every
+// table and figure of the paper's evaluation section (Table 1, Figures
+// 3-9) on the simulated machine. Each figure function compiles its
+// (workload x scheme) matrix to []Job and hands it to the shared
+// Executor — the same one the public muontrap.Runner drives — then
 // returns a stats.Table whose rows mirror the paper's plots: normalised
 // execution time against the unprotected baseline, or (Figure 7) the
-// store broadcast rate. Runs execute in parallel across GOMAXPROCS; every
-// individual simulation is single-threaded and deterministic.
+// store broadcast rate. Every individual simulation is single-threaded
+// and deterministic; the executor only decides which cells run when.
 //
 // Key types:
 //
+//   - Job / Outcome / Executor: one matrix cell, its result, and the
+//     bounded worker pool that runs cells with fail-fast error
+//     propagation and context cancellation (observed both between jobs
+//     and inside the simulator's cycle loop). Worker count never changes
+//     results — pinned by tests comparing parallel and sequential
+//     renderings byte-for-byte.
 //   - Options: experiment size (Scale, MaxCycles, Parallelism) plus the
 //     two scale levers layered under the figures: WarmupInsts (snapshot
 //     fast-forward) and CacheDir (disk-backed result cache).
 //   - runKey: the full identity of one deterministic run — workload,
 //     scheme, scale, cycle bound, filter-cache geometry, warm-up depth and
 //     warm-snapshot content hash. Everything that can change a run's
-//     outcome is in the key.
+//     outcome is in the key. A run that ends in a context error is
+//     dropped from the memoization map, so cancellation never poisons
+//     any caching layer.
 //
 // Caching layers, outermost first:
 //

@@ -1,0 +1,162 @@
+package figures
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/defense"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// This file is the experiment executor: the one scheduling / caching /
+// snapshot-forking path every matrix in the repository goes through. The
+// figure harness (Fig3..Fig9) and the public muontrap.Runner both compile
+// their work down to []Job and hand it to an Executor, so worker bounding,
+// context cancellation, run memoization, the disk cache and warm-snapshot
+// forking behave identically whether a caller asks for a paper figure or
+// a custom sweep.
+
+// Job is one cell of an experiment matrix: a workload under a scheme at
+// the sizing carried in Opt. Series/Work name the cell for aggregation
+// and error reporting. Custom, when non-nil, overrides the scheme-derived
+// run (the Fig 5/6 filter-geometry sweeps); CustomKey identifies it for
+// memoization.
+type Job struct {
+	Spec   workload.Spec
+	Scheme defense.Scheme
+	Opt    Options
+
+	Series string
+	Work   string
+
+	Custom    func(ctx context.Context) (sim.RunResult, error)
+	CustomKey runKey
+}
+
+// Outcome is one successfully completed Job with its result. (Failures
+// never surface as outcomes: the first job error aborts Execute.)
+type Outcome struct {
+	Job Job
+	Res sim.RunResult
+}
+
+// Executor runs jobs over a bounded worker pool. The zero value is ready
+// to use (Workers defaults to GOMAXPROCS).
+type Executor struct {
+	// Workers caps concurrent simulations (0 = GOMAXPROCS).
+	Workers int
+	// OnResult, when non-nil, streams each successfully completed job.
+	// Calls are serialized; completion order is nondeterministic under
+	// more than one worker.
+	OnResult func(Outcome)
+}
+
+// Execute runs every job and returns outcomes in job order. The first
+// job error cancels the remaining work and is returned (wrapped with the
+// failing cell's series/work); a cancelled ctx surfaces as ctx.Err(), so
+// errors.Is(err, context.Canceled) holds. Individual simulations observe
+// cancellation mid-run through the sim cycle loop.
+func (e *Executor) Execute(ctx context.Context, jobs []Job) ([]Outcome, error) {
+	if len(jobs) == 0 {
+		return nil, ctx.Err()
+	}
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	outs := make([]Outcome, len(jobs))
+	idxCh := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex // guards outs and firstErr
+		cbMu     sync.Mutex // serializes OnResult without blocking workers' bookkeeping
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				j := jobs[i]
+				res, err := e.runJob(runCtx, j)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("%s/%s: %w", j.Series, j.Work, err)
+						cancel()
+					}
+					mu.Unlock()
+					continue
+				}
+				out := Outcome{Job: j, Res: res}
+				mu.Lock()
+				outs[i] = out
+				mu.Unlock()
+				if e.OnResult != nil {
+					cbMu.Lock()
+					e.OnResult(out)
+					cbMu.Unlock()
+				}
+			}
+		}()
+	}
+feed:
+	for i := range jobs {
+		select {
+		case idxCh <- i:
+		case <-runCtx.Done():
+			// Stop feeding; in-flight jobs unwind via their own ctx check.
+			break feed
+		}
+	}
+	close(idxCh)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return outs, nil
+}
+
+// runJob executes one cell through the shared memoization/fork path.
+func (e *Executor) runJob(ctx context.Context, j Job) (sim.RunResult, error) {
+	if err := ctx.Err(); err != nil {
+		return sim.RunResult{}, err
+	}
+	snapHash, err := snapHashFor(j.Spec, j.Opt)
+	if err != nil {
+		return sim.RunResult{}, err
+	}
+	key := j.CustomKey
+	run := j.Custom
+	if run == nil {
+		key = runKey{workload: j.Spec.Name, scheme: j.Scheme.Name,
+			scale: j.Opt.Scale, maxCycles: j.Opt.MaxCycles}
+		opt := j.Opt
+		spec, sch := j.Spec, j.Scheme
+		run = func(ctx context.Context) (sim.RunResult, error) {
+			return RunOne(ctx, spec, sch, opt)
+		}
+	}
+	key.warmup = j.Opt.WarmupInsts
+	key.snapHash = snapHash
+	return cachedRun(ctx, j.Opt, key, run)
+}
+
+// ctxErr reports whether err is a context cancellation/deadline error —
+// results of such runs are aborted, not wrong, and must never be cached.
+func ctxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

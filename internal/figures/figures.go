@@ -1,8 +1,8 @@
 package figures
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sync"
 
 	"repro/internal/defense"
@@ -56,11 +56,11 @@ type runKey struct {
 }
 
 // runEntry is a singleflight-style cache slot: concurrent jobs for the
-// same key share one simulation.
+// same key share one simulation. ready is closed when res/err are final.
 type runEntry struct {
-	once sync.Once
-	res  sim.RunResult
-	err  error
+	ready chan struct{}
+	res   sim.RunResult
+	err   error
 }
 
 var (
@@ -68,35 +68,62 @@ var (
 	runCache   = map[runKey]*runEntry{}
 )
 
-// cachedRun memoizes deterministic figure runs: an in-process singleflight
-// layer (Fig 5 and Fig 6 re-run the insecure Parsec baseline Fig 4 already
-// ran, and Fig 7 re-runs Fig 3's MuonTrap SPEC column, so a figure suite
-// pays for each distinct key exactly once per process) over an optional
-// disk layer (opt.CacheDir), which lets cmd/figures resume a sweep across
-// invocations: a previously computed row is re-emitted without
-// re-simulating. Every individual run is unchanged — only duplicates are
-// elided. Results are shared; callers must not mutate them.
-func cachedRun(opt Options, key runKey, run func() (sim.RunResult, error)) (sim.RunResult, error) {
-	runCacheMu.Lock()
-	e := runCache[key]
-	if e == nil {
-		e = &runEntry{}
-		runCache[key] = e
-	}
-	runCacheMu.Unlock()
-	e.once.Do(func() {
-		if opt.CacheDir != "" {
-			if res, ok := diskGet(opt.CacheDir, key); ok {
-				e.res = res
-				return
+// cachedRun memoizes deterministic experiment runs: an in-process
+// singleflight layer (Fig 5 and Fig 6 re-run the insecure Parsec baseline
+// Fig 4 already ran, and Fig 7 re-runs Fig 3's MuonTrap SPEC column, so a
+// figure suite pays for each distinct key exactly once per process) over
+// an optional disk layer (opt.CacheDir), which lets cmd/figures resume a
+// sweep across invocations: a previously computed row is re-emitted
+// without re-simulating. Every individual run is unchanged — only
+// duplicates are elided. Results are shared; callers must not mutate them.
+//
+// Cancellation never poisons the cache: a run that ends in a context
+// error is dropped from the map so a later attempt re-simulates, and
+// goroutines waiting on someone else's in-flight run stop waiting as soon
+// as their own ctx is cancelled.
+func cachedRun(ctx context.Context, opt Options, key runKey, run func(context.Context) (sim.RunResult, error)) (sim.RunResult, error) {
+	for {
+		runCacheMu.Lock()
+		e := runCache[key]
+		if e == nil {
+			e = &runEntry{ready: make(chan struct{})}
+			runCache[key] = e
+			runCacheMu.Unlock()
+
+			if opt.CacheDir != "" {
+				if res, ok := diskGet(opt.CacheDir, key); ok {
+					e.res = res
+					close(e.ready)
+					return e.res, nil
+				}
 			}
+			e.res, e.err = run(ctx)
+			if e.err == nil && opt.CacheDir != "" {
+				diskPut(opt.CacheDir, key, e.res)
+			}
+			if e.err != nil && ctxErr(e.err) {
+				// Aborted, not wrong: drop the entry (before waking
+				// waiters) so future attempts re-simulate.
+				runCacheMu.Lock()
+				if runCache[key] == e {
+					delete(runCache, key)
+				}
+				runCacheMu.Unlock()
+			}
+			close(e.ready)
+			return e.res, e.err
 		}
-		e.res, e.err = run()
-		if e.err == nil && opt.CacheDir != "" {
-			diskPut(opt.CacheDir, key, e.res)
+		runCacheMu.Unlock()
+		select {
+		case <-e.ready:
+			if e.err != nil && ctxErr(e.err) {
+				continue // owner's run was cancelled; retry under our ctx
+			}
+			return e.res, e.err
+		case <-ctx.Done():
+			return sim.RunResult{}, ctx.Err()
 		}
-	})
-	return e.res, e.err
+	}
 }
 
 // ResetRunCache drops all memoized figure runs and warm snapshots (test
@@ -138,78 +165,33 @@ func buildRun(spec workload.Spec, sch defense.Scheme, opt Options) *sim.System {
 }
 
 // RunOne executes one workload under one scheme and returns the result.
-// It is NOT memoized — throughput benchmarks and API users get a fresh
-// simulation; the figure matrices deduplicate through cachedRun. With
-// opt.WarmupInsts set, the run forks from the workload's shared warm
-// snapshot (which is memoized) instead of simulating from reset.
-func RunOne(spec workload.Spec, sch defense.Scheme, opt Options) (sim.RunResult, error) {
-	return forkOrRun(spec, opt, buildRun(spec, sch, opt))
+// It is NOT memoized — throughput benchmarks and single-run API users get
+// a fresh simulation; the figure/sweep matrices deduplicate through
+// cachedRun. With opt.WarmupInsts set, the run forks from the workload's
+// shared warm snapshot (which is memoized) instead of simulating from
+// reset. Cancelling ctx mid-simulation returns ctx.Err().
+func RunOne(ctx context.Context, spec workload.Spec, sch defense.Scheme, opt Options) (sim.RunResult, error) {
+	return forkOrRun(ctx, spec, opt, buildRun(spec, sch, opt))
 }
 
-type job struct {
-	spec   workload.Spec
-	scheme defense.Scheme
-	// custom overrides the scheme-derived run when non-nil (Fig 5/6 cache
-	// sweeps); customKey identifies it for memoization.
-	custom    func() (sim.RunResult, error)
-	customKey runKey
-	series    string
-	work      string
-}
-
-// runMatrix executes jobs in parallel and returns cycles per (series,
-// workload).
-func runMatrix(jobs []job, opt Options) (map[string]map[string]event.Cycle, error) {
-	par := opt.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
+// runMatrix executes jobs through the shared executor and returns cycles
+// per (series, workload). The worker bound comes from the jobs' own
+// options (one Options value per matrix).
+func runMatrix(ctx context.Context, jobs []Job) (map[string]map[string]event.Cycle, error) {
+	var ex Executor
+	if len(jobs) > 0 {
+		ex.Workers = jobs[0].Opt.Parallelism
 	}
-	type outcome struct {
-		series, work string
-		cycles       event.Cycle
-		err          error
+	outs, err := ex.Execute(ctx, jobs)
+	if err != nil {
+		return nil, err
 	}
-	sem := make(chan struct{}, par)
-	results := make(chan outcome, len(jobs))
-	var wg sync.WaitGroup
-	for _, j := range jobs {
-		wg.Add(1)
-		j := j
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			var res sim.RunResult
-			snapHash, err := snapHashFor(j.spec, opt)
-			if err == nil {
-				if j.custom != nil {
-					key := j.customKey
-					key.warmup = opt.WarmupInsts
-					key.snapHash = snapHash
-					res, err = cachedRun(opt, key, j.custom)
-				} else {
-					key := runKey{workload: j.spec.Name, scheme: j.scheme.Name,
-						scale: opt.Scale, maxCycles: opt.MaxCycles,
-						warmup: opt.WarmupInsts, snapHash: snapHash}
-					res, err = cachedRun(opt, key, func() (sim.RunResult, error) {
-						return RunOne(j.spec, j.scheme, opt)
-					})
-				}
-			}
-			results <- outcome{j.series, j.work, res.Cycles, err}
-		}()
-	}
-	wg.Wait()
-	close(results)
 	out := make(map[string]map[string]event.Cycle)
-	for o := range results {
-		if o.err != nil {
-			return nil, fmt.Errorf("%s/%s: %w", o.series, o.work, o.err)
+	for _, o := range outs {
+		if out[o.Job.Series] == nil {
+			out[o.Job.Series] = make(map[string]event.Cycle)
 		}
-		if out[o.series] == nil {
-			out[o.series] = make(map[string]event.Cycle)
-		}
-		out[o.series][o.work] = o.cycles
+		out[o.Job.Series][o.Job.Work] = o.Res.Cycles
 	}
 	return out, nil
 }
@@ -235,15 +217,15 @@ func normalisedTable(title string, workloads []string, order []string,
 
 // comparisonFigure builds Figures 3/4: the suite's workloads under the
 // five compared schemes, normalised to the insecure baseline.
-func comparisonFigure(title string, specs []workload.Spec, opt Options) (*stats.Table, error) {
-	var jobs []job
+func comparisonFigure(ctx context.Context, title string, specs []workload.Spec, opt Options) (*stats.Table, error) {
+	var jobs []Job
 	for _, sp := range specs {
-		jobs = append(jobs, job{spec: sp, scheme: defense.Insecure(), series: "baseline", work: sp.Name})
+		jobs = append(jobs, Job{Spec: sp, Scheme: defense.Insecure(), Opt: opt, Series: "baseline", Work: sp.Name})
 		for _, sch := range defense.Comparison() {
-			jobs = append(jobs, job{spec: sp, scheme: sch, series: sch.Name, work: sp.Name})
+			jobs = append(jobs, Job{Spec: sp, Scheme: sch, Opt: opt, Series: sch.Name, Work: sp.Name})
 		}
 	}
-	cycles, err := runMatrix(jobs, opt)
+	cycles, err := runMatrix(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -255,14 +237,14 @@ func comparisonFigure(title string, specs []workload.Spec, opt Options) (*stats.
 }
 
 // Fig3 is the SPEC CPU2006 comparison (paper Figure 3).
-func Fig3(opt Options) (*stats.Table, error) {
-	return comparisonFigure("Figure 3: SPEC CPU2006 normalised execution time",
+func Fig3(ctx context.Context, opt Options) (*stats.Table, error) {
+	return comparisonFigure(ctx, "Figure 3: SPEC CPU2006 normalised execution time",
 		workload.SPEC2006(), opt)
 }
 
 // Fig4 is the Parsec comparison on 4 cores (paper Figure 4).
-func Fig4(opt Options) (*stats.Table, error) {
-	return comparisonFigure("Figure 4: Parsec normalised execution time (4 threads)",
+func Fig4(ctx context.Context, opt Options) (*stats.Table, error) {
+	return comparisonFigure(ctx, "Figure 4: Parsec normalised execution time (4 threads)",
 		workload.Parsec(), opt)
 }
 
@@ -270,7 +252,7 @@ func Fig4(opt Options) (*stats.Table, error) {
 // filter cache geometry. The warm snapshot (if any) is shared with the
 // standard-geometry runs: filter caches hold no warm state, so L0 geometry
 // does not enter the snapshot.
-func sweepRun(spec workload.Spec, sizeBytes uint64, assoc int, opt Options) (sim.RunResult, error) {
+func sweepRun(ctx context.Context, spec workload.Spec, sizeBytes uint64, assoc int, opt Options) (sim.RunResult, error) {
 	prog := workload.Build(spec, opt.Scale)
 	cfg := sim.DefaultConfig(4)
 	cfg.Mem.Mode = defense.MuonTrap().Mode
@@ -284,139 +266,106 @@ func sweepRun(spec workload.Spec, sizeBytes uint64, assoc int, opt Options) (sim
 		sys.AddThread(p, th, prog.Entry)
 		sys.RunOn(th, p, th)
 	}
-	return forkOrRun(spec, opt, sys)
+	return forkOrRun(ctx, spec, opt, sys)
+}
+
+// geometryFigure builds Figures 5/6: the insecure baseline plus one
+// custom-geometry MuonTrap series per (size, assoc) point.
+func geometryFigure(ctx context.Context, title string, opt Options,
+	series func(i int) string, geom func(i int) (uint64, int), n int) (*stats.Table, error) {
+	specs := workload.Parsec()
+	var jobs []Job
+	for _, sp := range specs {
+		sp := sp
+		jobs = append(jobs, Job{Spec: sp, Scheme: defense.Insecure(), Opt: opt, Series: "baseline", Work: sp.Name})
+		for i := 0; i < n; i++ {
+			size, assoc := geom(i)
+			jobs = append(jobs, Job{
+				Spec: sp, Opt: opt, Work: sp.Name, Series: series(i),
+				CustomKey: runKey{workload: sp.Name, scheme: "muontrap-sweep",
+					scale: opt.Scale, maxCycles: opt.MaxCycles,
+					l0dSize: size, l0dAssoc: assoc},
+				Custom: func(ctx context.Context) (sim.RunResult, error) {
+					return sweepRun(ctx, sp, size, assoc, opt)
+				},
+			})
+		}
+	}
+	cycles, err := runMatrix(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	var order []string
+	for i := 0; i < n; i++ {
+		order = append(order, series(i))
+	}
+	return normalisedTable(title, workload.Names(specs), order, cycles), nil
 }
 
 // Fig5 sweeps the (fully associative) data filter cache size on Parsec
 // (paper Figure 5). Series are sizes in bytes; values normalised to the
 // insecure baseline.
-func Fig5(opt Options) (*stats.Table, error) {
+func Fig5(ctx context.Context, opt Options) (*stats.Table, error) {
 	sizes := []uint64{64, 128, 256, 512, 1024, 2048, 4096}
-	specs := workload.Parsec()
-	var jobs []job
-	for _, sp := range specs {
-		sp := sp
-		jobs = append(jobs, job{spec: sp, scheme: defense.Insecure(), series: "baseline", work: sp.Name})
-		for _, size := range sizes {
-			size := size
-			jobs = append(jobs, job{
-				spec: sp, work: sp.Name, series: fmt.Sprintf("%dB", size),
-				customKey: runKey{workload: sp.Name, scheme: "muontrap-sweep",
-					scale: opt.Scale, maxCycles: opt.MaxCycles,
-					l0dSize: size, l0dAssoc: int(size / 64)},
-				custom: func() (sim.RunResult, error) {
-					return sweepRun(sp, size, int(size/64), opt) // fully associative
-				},
-			})
-		}
-	}
-	cycles, err := runMatrix(jobs, opt)
-	if err != nil {
-		return nil, err
-	}
-	var order []string
-	for _, size := range sizes {
-		order = append(order, fmt.Sprintf("%dB", size))
-	}
-	return normalisedTable("Figure 5: filter cache size sweep (fully associative), Parsec",
-		workload.Names(specs), order, cycles), nil
+	return geometryFigure(ctx,
+		"Figure 5: filter cache size sweep (fully associative), Parsec", opt,
+		func(i int) string { return fmt.Sprintf("%dB", sizes[i]) },
+		func(i int) (uint64, int) { return sizes[i], int(sizes[i] / 64) }, // fully associative
+		len(sizes))
 }
 
 // Fig6 sweeps the associativity of the 2KiB filter cache on Parsec (paper
 // Figure 6).
-func Fig6(opt Options) (*stats.Table, error) {
+func Fig6(ctx context.Context, opt Options) (*stats.Table, error) {
 	assocs := []int{1, 2, 4, 8, 16, 32}
-	specs := workload.Parsec()
-	var jobs []job
-	for _, sp := range specs {
-		sp := sp
-		jobs = append(jobs, job{spec: sp, scheme: defense.Insecure(), series: "baseline", work: sp.Name})
-		for _, a := range assocs {
-			a := a
-			jobs = append(jobs, job{
-				spec: sp, work: sp.Name, series: fmt.Sprintf("%d-way", a),
-				customKey: runKey{workload: sp.Name, scheme: "muontrap-sweep",
-					scale: opt.Scale, maxCycles: opt.MaxCycles,
-					l0dSize: 2048, l0dAssoc: a},
-				custom: func() (sim.RunResult, error) {
-					return sweepRun(sp, 2048, a, opt)
-				},
-			})
-		}
-	}
-	cycles, err := runMatrix(jobs, opt)
-	if err != nil {
-		return nil, err
-	}
-	var order []string
-	for _, a := range assocs {
-		order = append(order, fmt.Sprintf("%d-way", a))
-	}
-	return normalisedTable("Figure 6: filter cache associativity sweep (2KiB), Parsec",
-		workload.Names(specs), order, cycles), nil
+	return geometryFigure(ctx,
+		"Figure 6: filter cache associativity sweep (2KiB), Parsec", opt,
+		func(i int) string { return fmt.Sprintf("%d-way", assocs[i]) },
+		func(i int) (uint64, int) { return 2048, assocs[i] },
+		len(assocs))
 }
 
 // Fig7 reports the fraction of committed stores that required an
 // exclusive upgrade with filter-cache broadcast under MuonTrap (paper
 // Figure 7).
-func Fig7(opt Options) (*stats.Table, error) {
+func Fig7(ctx context.Context, opt Options) (*stats.Table, error) {
 	specs := workload.SPEC2006()
+	jobs := make([]Job, 0, len(specs))
+	for _, sp := range specs {
+		jobs = append(jobs, Job{Spec: sp, Scheme: defense.MuonTrap(), Opt: opt,
+			Series: "invalidate-rate", Work: sp.Name})
+	}
+	ex := Executor{Workers: opt.Parallelism}
+	outs, err := ex.Execute(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
 	t := &stats.Table{
 		Title:     "Figure 7: store filter-cache-invalidate (upgrade broadcast) rate under MuonTrap",
 		Workloads: workload.Names(specs),
 	}
 	series := t.AddSeries("invalidate-rate")
-	par := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	var firstErr error
-	for _, sp := range specs {
-		sp := sp
-		wg.Add(1)
-		par <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-par }()
-			var res sim.RunResult
-			snapHash, err := snapHashFor(sp, opt)
-			if err == nil {
-				key := runKey{workload: sp.Name, scheme: defense.MuonTrap().Name,
-					scale: opt.Scale, maxCycles: opt.MaxCycles,
-					warmup: opt.WarmupInsts, snapHash: snapHash}
-				res, err = cachedRun(opt, key, func() (sim.RunResult, error) {
-					return RunOne(sp, defense.MuonTrap(), opt)
-				})
-			}
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("%s: %w", sp.Name, err)
-				}
-				return
-			}
-			drains := res.Counters["core0.store.drains"]
-			ups := res.Counters["core0.store.upgrades"]
-			if drains > 0 {
-				series.Values[sp.Name] = float64(ups) / float64(drains)
-			}
-		}()
+	for _, o := range outs {
+		drains := o.Res.Counters["core0.store.drains"]
+		ups := o.Res.Counters["core0.store.upgrades"]
+		if drains > 0 {
+			series.Values[o.Job.Work] = float64(ups) / float64(drains)
+		}
 	}
-	wg.Wait()
-	return t, firstErr
+	return t, nil
 }
 
 // cumulativeFigure builds Figures 8/9: protection mechanisms added one at
 // a time, normalised to the insecure baseline.
-func cumulativeFigure(title string, specs []workload.Spec, schemes []defense.Scheme, opt Options) (*stats.Table, error) {
-	var jobs []job
+func cumulativeFigure(ctx context.Context, title string, specs []workload.Spec, schemes []defense.Scheme, opt Options) (*stats.Table, error) {
+	var jobs []Job
 	for _, sp := range specs {
-		jobs = append(jobs, job{spec: sp, scheme: defense.Insecure(), series: "baseline", work: sp.Name})
+		jobs = append(jobs, Job{Spec: sp, Scheme: defense.Insecure(), Opt: opt, Series: "baseline", Work: sp.Name})
 		for _, sch := range schemes {
-			jobs = append(jobs, job{spec: sp, scheme: sch, series: sch.Name, work: sp.Name})
+			jobs = append(jobs, Job{Spec: sp, Scheme: sch, Opt: opt, Series: sch.Name, Work: sp.Name})
 		}
 	}
-	cycles, err := runMatrix(jobs, opt)
+	cycles, err := runMatrix(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -428,16 +377,16 @@ func cumulativeFigure(title string, specs []workload.Spec, schemes []defense.Sch
 }
 
 // Fig8 is the Parsec cumulative-mechanism breakdown (paper Figure 8).
-func Fig8(opt Options) (*stats.Table, error) {
-	return cumulativeFigure("Figure 8: cumulative protection mechanisms, Parsec",
+func Fig8(ctx context.Context, opt Options) (*stats.Table, error) {
+	return cumulativeFigure(ctx, "Figure 8: cumulative protection mechanisms, Parsec",
 		workload.Parsec(), defense.CumulativeStages(), opt)
 }
 
 // Fig9 is the SPEC cumulative-mechanism breakdown including the parallel
 // L1 lookup option (paper Figure 9).
-func Fig9(opt Options) (*stats.Table, error) {
+func Fig9(ctx context.Context, opt Options) (*stats.Table, error) {
 	schemes := append(defense.CumulativeStages(), defense.MuonTrapParallelL1())
-	return cumulativeFigure("Figure 9: cumulative protection mechanisms, SPEC CPU2006",
+	return cumulativeFigure(ctx, "Figure 9: cumulative protection mechanisms, SPEC CPU2006",
 		workload.SPEC2006(), schemes, opt)
 }
 

@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -15,7 +16,7 @@ func tinyOptions() Options {
 
 func TestRunOneProducesResult(t *testing.T) {
 	spec, _ := workload.ByName("hmmer")
-	res, err := RunOne(spec, defense.MuonTrap(), tinyOptions())
+	res, err := RunOne(context.Background(), spec, defense.MuonTrap(), tinyOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestFig7SmallScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("figure regeneration")
 	}
-	tbl, err := Fig7(tinyOptions())
+	tbl, err := Fig7(context.Background(), tinyOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestComparisonFigureTinySubset(t *testing.T) {
 		s, _ := workload.ByName(n)
 		specs = append(specs, s)
 	}
-	tbl, err := comparisonFigure("tiny", specs, tinyOptions())
+	tbl, err := comparisonFigure(context.Background(), "tiny", specs, tinyOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/defense"
@@ -58,7 +59,7 @@ func TestSnapshotForkMatchesColdRun(t *testing.T) {
 				t.Fatal(err)
 			}
 			// Forked: restore the shared (insecure-machine) snapshot.
-			forked, err := RunOne(spec, sch, opt)
+			forked, err := RunOne(context.Background(), spec, sch, opt)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -89,7 +90,7 @@ func TestSnapshotForkAcrossSyscall(t *testing.T) {
 
 	// Prove the premise: the full program contains a syscall, and the
 	// warm-up region swallows it (so the measured region reports none).
-	full, err := RunOne(spec, defense.Insecure(), Options{Scale: opt.Scale, MaxCycles: opt.MaxCycles})
+	full, err := RunOne(context.Background(), spec, defense.Insecure(), Options{Scale: opt.Scale, MaxCycles: opt.MaxCycles})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestSnapshotForkAcrossSyscall(t *testing.T) {
 		if got := cold.Counters["core0.syscalls"]; got != 0 {
 			t.Fatalf("%s: syscall escaped the warm-up region (%d measured)", name, got)
 		}
-		forked, err := RunOne(spec, sch, opt)
+		forked, err := RunOne(context.Background(), spec, sch, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -142,7 +143,7 @@ func TestSnapshotForkMultiCore(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		forked, err := RunOne(spec, sch, opt)
+		forked, err := RunOne(context.Background(), spec, sch, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -160,12 +161,12 @@ func TestWarmupChangesMeasuredRegion(t *testing.T) {
 	ResetRunCache()
 	spec, _ := workload.ByName("hmmer")
 	opt := tinyOptions()
-	coldFull, err := RunOne(spec, defense.Insecure(), opt)
+	coldFull, err := RunOne(context.Background(), spec, defense.Insecure(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opt.WarmupInsts = 3000
-	warm, err := RunOne(spec, defense.Insecure(), opt)
+	warm, err := RunOne(context.Background(), spec, defense.Insecure(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,11 +194,11 @@ func TestDiskCacheResumesAcrossProcessLifetimes(t *testing.T) {
 	key := runKey{workload: spec.Name, scheme: "insecure",
 		scale: opt.Scale, maxCycles: opt.MaxCycles}
 	sims := 0
-	run := func() (sim.RunResult, error) {
+	run := func(ctx context.Context) (sim.RunResult, error) {
 		sims++
-		return RunOne(spec, defense.Insecure(), opt)
+		return RunOne(ctx, spec, defense.Insecure(), opt)
 	}
-	first, err := cachedRun(opt, key, run)
+	first, err := cachedRun(context.Background(), opt, key, run)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestDiskCacheResumesAcrossProcessLifetimes(t *testing.T) {
 
 	// Simulate a fresh process: drop the in-memory layer only.
 	ResetRunCache()
-	second, err := cachedRun(opt, key, run)
+	second, err := cachedRun(context.Background(), opt, key, run)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"sync"
@@ -107,8 +108,11 @@ func resetSnapCache() {
 }
 
 // forkOrRun optionally restores the workload's shared warm snapshot into
-// a freshly built system, then runs it to completion.
-func forkOrRun(spec workload.Spec, opt Options, sys *sim.System) (sim.RunResult, error) {
+// a freshly built system, then runs it to completion under ctx. The warm
+// snapshot build itself is not cancellable (it is architectural
+// fast-forward, orders of magnitude cheaper than detailed simulation), so
+// a cancelled warm-up never leaves a poisoned snapshot cache entry.
+func forkOrRun(ctx context.Context, spec workload.Spec, opt Options, sys *sim.System) (sim.RunResult, error) {
 	if opt.WarmupInsts > 0 {
 		snap, _, err := warmSnapshot(spec, opt)
 		if err != nil {
@@ -118,5 +122,5 @@ func forkOrRun(spec workload.Spec, opt Options, sys *sim.System) (sim.RunResult,
 			return sim.RunResult{}, fmt.Errorf("%s: snapshot fork: %w", spec.Name, err)
 		}
 	}
-	return sys.RunUntilHalt(opt.MaxCycles)
+	return sys.RunUntilHaltCtx(ctx, opt.MaxCycles)
 }

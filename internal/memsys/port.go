@@ -106,6 +106,26 @@ type Port struct {
 	mwaitFree []int32
 	iwait     []icomp
 	iwaitFree []int32
+
+	// Pooled page-table walks: each in-flight hardware walk lives in a
+	// reused slot; its per-level reads complete back into walkStep through
+	// a typed comp route instead of a per-walk closure chain.
+	walks    []ptwalk
+	walkFree []int32
+}
+
+// ptwalk is one in-flight hardware page-table walk: the translation being
+// resolved, the walker's per-level read addresses, how many levels have
+// completed, and the parked original completion.
+type ptwalk struct {
+	vaddr mem.VAddr
+	vpn   uint64
+	pfn   uint64
+	addrs [tlb.WalkDepth]mem.Addr
+	next  int8
+	spec  bool
+	instr bool
+	cm    tcomp
 }
 
 // dataMSHRWaker delivers data-side MSHR wake-ups (loads, page-walk reads)
@@ -230,6 +250,7 @@ const (
 	popIfetchDone                 // a1 = encoded AccessResult, a2 = fetch epoch
 	popDrainFin                   // a1 = line, a2 = (vslot+1)<<1 | broadcast
 	popCommitWT                   // a1 = line paddr, a2 = cache state
+	popWalkStep                   // a1 = walk slot
 )
 
 func encodeResult(res AccessResult) uint64 {
@@ -270,6 +291,8 @@ func (p *Port) HandleEvent(op int32, a1, a2 uint64) {
 		}
 	case popCommitWT:
 		p.commitWTFin(uint64(a1), cache.State(a2))
+	case popWalkStep:
+		p.walkStep(int32(a1))
 	}
 }
 
@@ -309,15 +332,22 @@ func (p *Port) vcbTake(slot int32) func() {
 	return fn
 }
 
-// comp is a pending data-access completion: either a typed client delivery
-// (idx ≥ 0, validated by seq) or a stored callback.
+// comp is a pending data-access completion: a typed client delivery
+// (idx ≥ 0, validated by seq), a page-table-walk continuation (walk =
+// slot+1), or a stored callback.
 type comp struct {
-	idx int32
-	seq uint64
-	cb  func(AccessResult)
+	idx  int32
+	walk int32
+	seq  uint64
+	cb   func(AccessResult)
 }
 
 func compOf(cb func(AccessResult)) comp { return comp{idx: -1, cb: cb} }
+
+// compOfWalk routes a completion to the parked page-table walk in the
+// given slot. idx must stay negative: complete/completeNow test idx
+// before walk, and a zero idx would misdeliver to the client.
+func compOfWalk(slot int32) comp { return comp{idx: -1, walk: slot + 1} }
 
 // complete schedules delivery of a data-access result after lat cycles
 // without allocating.
@@ -325,6 +355,10 @@ func (p *Port) complete(lat event.Cycle, cm comp, res AccessResult) {
 	if cm.idx >= 0 {
 		p.h.sched.AfterEvent(lat, p, popLoadDone,
 			uint64(uint32(cm.idx))|encodeResult(res)<<32, cm.seq)
+		return
+	}
+	if cm.walk != 0 {
+		p.h.sched.AfterEvent(lat, p, popWalkStep, uint64(cm.walk-1), 0)
 		return
 	}
 	p.h.sched.AfterEvent(lat, p, popDeliverAccess, uint64(p.cbPut(cm.cb)), encodeResult(res))
@@ -335,6 +369,10 @@ func (p *Port) complete(lat event.Cycle, cm comp, res AccessResult) {
 func (p *Port) completeNow(cm comp, res AccessResult) {
 	if cm.idx >= 0 {
 		p.client.LoadDone(cm.idx, cm.seq, res)
+		return
+	}
+	if cm.walk != 0 {
+		p.walkStep(cm.walk - 1)
 		return
 	}
 	cm.cb(res)
@@ -420,24 +458,53 @@ func (p *Port) translate(vaddr mem.VAddr, instr, spec bool, cm tcomp) {
 		return
 	}
 	p.ctr[PCPTWalks]++
-	addrs := p.pt.WalkAddrs(vpn)
-	var step func(i int)
-	step = func(i int) {
-		if i >= len(addrs) {
-			if p.fdtlb != nil && spec {
-				// Speculative translations go to the filter TLB (§4.7).
-				p.fdtlb.Insert(p.asid, vpn, pfn)
-			} else {
-				main.Insert(p.asid, vpn, pfn)
-			}
-			p.translateDone(cm, mem.Addr(pfn<<mem.PageShift|uint64(vaddr)%mem.PageBytes), true, false)
-			return
-		}
-		p.dataRead(0, mem.VAddr(addrs[i]), addrs[i], spec, false, compOf(func(AccessResult) {
-			step(i + 1)
-		}))
+	slot := p.walkPut(ptwalk{
+		vaddr: vaddr, vpn: vpn, pfn: pfn,
+		addrs: p.pt.WalkAddrs(vpn),
+		spec:  spec, instr: instr, cm: cm,
+	})
+	p.walkStep(slot)
+}
+
+// walkPut parks an in-flight page-table walk in a reused slot.
+func (p *Port) walkPut(w ptwalk) int32 {
+	if n := len(p.walkFree); n > 0 {
+		slot := p.walkFree[n-1]
+		p.walkFree = p.walkFree[:n-1]
+		p.walks[slot] = w
+		return slot
 	}
-	step(0)
+	p.walks = append(p.walks, w)
+	return int32(len(p.walks) - 1)
+}
+
+// walkStep issues the walk's next per-level read, or — after the last
+// level — installs the translation (filter TLB for speculative walks,
+// §4.7) and delivers the parked completion. Each read completes back here
+// through the comp walk route, replacing the former per-walk closure
+// chain: the event order, latency and TLB effects are identical.
+func (p *Port) walkStep(slot int32) {
+	w := &p.walks[slot]
+	if int(w.next) >= len(w.addrs) {
+		fin := *w
+		p.walks[slot] = ptwalk{}
+		p.walkFree = append(p.walkFree, slot)
+		if p.fdtlb != nil && fin.spec {
+			// Speculative translations go to the filter TLB (§4.7).
+			p.fdtlb.Insert(p.asid, fin.vpn, fin.pfn)
+		} else {
+			main := p.dtlb
+			if fin.instr {
+				main = p.itlb
+			}
+			main.Insert(p.asid, fin.vpn, fin.pfn)
+		}
+		p.translateDone(fin.cm, mem.Addr(fin.pfn<<mem.PageShift|uint64(fin.vaddr)%mem.PageBytes), true, false)
+		return
+	}
+	a := w.addrs[w.next]
+	w.next++
+	p.dataRead(0, mem.VAddr(a), a, w.spec, false, compOfWalk(slot))
 }
 
 // CommitTranslation *moves* a speculative translation from the filter TLB

@@ -1,0 +1,76 @@
+package memsys
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// walkClient is a minimal typed-completion receiver for translation tests.
+type walkClient struct {
+	done   bool
+	paddr  mem.Addr
+	walked bool
+	fault  bool
+}
+
+func (c *walkClient) TranslateDone(idx int32, seq uint64, paddr mem.Addr, walked, fault bool) {
+	c.done, c.paddr, c.walked, c.fault = true, paddr, walked, fault
+}
+func (c *walkClient) LoadDone(idx int32, seq uint64, res AccessResult) {}
+func (c *walkClient) IfetchDone(epoch uint64, res AccessResult)        {}
+
+// TestPTWalkSteadyStateZeroAlloc pins the pooled page-table-walk path:
+// once the walker's page-table lines sit in the L1D (the hot case — a TLB
+// miss whose walk hits the cache), a complete translate-walk-insert cycle
+// through the typed client route allocates nothing. This is the
+// regression gate for converting the per-walk step-closure chain to
+// pooled typed callbacks.
+func TestPTWalkSteadyStateZeroAlloc(t *testing.T) {
+	r := newRig(1, insecure)
+	p := r.h.Port(0)
+	cl := &walkClient{}
+	p.SetClient(cl)
+
+	const va = mem.VAddr(0x3000)
+	vpn := mem.PageNum(va)
+
+	translate := func() {
+		cl.done = false
+		p.TranslateC(va, false, true, 0, 1)
+		for i := 0; i < 5000 && !cl.done; i++ {
+			r.sched.Tick()
+		}
+		if !cl.done {
+			t.Fatal("translation did not complete")
+		}
+		if cl.fault {
+			t.Fatal("unexpected fault")
+		}
+	}
+
+	// Cold: the first walk misses to DRAM and fills the walk lines into
+	// the L1D (run setup may allocate).
+	translate()
+	if !cl.walked {
+		t.Fatal("first translation should walk")
+	}
+	// Warm the pools (walk slots, event ring) before measuring.
+	for i := 0; i < 3; i++ {
+		if !p.dtlb.Remove(p.asid, vpn) {
+			t.Fatal("translation missing from the main TLB")
+		}
+		translate()
+		if !cl.walked {
+			t.Fatal("re-walk expected after TLB eviction")
+		}
+	}
+
+	avg := testing.AllocsPerRun(100, func() {
+		p.dtlb.Remove(p.asid, vpn)
+		translate()
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state PTW path allocates %.1f/op, want 0", avg)
+	}
+}

@@ -49,6 +49,9 @@ func (p *Port) quiesced() error {
 	if live := len(p.iwait) - len(p.iwaitFree); live > 0 {
 		return fmt.Errorf("%d parked ifetch MSHR waiters", live)
 	}
+	if live := len(p.walks) - len(p.walkFree); live > 0 {
+		return fmt.Errorf("%d in-flight page-table walks", live)
+	}
 	return nil
 }
 

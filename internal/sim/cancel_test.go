@@ -1,0 +1,61 @@
+package sim_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// spinProgram loops long enough that a run cannot finish before a
+// cancellation poll (the loop polls every 64 cycles).
+func spinProgram() *isa.Program {
+	b := isa.NewBuilder("spin")
+	b.Li(isa.X(5), 1_000_000)
+	b.Label("loop")
+	b.Addi(isa.X(5), isa.X(5), -1)
+	b.Bne(isa.X(5), isa.Zero, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// TestRunUntilHaltCtxCancelled: a cancelled context aborts the cycle loop
+// with ctx.Err() before the run completes.
+func TestRunUntilHaltCtxCancelled(t *testing.T) {
+	s := sim.New(sim.DefaultConfig(1))
+	p := s.NewProcess(spinProgram())
+	s.RunOn(0, p, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.RunUntilHaltCtx(ctx, 50_000_000)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunUntilHaltCtxBackground: a background context adds no behavior —
+// identical result to the plain RunUntilHalt.
+func TestRunUntilHaltCtxBackground(t *testing.T) {
+	run := func(viaCtx bool) sim.RunResult {
+		s := sim.New(sim.DefaultConfig(1))
+		p := s.NewProcess(spinProgram())
+		s.RunOn(0, p, 0)
+		var res sim.RunResult
+		var err error
+		if viaCtx {
+			res, err = s.RunUntilHaltCtx(context.Background(), 50_000_000)
+		} else {
+			res, err = s.RunUntilHalt(50_000_000)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(false), run(true)
+	if a.Cycles != b.Cycles || a.Committed != b.Committed {
+		t.Fatalf("ctx path diverged: %d/%d vs %d/%d", a.Cycles, a.Committed, b.Cycles, b.Committed)
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cpu"
@@ -49,10 +50,10 @@ type Process struct {
 	PT   *tlb.PageTable
 
 	// Saved per-thread contexts, keyed by thread index.
-	contexts map[int]*context
+	contexts map[int]*threadCtx
 }
 
-type context struct {
+type threadCtx struct {
 	regs    [isa.NumRegs]uint64
 	pc      uint64
 	started bool
@@ -134,7 +135,7 @@ func (s *System) NewProcess(prog *isa.Program) *Process {
 	s.nextASID++
 	// Page-table pages for the walker live in a low per-process region.
 	pt := tlb.NewPageTable(asid, mem.Addr(asid*0x40_0000))
-	p := &Process{PID: asid, Prog: prog, PT: pt, contexts: make(map[int]*context)}
+	p := &Process{PID: asid, Prog: prog, PT: pt, contexts: make(map[int]*threadCtx)}
 
 	// Text: contiguous frames (instPaddr in the core depends on this),
 	// shared between processes running the same binary.
@@ -186,7 +187,7 @@ func (s *System) NewProcess(prog *isa.Program) *Process {
 	stackVPN := (isa.StackTop >> mem.PageShift) - stackPages
 	pt.MapRange(stackVPN, s.allocFrames(stackPages), stackPages)
 
-	p.contexts[0] = &context{pc: prog.Entry}
+	p.contexts[0] = &threadCtx{pc: prog.Entry}
 	p.contexts[0].regs[isa.SP] = isa.StackTop
 	s.procs = append(s.procs, p)
 	return p
@@ -199,7 +200,7 @@ func (s *System) AddThread(p *Process, thread int, entry uint64) {
 	stackPages := uint64(16)
 	stackVPN := (isa.StackTop >> mem.PageShift) - stackPages*uint64(thread+2)
 	p.PT.MapRange(stackVPN, s.allocFrames(stackPages), stackPages)
-	ctx := &context{pc: entry}
+	ctx := &threadCtx{pc: entry}
 	ctx.regs[isa.SP] = (stackVPN + stackPages) << mem.PageShift
 	ctx.regs[isa.X(10)] = uint64(thread)
 	p.contexts[thread] = ctx
@@ -292,8 +293,25 @@ func (r RunResult) IPC() float64 {
 // RunUntilHalt runs until every active core halts (or maxCycles passes),
 // then drains outstanding stores, and reports totals.
 func (s *System) RunUntilHalt(maxCycles int) (RunResult, error) {
+	return s.RunUntilHaltCtx(context.Background(), maxCycles)
+}
+
+// RunUntilHaltCtx is RunUntilHalt honoring context cancellation: the
+// cycle loop polls ctx every 64 simulated cycles and returns ctx.Err()
+// (so errors.Is(err, context.Canceled) holds) with an empty result when
+// the context is cancelled mid-simulation. A context that can never be
+// cancelled (ctx.Done() == nil, e.g. context.Background()) costs nothing.
+func (s *System) RunUntilHaltCtx(ctx context.Context, maxCycles int) (RunResult, error) {
+	done := ctx.Done()
 	start := s.Sched.Now()
 	for i := 0; i < maxCycles; i += 64 {
+		if done != nil {
+			select {
+			case <-done:
+				return RunResult{}, ctx.Err()
+			default:
+			}
+		}
 		s.Step(64)
 		all := true
 		for ci, c := range s.Cores {

@@ -7,29 +7,77 @@
 //
 // Quick start:
 //
-//	res, err := muontrap.Run(muontrap.Config{Workload: "povray", Scheme: "muontrap"})
+//	r := muontrap.NewRunner()
+//	res, err := r.Run(context.Background(),
+//		muontrap.RunSpec{Workload: "povray", Scheme: "muontrap"})
 //	fmt.Println(res.Cycles, res.IPC())
 //
 // Key entry points:
 //
-//   - Run executes one workload under one protection scheme; Workloads
-//     and Schemes list the available knobs.
-//   - Figure regenerates one of the paper's figures ("fig3".."fig9") as a
-//     printable table; TableOne renders the experimental setup. Options
-//     sizes a regeneration and exposes the two scale levers: WarmupInsts
-//     (execute each workload's warm-up once and fork all per-scheme runs
-//     from a restored snapshot) and CacheDir (a disk-backed result cache
-//     so figure sweeps resume across invocations).
+//   - Runner is the experiment service. Construct one with functional
+//     options — WithWorkers (pool size), WithCacheDir (disk-backed result
+//     cache), WithWarmup (snapshot fast-forward), WithProgress (streamed
+//     results), WithScale/WithMaxCycles (sizing defaults) — then use
+//     Runner.Run for one simulation, Runner.Sweep for a declarative
+//     (workloads × schemes × scales) matrix over the worker pool, and
+//     Runner.Figure to regenerate a paper figure ("fig3".."fig9"). All
+//     three honor context cancellation mid-simulation.
+//   - Workload, Scheme, FigureID and AttackName are typed, validated
+//     identifiers with Parse* constructors; unknown names yield errors
+//     wrapping ErrUnknownWorkload / ErrUnknownScheme / ErrUnknownFigure /
+//     ErrUnknownAttack (test with errors.Is). Workloads(), Schemes(),
+//     FigureIDs(), AttackNames() and SchemeDescriptions() enumerate them;
+//     list output is sorted and duplicate-free, so help text and golden
+//     output are deterministic.
 //   - Attack replays one of the paper's six attacks under a scheme and
 //     reports whether the secret leaked.
-//   - NewSystem builds the underlying machine for advanced scenarios.
+//   - TableOne renders the experimental setup from the live
+//     configuration; NewSystem builds the underlying machine for advanced
+//     scenarios.
+//
+// # Migrating from Run/Figure to Runner/Sweep
+//
+// The pre-service API survives as thin deprecated shims:
+//
+//	res, err := muontrap.Run(muontrap.Config{Workload: "povray", Scheme: "muontrap"})
+//	tbl, err := muontrap.Figure("fig4", opt)
+//
+// becomes
+//
+//	r := muontrap.NewRunner(
+//		muontrap.WithWorkers(4),
+//		muontrap.WithCacheDir(dir),     // was Options.CacheDir
+//		muontrap.WithWarmup(100_000),   // was Options.WarmupInsts
+//		muontrap.WithScale(opt.Scale),  // was Options.Scale / Config.Scale
+//	)
+//	rr, err := r.Run(ctx, muontrap.RunSpec{Workload: "povray", Scheme: "muontrap"})
+//	tbl, err := r.Figure(ctx, muontrap.Fig4)
+//
+// and a hand-rolled loop over Run becomes a declarative sweep:
+//
+//	sr, err := r.Sweep(ctx, muontrap.Sweep{
+//		Workloads: muontrap.Workloads(),
+//		Schemes:   []muontrap.Scheme{"insecure", "muontrap"},
+//	})
+//
+// Semantics worth knowing when migrating: Runner.Run is a fresh,
+// unmemoized simulation (exactly like the old Run); Runner.Sweep and
+// Runner.Figure deduplicate identical cells in-process and, with
+// WithCacheDir, across invocations. Options is now a plain public struct
+// (no longer an alias of an internal type); it remains only to size the
+// deprecated Figure shim.
 //
 // Invariants:
 //
 //   - Every simulation is deterministic: equal configuration, bit-equal
 //     cycles, instruction counts and counters. The golden tests pin this,
 //     and both caching layers and the snapshot fast-forward depend on it.
+//   - Worker count never changes results: an N-worker sweep is
+//     bit-identical to the sequential one (pinned by tests run under the
+//     race detector).
+//   - Cancellation is prompt (observed every 64 simulated cycles) and
+//     surfaces as ctx.Err(); a cancelled run never poisons any cache.
 //
-// See ARCHITECTURE.md at the repository root for the layer map and the
-// checkpoint subsystem's design.
+// See ARCHITECTURE.md at the repository root for the layer map, the
+// service layer's design and the checkpoint subsystem.
 package muontrap

@@ -1,0 +1,128 @@
+package muontrap_test
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"repro/muontrap"
+)
+
+func TestParseWorkload(t *testing.T) {
+	w, err := muontrap.ParseWorkload("hmmer")
+	if err != nil || w != "hmmer" {
+		t.Fatalf("ParseWorkload(hmmer) = %q, %v", w, err)
+	}
+	if w.Suite() != "spec2006" {
+		t.Fatalf("hmmer suite = %q", w.Suite())
+	}
+	if pw, _ := muontrap.ParseWorkload("ferret"); pw.Suite() != "parsec" {
+		t.Fatal("ferret should be parsec")
+	}
+	_, err = muontrap.ParseWorkload("nope")
+	if !errors.Is(err, muontrap.ErrUnknownWorkload) {
+		t.Fatalf("err = %v, want ErrUnknownWorkload", err)
+	}
+}
+
+func TestParseScheme(t *testing.T) {
+	s, err := muontrap.ParseScheme("muontrap")
+	if err != nil || s != "muontrap" {
+		t.Fatalf("ParseScheme(muontrap) = %q, %v", s, err)
+	}
+	_, err = muontrap.ParseScheme("nope")
+	if !errors.Is(err, muontrap.ErrUnknownScheme) {
+		t.Fatalf("err = %v, want ErrUnknownScheme", err)
+	}
+	if _, err := muontrap.ParseScheme(""); err == nil {
+		t.Fatal("empty scheme name should not parse")
+	}
+}
+
+func TestParseFigureID(t *testing.T) {
+	id, err := muontrap.ParseFigureID("fig5")
+	if err != nil || id != muontrap.Fig5 {
+		t.Fatalf("ParseFigureID(fig5) = %q, %v", id, err)
+	}
+	_, err = muontrap.ParseFigureID("fig99")
+	if !errors.Is(err, muontrap.ErrUnknownFigure) {
+		t.Fatalf("err = %v, want ErrUnknownFigure", err)
+	}
+}
+
+func TestParseAttackName(t *testing.T) {
+	a, err := muontrap.ParseAttackName("icache")
+	if err != nil || a != muontrap.AttackICache {
+		t.Fatalf("ParseAttackName(icache) = %q, %v", a, err)
+	}
+	_, err = muontrap.ParseAttackName("nope")
+	if !errors.Is(err, muontrap.ErrUnknownAttack) {
+		t.Fatalf("err = %v, want ErrUnknownAttack", err)
+	}
+}
+
+// sortedUnique asserts a registry listing is in ascending order with no
+// duplicates — the property that makes CLI help and golden output
+// deterministic.
+func sortedUnique[T ~string](t *testing.T, what string, names []T) {
+	t.Helper()
+	if !sort.SliceIsSorted(names, func(i, j int) bool { return names[i] < names[j] }) {
+		t.Fatalf("%s not sorted: %v", what, names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] == names[i-1] {
+			t.Fatalf("%s contains duplicate %q", what, names[i])
+		}
+	}
+}
+
+func TestRegistriesSortedAndDeduplicated(t *testing.T) {
+	sortedUnique(t, "Workloads()", muontrap.Workloads())
+	sortedUnique(t, "Schemes()", muontrap.Schemes())
+	sortedUnique(t, "FigureIDs()", muontrap.FigureIDs())
+}
+
+// TestEveryListedIdentifierParses: the registries and the parsers agree.
+func TestEveryListedIdentifierParses(t *testing.T) {
+	for _, w := range muontrap.Workloads() {
+		if _, err := muontrap.ParseWorkload(string(w)); err != nil {
+			t.Fatalf("listed workload %q does not parse: %v", w, err)
+		}
+	}
+	for _, s := range muontrap.Schemes() {
+		if _, err := muontrap.ParseScheme(string(s)); err != nil {
+			t.Fatalf("listed scheme %q does not parse: %v", s, err)
+		}
+	}
+	for _, id := range muontrap.FigureIDs() {
+		if _, err := muontrap.ParseFigureID(string(id)); err != nil {
+			t.Fatalf("listed figure %q does not parse: %v", id, err)
+		}
+	}
+	for _, a := range muontrap.AttackNames() {
+		if _, err := muontrap.ParseAttackName(string(a)); err != nil {
+			t.Fatalf("listed attack %q does not parse: %v", a, err)
+		}
+	}
+}
+
+// TestSchemeDescriptionsDeterministic: rendering the descriptions by
+// iterating the sorted Schemes() list yields the same text on every call
+// (the map itself carries no ordering; the sorted list does).
+func TestSchemeDescriptionsDeterministic(t *testing.T) {
+	render := func() string {
+		out := ""
+		desc := muontrap.SchemeDescriptions()
+		for _, s := range muontrap.Schemes() {
+			if desc[s] == "" {
+				t.Fatalf("scheme %s missing description", s)
+			}
+			out += string(s) + "\t" + desc[s] + "\n"
+		}
+		return out
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatal("scheme description rendering is nondeterministic")
+	}
+}

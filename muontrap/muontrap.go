@@ -1,29 +1,15 @@
 package muontrap
 
 import (
+	"context"
 	"fmt"
-	"sort"
 
 	"repro/internal/attack"
 	"repro/internal/defense"
 	"repro/internal/figures"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
-
-// Config selects one simulation run.
-type Config struct {
-	// Workload is a benchmark name from Workloads().
-	Workload string
-	// Scheme is a protection scheme name from Schemes(); empty means the
-	// unprotected baseline.
-	Scheme string
-	// Scale multiplies the workload's trip count (default 0.15).
-	Scale float64
-	// MaxCycles bounds the run (default 40M).
-	MaxCycles int
-}
 
 // Result reports one run.
 type Result struct {
@@ -44,96 +30,88 @@ func (r Result) IPC() float64 {
 	return float64(r.Instructions) / float64(r.Cycles)
 }
 
-// Run executes one workload under one protection scheme.
-func Run(cfg Config) (Result, error) {
-	spec, ok := workload.ByName(cfg.Workload)
-	if !ok {
-		return Result{}, fmt.Errorf("muontrap: unknown workload %q (see Workloads())", cfg.Workload)
-	}
-	name := cfg.Scheme
-	if name == "" {
-		name = "insecure"
-	}
-	sch, err := defense.ByName(name)
-	if err != nil {
-		return Result{}, err
-	}
-	opt := figures.DefaultOptions()
-	if cfg.Scale > 0 {
-		opt.Scale = cfg.Scale
-	}
-	if cfg.MaxCycles > 0 {
-		opt.MaxCycles = cfg.MaxCycles
-	}
-	res, err := figures.RunOne(spec, sch, opt)
-	if err != nil {
-		return Result{}, err
-	}
-	return Result{
-		Cycles:       uint64(res.Cycles),
-		Instructions: res.Committed,
-		Counters:     res.Counters,
-	}, nil
+// Options sizes an experiment (a sweep or a figure regeneration). It is a
+// plain public struct; the internal experiment options are mapped from it.
+type Options struct {
+	// Scale multiplies every workload's trip count (default 0.15).
+	Scale float64
+	// MaxCycles bounds each run (default 40M).
+	MaxCycles int
+	// Parallelism caps concurrent runs (0 = GOMAXPROCS).
+	Parallelism int
+	// WarmupInsts, when positive, architecturally fast-forwards this many
+	// instructions per workload once and forks every run of that workload
+	// from the restored warm snapshot.
+	WarmupInsts int
+	// CacheDir, when non-empty, backs run memoization with a disk cache
+	// so experiment sweeps resume across process invocations.
+	CacheDir string
 }
-
-// Workloads lists the available benchmark names (26 SPEC CPU2006 kernels
-// and 7 Parsec kernels).
-func Workloads() []string {
-	names := append(workload.Names(workload.SPEC2006()), workload.Names(workload.Parsec())...)
-	return names
-}
-
-// Schemes lists the available protection scheme names.
-func Schemes() []string {
-	var names []string
-	for _, s := range defense.All() {
-		names = append(names, s.Name)
-	}
-	return names
-}
-
-// SchemeDescriptions maps scheme names to one-line descriptions.
-func SchemeDescriptions() map[string]string {
-	out := make(map[string]string)
-	for _, s := range defense.All() {
-		out[s.Name] = s.Description
-	}
-	return out
-}
-
-// Options sizes a figure regeneration.
-type Options = figures.Options
 
 // DefaultOptions is the bench-harness experiment size.
-func DefaultOptions() Options { return figures.DefaultOptions() }
+func DefaultOptions() Options {
+	def := figures.DefaultOptions()
+	return Options{Scale: def.Scale, MaxCycles: def.MaxCycles}
+}
+
+// runner builds the Runner equivalent of a legacy Options value.
+func (o Options) runner() *Runner {
+	return NewRunner(
+		WithScale(o.Scale),
+		WithMaxCycles(o.MaxCycles),
+		WithWorkers(o.Parallelism),
+		WithWarmup(o.WarmupInsts),
+		WithCacheDir(o.CacheDir),
+	)
+}
+
+// Config selects one simulation run.
+//
+// Deprecated: Config carries stringly-typed identifiers. Use RunSpec with
+// Runner.Run, which validates Workload/Scheme values and honors
+// context.Context.
+type Config struct {
+	// Workload is a benchmark name from Workloads().
+	Workload string
+	// Scheme is a protection scheme name from Schemes(); empty means the
+	// unprotected baseline.
+	Scheme string
+	// Scale multiplies the workload's trip count (default 0.15).
+	Scale float64
+	// MaxCycles bounds the run (default 40M).
+	MaxCycles int
+}
+
+// Run executes one workload under one protection scheme, blocking until
+// it completes.
+//
+// Deprecated: use Runner.Run, which adds context cancellation, typed
+// identifiers and worker pooling. Run remains as a thin shim over it.
+func Run(cfg Config) (Result, error) {
+	r := NewRunner()
+	rr, err := r.Run(context.Background(), RunSpec{
+		Workload:  Workload(cfg.Workload),
+		Scheme:    Scheme(cfg.Scheme),
+		Scale:     cfg.Scale,
+		MaxCycles: cfg.MaxCycles,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return rr.Result, nil
+}
 
 // Figure regenerates one of the paper's figures ("fig3" … "fig9") as a
 // printable table.
+//
+// Deprecated: use Runner.Figure, which adds context cancellation and a
+// validated FigureID. Figure remains as a thin shim over it.
 func Figure(id string, opt Options) (*stats.Table, error) {
-	switch id {
-	case "fig3":
-		return figures.Fig3(opt)
-	case "fig4":
-		return figures.Fig4(opt)
-	case "fig5":
-		return figures.Fig5(opt)
-	case "fig6":
-		return figures.Fig6(opt)
-	case "fig7":
-		return figures.Fig7(opt)
-	case "fig8":
-		return figures.Fig8(opt)
-	case "fig9":
-		return figures.Fig9(opt)
+	fid, err := ParseFigureID(id)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("muontrap: unknown figure %q (fig3..fig9)", id)
-}
-
-// FigureIDs lists the regenerable figures.
-func FigureIDs() []string {
-	ids := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"}
-	sort.Strings(ids)
-	return ids
+	return opt.runner().Figure(context.Background(), fid)
 }
 
 // TableOne renders the paper's Table 1 from the live configuration.
@@ -142,35 +120,34 @@ func TableOne() string { return figures.TableOne() }
 // AttackResult reports one attack trial.
 type AttackResult = attack.Result
 
-// Attack runs one of the paper's six attacks ("spectre", "inclusion",
-// "shareddata", "filtercoherency", "prefetcher", "icache") under the named
-// scheme, leaking the given secret value. The returned result records the
-// probe timings and whether the secret was recovered.
-func Attack(name, scheme string, secret int) (AttackResult, error) {
-	sch, err := defense.ByName(scheme)
+// Attack runs one of the paper's six attacks under the named scheme,
+// leaking the given secret value. The returned result records the probe
+// timings and whether the secret was recovered. An empty scheme means the
+// insecure baseline; unknown identifiers return errors wrapping
+// ErrUnknownAttack / ErrUnknownScheme.
+func Attack(name AttackName, scheme Scheme, secret int) (AttackResult, error) {
+	if scheme == "" {
+		scheme = SchemeInsecure
+	}
+	sch, err := defense.ByName(string(scheme))
 	if err != nil {
-		return AttackResult{}, err
+		return AttackResult{}, fmt.Errorf("%w %q (see Schemes())", ErrUnknownScheme, scheme)
 	}
 	switch name {
-	case "spectre":
+	case AttackSpectre:
 		return attack.SpectrePrimeProbe(sch.Mode, secret), nil
-	case "inclusion":
+	case AttackInclusion:
 		return attack.InclusionPolicy(sch.Mode, secret&1), nil
-	case "shareddata":
+	case AttackSharedData:
 		return attack.SharedData(sch.Mode, secret&1), nil
-	case "filtercoherency":
+	case AttackFilterCoherency:
 		return attack.FilterCoherency(sch.Mode, secret&1), nil
-	case "prefetcher":
+	case AttackPrefetcher:
 		return attack.Prefetcher(sch.Mode, secret&3), nil
-	case "icache":
+	case AttackICache:
 		return attack.InstructionCache(sch.Mode, secret&3), nil
 	}
-	return AttackResult{}, fmt.Errorf("muontrap: unknown attack %q", name)
-}
-
-// AttackNames lists the implemented attacks in paper order.
-func AttackNames() []string {
-	return []string{"spectre", "inclusion", "shareddata", "filtercoherency", "prefetcher", "icache"}
+	return AttackResult{}, fmt.Errorf("%w %q (see AttackNames())", ErrUnknownAttack, name)
 }
 
 // System re-exports the underlying machine for advanced scenarios (custom
@@ -179,10 +156,13 @@ func AttackNames() []string {
 type System = sim.System
 
 // NewSystem builds a machine with the named scheme on n cores.
-func NewSystem(scheme string, cores int) (*System, error) {
-	sch, err := defense.ByName(scheme)
+func NewSystem(scheme Scheme, cores int) (*System, error) {
+	if scheme == "" {
+		scheme = SchemeInsecure
+	}
+	sch, err := defense.ByName(string(scheme))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w %q (see Schemes())", ErrUnknownScheme, scheme)
 	}
 	cfg := sim.DefaultConfig(cores)
 	cfg.CPU.Defense = sch.CPU

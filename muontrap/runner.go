@@ -1,0 +1,298 @@
+package muontrap
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/defense"
+	"repro/internal/figures"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Runner is the experiment service: it executes single runs, declarative
+// sweeps and figure regenerations over a bounded worker pool, with
+// context cancellation, result memoization (sweeps and figures), an
+// optional disk cache, and optional warm-snapshot forking. A Runner is
+// immutable after construction and safe for concurrent use.
+type Runner struct {
+	workers   int
+	cacheDir  string
+	warmup    int
+	scale     float64
+	maxCycles int
+	progress  func(Progress)
+}
+
+// RunnerOption configures a Runner at construction.
+type RunnerOption func(*Runner)
+
+// WithWorkers caps the number of concurrent simulations (0, the default,
+// means GOMAXPROCS).
+func WithWorkers(n int) RunnerOption { return func(r *Runner) { r.workers = n } }
+
+// WithCacheDir backs the runner's sweep/figure memoization with a disk
+// cache (results plus warm snapshots) keyed by the full run configuration
+// and the simulator build fingerprint, so sweeps resume across process
+// invocations. Empty (the default) keeps memoization in-process only.
+func WithCacheDir(dir string) RunnerOption { return func(r *Runner) { r.cacheDir = dir } }
+
+// WithWarmup architecturally fast-forwards each workload by insts
+// instructions once, checkpoints the warmed machine, and forks every run
+// of that workload from the restored snapshot. Zero (the default) runs
+// from reset.
+func WithWarmup(insts int) RunnerOption { return func(r *Runner) { r.warmup = insts } }
+
+// WithProgress streams sweep progress: fn is called once per completed
+// Sweep cell, serialized, from worker goroutines. Completion order is
+// nondeterministic under more than one worker. (Figure regenerations do
+// not stream; they report through the rendered table.)
+func WithProgress(fn func(Progress)) RunnerOption { return func(r *Runner) { r.progress = fn } }
+
+// WithScale sets the default workload trip-count multiplier used when a
+// RunSpec or Sweep leaves Scale/Scales empty (default 0.15).
+func WithScale(scale float64) RunnerOption { return func(r *Runner) { r.scale = scale } }
+
+// WithMaxCycles sets the default per-run cycle bound used when a RunSpec
+// or Sweep leaves MaxCycles zero (default 40M).
+func WithMaxCycles(n int) RunnerOption { return func(r *Runner) { r.maxCycles = n } }
+
+// NewRunner builds an experiment service with the given options.
+func NewRunner(opts ...RunnerOption) *Runner {
+	r := &Runner{}
+	for _, o := range opts {
+		o(r)
+	}
+	def := figures.DefaultOptions()
+	if r.scale <= 0 {
+		r.scale = def.Scale
+	}
+	if r.maxCycles <= 0 {
+		r.maxCycles = def.MaxCycles
+	}
+	return r
+}
+
+// options maps the runner's configuration (plus per-call overrides) to the
+// internal experiment options.
+func (r *Runner) options(scale float64, maxCycles int) figures.Options {
+	if scale <= 0 {
+		scale = r.scale
+	}
+	if maxCycles <= 0 {
+		maxCycles = r.maxCycles
+	}
+	return figures.Options{
+		Scale:       scale,
+		MaxCycles:   maxCycles,
+		Parallelism: r.workers,
+		WarmupInsts: r.warmup,
+		CacheDir:    r.cacheDir,
+	}
+}
+
+// RunSpec selects one simulation run. Zero-valued Scale/MaxCycles inherit
+// the runner's defaults; an empty Scheme means the insecure baseline.
+type RunSpec struct {
+	Workload  Workload
+	Scheme    Scheme
+	Scale     float64
+	MaxCycles int
+}
+
+// Sweep declares a (workloads × schemes × scales) experiment matrix. An
+// empty Scales runs every cell at the runner's default scale; a zero
+// MaxCycles inherits the runner's default.
+type Sweep struct {
+	Workloads []Workload
+	Schemes   []Scheme
+	Scales    []float64
+	MaxCycles int
+}
+
+// RunResult is one completed run with its full identity, so streamed
+// results are self-describing.
+type RunResult struct {
+	Workload Workload
+	Scheme   Scheme
+	Scale    float64
+	Result
+}
+
+// Progress reports one completed run within a sweep or figure
+// regeneration: Done of Total cells have finished, Run being the latest.
+type Progress struct {
+	Done  int
+	Total int
+	Run   RunResult
+}
+
+// SweepResult aggregates a sweep: one RunResult per matrix cell, in
+// declaration order (workload-major, then scheme, then scale) regardless
+// of completion order, so output built from it is deterministic.
+type SweepResult struct {
+	Runs []RunResult
+}
+
+// Find returns the first run matching (workload, scheme) — the unique
+// match for single-scale sweeps.
+func (s *SweepResult) Find(w Workload, sch Scheme) (RunResult, bool) {
+	for _, r := range s.Runs {
+		if r.Workload == w && r.Scheme == sch {
+			return r, true
+		}
+	}
+	return RunResult{}, false
+}
+
+// resolve validates a (workload, scheme) pair against the registries. An
+// empty scheme defaults to the insecure baseline.
+func resolve(w Workload, s Scheme) (workload.Spec, defense.Scheme, error) {
+	spec, ok := workload.ByName(string(w))
+	if !ok {
+		return workload.Spec{}, defense.Scheme{}, fmt.Errorf("%w %q (see Workloads())", ErrUnknownWorkload, w)
+	}
+	if s == "" {
+		s = SchemeInsecure
+	}
+	sch, err := defense.ByName(string(s))
+	if err != nil {
+		return workload.Spec{}, defense.Scheme{}, fmt.Errorf("%w %q (see Schemes())", ErrUnknownScheme, s)
+	}
+	return spec, sch, nil
+}
+
+// Run executes one workload under one protection scheme and blocks until
+// it completes or ctx is cancelled (cancellation is observed inside the
+// simulation's cycle loop and surfaces as ctx.Err()). Single runs are
+// never memoized: every call is a fresh simulation, as throughput
+// benchmarking requires. Use Sweep for deduplicated, cached batches.
+func (r *Runner) Run(ctx context.Context, spec RunSpec) (RunResult, error) {
+	wspec, sch, err := resolve(spec.Workload, spec.Scheme)
+	if err != nil {
+		return RunResult{}, err
+	}
+	opt := r.options(spec.Scale, spec.MaxCycles)
+	res, err := figures.RunOne(ctx, wspec, sch, opt)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return RunResult{
+		Workload: spec.Workload,
+		Scheme:   Scheme(sch.Name),
+		Scale:    opt.Scale,
+		Result: Result{
+			Cycles:       uint64(res.Cycles),
+			Instructions: res.Committed,
+			Counters:     res.Counters,
+		},
+	}, nil
+}
+
+// Sweep executes the declared matrix over the runner's worker pool and
+// returns the aggregated results in declaration order. Cells are
+// memoized (duplicate cells — and cells shared with figure rows — run
+// once; with WithCacheDir, once across process invocations), each
+// completed cell is streamed to the WithProgress callback, and
+// cancelling ctx aborts in-flight simulations promptly with ctx.Err().
+// The matrix is validated up front: an unknown identifier fails the whole
+// sweep before any simulation starts.
+func (r *Runner) Sweep(ctx context.Context, sw Sweep) (*SweepResult, error) {
+	scales := sw.Scales
+	if len(scales) == 0 {
+		scales = []float64{r.scale}
+	}
+	if len(sw.Workloads) == 0 {
+		return nil, fmt.Errorf("muontrap: sweep declares no workloads")
+	}
+	if len(sw.Schemes) == 0 {
+		return nil, fmt.Errorf("muontrap: sweep declares no schemes")
+	}
+	var jobs []figures.Job
+	for _, w := range sw.Workloads {
+		for _, s := range sw.Schemes {
+			wspec, sch, err := resolve(w, s)
+			if err != nil {
+				return nil, err
+			}
+			for _, scale := range scales {
+				opt := r.options(scale, sw.MaxCycles)
+				jobs = append(jobs, figures.Job{
+					Spec: wspec, Scheme: sch, Opt: opt,
+					Series: sch.Name, Work: wspec.Name,
+				})
+			}
+		}
+	}
+	outs, err := r.execute(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	res := &SweepResult{Runs: make([]RunResult, len(outs))}
+	for i, o := range outs {
+		res.Runs[i] = outcomeResult(o)
+	}
+	return res, nil
+}
+
+// Figure regenerates one of the paper's figures as a printable table,
+// through the same executor as Sweep: figure cells share the runner's
+// memoization, disk cache and snapshot forking, honor the worker bound,
+// and observe ctx cancellation. (Progress streaming applies to Sweep
+// only; figure cells report completion in the rendered table.)
+func (r *Runner) Figure(ctx context.Context, id FigureID) (*stats.Table, error) {
+	fn, ok := figureFns[id]
+	if !ok {
+		return nil, fmt.Errorf("%w %q (fig3..fig9)", ErrUnknownFigure, id)
+	}
+	return fn(ctx, r.options(0, 0))
+}
+
+var figureFns = map[FigureID]func(context.Context, figures.Options) (*stats.Table, error){
+	Fig3: figures.Fig3,
+	Fig4: figures.Fig4,
+	Fig5: figures.Fig5,
+	Fig6: figures.Fig6,
+	Fig7: figures.Fig7,
+	Fig8: figures.Fig8,
+	Fig9: figures.Fig9,
+}
+
+// execute runs jobs through the shared executor, wiring the runner's
+// progress callback.
+func (r *Runner) execute(ctx context.Context, jobs []figures.Job) ([]figures.Outcome, error) {
+	ex := figures.Executor{Workers: r.workers}
+	if r.progress != nil {
+		done := 0
+		total := len(jobs)
+		ex.OnResult = func(o figures.Outcome) {
+			done++ // serialized by the executor
+			r.progress(Progress{Done: done, Total: total, Run: outcomeResult(o)})
+		}
+	}
+	return ex.Execute(ctx, jobs)
+}
+
+// outcomeResult converts an executor outcome to a public RunResult. The
+// counter map is copied: memoized cells share one map process-wide, and
+// the public result must be safe for callers to mutate.
+func outcomeResult(o figures.Outcome) RunResult {
+	scheme := o.Job.Scheme.Name
+	if scheme == "" {
+		scheme = o.Job.Series // custom-geometry cells carry no scheme
+	}
+	counters := make(map[string]uint64, len(o.Res.Counters))
+	for k, v := range o.Res.Counters {
+		counters[k] = v
+	}
+	return RunResult{
+		Workload: Workload(o.Job.Spec.Name),
+		Scheme:   Scheme(scheme),
+		Scale:    o.Job.Opt.Scale,
+		Result: Result{
+			Cycles:       uint64(o.Res.Cycles),
+			Instructions: o.Res.Committed,
+			Counters:     counters,
+		},
+	}
+}

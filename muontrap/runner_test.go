@@ -1,0 +1,209 @@
+package muontrap_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/muontrap"
+)
+
+// sweepSchemes is one golden row's worth of protection configurations:
+// the six schemes the golden tests pin.
+var sweepSchemes = []muontrap.Scheme{
+	"insecure", "muontrap", "invisispec-spectre", "invisispec-future",
+	"stt-spectre", "stt-future",
+}
+
+// TestSweepParallelBitIdenticalToSequential is the service-layer
+// determinism gate: a 4-worker sweep over two workloads × all six golden
+// schemes must agree bit-for-bit — cycles, instructions and every
+// counter — with fresh, unmemoized sequential runs of the same
+// configurations. Run under -race in CI, this also exercises the worker
+// pool for data races.
+func TestSweepParallelBitIdenticalToSequential(t *testing.T) {
+	workloads := []muontrap.Workload{"hmmer", "gobmk"}
+	const scale = 0.05
+
+	r := muontrap.NewRunner(muontrap.WithWorkers(4))
+	sweep, err := r.Sweep(context.Background(), muontrap.Sweep{
+		Workloads: workloads,
+		Schemes:   sweepSchemes,
+		Scales:    []float64{scale},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Runs) != len(workloads)*len(sweepSchemes) {
+		t.Fatalf("sweep returned %d runs, want %d", len(sweep.Runs), len(workloads)*len(sweepSchemes))
+	}
+
+	seq := muontrap.NewRunner(muontrap.WithWorkers(1))
+	i := 0
+	for _, w := range workloads {
+		for _, s := range sweepSchemes {
+			got := sweep.Runs[i]
+			i++
+			if got.Workload != w || got.Scheme != s || got.Scale != scale {
+				t.Fatalf("run %d identity = %s/%s@%g, want %s/%s@%g (declaration order broken)",
+					i-1, got.Workload, got.Scheme, got.Scale, w, s, scale)
+			}
+			// Fresh sequential simulation: Runner.Run never memoizes, so
+			// this cannot share state with the sweep's cached cells.
+			want, err := seq.Run(context.Background(),
+				muontrap.RunSpec{Workload: w, Scheme: s, Scale: scale})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", w, s, err)
+			}
+			if got.Cycles != want.Cycles || got.Instructions != want.Instructions {
+				t.Fatalf("%s/%s: sweep %d cycles / %d insts, sequential %d / %d",
+					w, s, got.Cycles, got.Instructions, want.Cycles, want.Instructions)
+			}
+			if len(got.Counters) != len(want.Counters) {
+				t.Fatalf("%s/%s: counter sets differ: %d vs %d", w, s, len(got.Counters), len(want.Counters))
+			}
+			for k, v := range want.Counters {
+				if got.Counters[k] != v {
+					t.Fatalf("%s/%s: counter %s: sweep %d, sequential %d", w, s, k, got.Counters[k], v)
+				}
+			}
+		}
+	}
+}
+
+// TestSweepDeduplicatesCells: duplicate matrix cells are simulated once —
+// both occupy their declared position with identical results.
+func TestSweepDeduplicatesCells(t *testing.T) {
+	r := muontrap.NewRunner(muontrap.WithWorkers(2))
+	sweep, err := r.Sweep(context.Background(), muontrap.Sweep{
+		Workloads: []muontrap.Workload{"hmmer", "hmmer"},
+		Schemes:   []muontrap.Scheme{"insecure"},
+		Scales:    []float64{0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Runs) != 2 {
+		t.Fatalf("got %d runs, want 2", len(sweep.Runs))
+	}
+	if sweep.Runs[0].Cycles != sweep.Runs[1].Cycles {
+		t.Fatal("duplicate cells diverged")
+	}
+}
+
+// TestRunCancelledMidSimulation: cancelling the context mid-run aborts
+// the simulation promptly and surfaces as context.Canceled.
+func TestRunCancelledMidSimulation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(25 * time.Millisecond)
+		cancel()
+	}()
+	r := muontrap.NewRunner()
+	start := time.Now()
+	// mcf at scale 25 simulates far longer than the cancellation delay.
+	_, err := r.Run(ctx, muontrap.RunSpec{Workload: "mcf", Scheme: "insecure", Scale: 25})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", elapsed)
+	}
+}
+
+// TestSweepCancelledBeforeStart: an already-cancelled context fails the
+// sweep without simulating, and a later sweep of the same cells under a
+// live context succeeds (cancellation never poisons the memoization).
+func TestSweepCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := muontrap.NewRunner(muontrap.WithWorkers(2))
+	spec := muontrap.Sweep{
+		Workloads: []muontrap.Workload{"hmmer"},
+		Schemes:   []muontrap.Scheme{"insecure", "muontrap"},
+		Scales:    []float64{0.05},
+	}
+	if _, err := r.Sweep(ctx, spec); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	sweep, err := r.Sweep(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("sweep after cancellation failed: %v", err)
+	}
+	if len(sweep.Runs) != 2 {
+		t.Fatalf("got %d runs, want 2", len(sweep.Runs))
+	}
+}
+
+// TestSweepStreamsProgress: each completed cell reaches the WithProgress
+// callback with a consistent Done/Total count and a self-describing run.
+func TestSweepStreamsProgress(t *testing.T) {
+	var updates []muontrap.Progress
+	r := muontrap.NewRunner(
+		muontrap.WithWorkers(2),
+		muontrap.WithProgress(func(p muontrap.Progress) { updates = append(updates, p) }),
+	)
+	_, err := r.Sweep(context.Background(), muontrap.Sweep{
+		Workloads: []muontrap.Workload{"hmmer"},
+		Schemes:   []muontrap.Scheme{"insecure", "muontrap"},
+		Scales:    []float64{0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(updates) != 2 {
+		t.Fatalf("got %d progress updates, want 2", len(updates))
+	}
+	for i, p := range updates {
+		if p.Done != i+1 || p.Total != 2 {
+			t.Fatalf("update %d: Done/Total = %d/%d", i, p.Done, p.Total)
+		}
+		if p.Run.Workload != "hmmer" || p.Run.Cycles == 0 {
+			t.Fatalf("update %d: run not self-describing: %+v", i, p.Run)
+		}
+	}
+}
+
+// TestSweepValidatesUpfront: an unknown identifier anywhere in the matrix
+// fails the sweep with the matching sentinel before any simulation.
+func TestSweepValidatesUpfront(t *testing.T) {
+	r := muontrap.NewRunner()
+	if _, err := r.Sweep(context.Background(), muontrap.Sweep{
+		Workloads: []muontrap.Workload{"nope"},
+		Schemes:   []muontrap.Scheme{"insecure"},
+	}); !errors.Is(err, muontrap.ErrUnknownWorkload) {
+		t.Fatalf("err = %v, want ErrUnknownWorkload", err)
+	}
+	if _, err := r.Sweep(context.Background(), muontrap.Sweep{
+		Workloads: []muontrap.Workload{"hmmer"},
+		Schemes:   []muontrap.Scheme{"nope"},
+	}); !errors.Is(err, muontrap.ErrUnknownScheme) {
+		t.Fatalf("err = %v, want ErrUnknownScheme", err)
+	}
+	if _, err := r.Run(context.Background(), muontrap.RunSpec{Workload: "nope"}); !errors.Is(err, muontrap.ErrUnknownWorkload) {
+		t.Fatalf("Run err should wrap ErrUnknownWorkload")
+	}
+}
+
+// TestRunnerFigureMatchesDeprecatedShim: the deprecated Figure shim and
+// Runner.Figure render byte-identical tables (they are the same path).
+func TestRunnerFigureMatchesDeprecatedShim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration")
+	}
+	opt := muontrap.DefaultOptions()
+	opt.Scale = 0.02
+	old, err := muontrap.Figure("fig7", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := muontrap.NewRunner(muontrap.WithScale(opt.Scale))
+	nu, err := r.Figure(context.Background(), muontrap.Fig7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.String() != nu.String() {
+		t.Fatalf("shim table differs from Runner table:\n%s\nvs\n%s", old.String(), nu.String())
+	}
+}
