@@ -16,6 +16,16 @@
 //	figures -exp fig4 -warmup 50000 -workers 8
 //	figures -exp table1
 //	figures -cache off -exp fig3     # force fresh simulation
+//
+// Long runs can checkpoint themselves mid-detailed-simulation: with
+// -checkpoint-every N, each run drains to a quiescent boundary every N
+// simulated cycles and persists a whole-machine snapshot into the cache
+// directory. A killed invocation restarted with the same flags plus
+// -resume continues every interrupted run from its latest checkpoint and
+// produces a byte-identical results table to an uninterrupted run:
+//
+//	figures -exp fig4 -checkpoint-every 5000000    # killed mid-run...
+//	figures -exp fig4 -checkpoint-every 5000000 -resume
 package main
 
 import (
@@ -32,13 +42,23 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1, fig3..fig9, or all")
-		scale   = flag.Float64("scale", 0.15, "workload trip-count multiplier")
-		warmup  = flag.Int("warmup", 0, "instructions to fast-forward per workload before the measured region (0 = run from reset)")
-		cache   = flag.String("cache", "auto", `disk cache directory; "auto" uses the user cache dir, "off" disables`)
-		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		exp       = flag.String("exp", "all", "experiment: table1, fig3..fig9, or all")
+		scale     = flag.Float64("scale", 0.15, "workload trip-count multiplier")
+		warmup    = flag.Int("warmup", 0, "instructions to fast-forward per workload before the measured region (0 = run from reset)")
+		cache     = flag.String("cache", "auto", `disk cache directory; "auto" uses the user cache dir, "off" disables`)
+		workers   = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		ckptEvery = flag.Int("checkpoint-every", 0, "drain + snapshot each run every N simulated cycles for crash-resume (0 = off)")
+		resume    = flag.Bool("resume", false, "restart interrupted runs from their latest mid-run checkpoint (requires the same -checkpoint-every and cache dir)")
 	)
 	flag.Parse()
+	if *ckptEvery < 0 {
+		fmt.Fprintln(os.Stderr, "error: -checkpoint-every must be a positive cycle count (or 0 to disable)")
+		os.Exit(1)
+	}
+	if *resume && *ckptEvery == 0 {
+		fmt.Fprintln(os.Stderr, "error: -resume requires -checkpoint-every N (the cadence the interrupted run used)")
+		os.Exit(1)
+	}
 
 	cacheDir := ""
 	switch *cache {
@@ -54,11 +74,18 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	if *resume && cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "error: -resume needs a cache directory (-cache) to find checkpoints in")
+		os.Exit(1)
+	}
+
 	r := muontrap.NewRunner(
 		muontrap.WithScale(*scale),
 		muontrap.WithWarmup(*warmup),
 		muontrap.WithCacheDir(cacheDir),
 		muontrap.WithWorkers(*workers),
+		muontrap.WithCheckpointEvery(*ckptEvery),
+		muontrap.WithResume(*resume),
 	)
 
 	run := func(id muontrap.FigureID) {

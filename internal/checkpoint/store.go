@@ -91,10 +91,25 @@ func (st *Store) Load(hash string) (*Snapshot, error) {
 	return Decode(b)
 }
 
+// Remove deletes the snapshot with the given content hash, if present.
+// Best-effort by design: pruning a superseded mid-run checkpoint must
+// never fail the run that outgrew it, and a missing file is already the
+// desired state.
+func (st *Store) Remove(hash string) {
+	_ = os.Remove(st.snapPath(hash))
+}
+
 // Link records that the given input key produced the snapshot with the
 // given content hash.
 func (st *Store) Link(key, hash string) error {
 	return WriteAtomic(st.refPath(key), []byte(hash+"\n"))
+}
+
+// Unlink removes the ref recorded for an input key, if present.
+// Best-effort, like Remove: retiring a completed run's checkpoint chain
+// must never fail the run.
+func (st *Store) Unlink(key string) {
+	_ = os.Remove(st.refPath(key))
 }
 
 // Resolve returns the content hash previously linked to the input key.

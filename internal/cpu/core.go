@@ -54,6 +54,7 @@ type Core struct {
 	seq              uint64
 	fetchPC          uint64
 	fetchStall       bool     // barrier/syscall/halt fetched: stop until it commits
+	fetchDrain       bool     // front end parked by StopFetch (drain-to-quiesce)
 	fetchWaitResolve *dynInst // indirect jump without prediction
 	fetchResumeAt    event.Cycle
 
@@ -162,6 +163,18 @@ func (c *Core) PC() uint64 { return c.fetchPC }
 
 // Drained reports whether all post-commit stores have drained.
 func (c *Core) Drained() bool { return c.storeBuf.len() == 0 && c.drainsInFlight == 0 }
+
+// StopFetch parks the front end: no new instructions are fetched or
+// dispatched until ResumeFetch. Everything already in flight keeps
+// executing and retiring, which is how a drain-to-quiesce empties the
+// pipeline without losing architectural work.
+func (c *Core) StopFetch() { c.fetchDrain = true }
+
+// ResumeFetch reopens the front end after a StopFetch drain. The fetch PC
+// and line-buffer state are untouched, so execution continues exactly
+// where the drain interrupted it (modulo the refill latency a context
+// switch would also pay).
+func (c *Core) ResumeFetch() { c.fetchDrain = false }
 
 // CommittedInsts reports the number of committed instructions.
 func (c *Core) CommittedInsts() uint64 { return c.Committed }
@@ -399,7 +412,7 @@ func (c *Core) instPaddr(pc uint64) mem.Addr {
 }
 
 func (c *Core) fetchAndDispatch() {
-	if c.fetchStall || c.halted || c.fetchWaitResolve != nil {
+	if c.fetchDrain || c.fetchStall || c.halted || c.fetchWaitResolve != nil {
 		return
 	}
 	if c.sched.Now() < c.fetchResumeAt {
@@ -499,6 +512,11 @@ func (c *Core) fetchLineReady(pc uint64) bool {
 }
 
 func (c *Core) fetchStallOnFault(pc uint64) {
+	if c.fetchDrain {
+		// Front end parked by a drain: drop the fault; the retry after
+		// ResumeFetch re-translates and re-faults deterministically.
+		return
+	}
 	if !c.roomToDispatch() {
 		// Rare: retry via the pending flag staying clear.
 		return

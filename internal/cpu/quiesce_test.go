@@ -1,0 +1,136 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// newQuietCore builds a bare core with no memory port — enough to poke
+// the quiesce conditions directly.
+func newQuietCore() *Core {
+	return NewCore(0, DefaultConfig(), event.NewScheduler(), nil, mem.NewPhysical())
+}
+
+// TestQuiescedNamesEachCondition drives every non-quiesced condition
+// individually and asserts the error names the specific offending
+// structure (with its occupancy) — the contract System.Drain relies on to
+// produce actionable "refused to drain" reports.
+func TestQuiescedNamesEachCondition(t *testing.T) {
+	nop := isa.NewStaticInst(isa.Inst{Op: isa.OpAddi})
+	cases := []struct {
+		name    string
+		mutate  func(c *Core)
+		wantSub string
+	}{
+		{
+			name: "rob",
+			mutate: func(c *Core) {
+				c.rob.push(c.allocInst())
+			},
+			wantSub: "1 instructions in the ROB",
+		},
+		{
+			name: "issue queue",
+			mutate: func(c *Core) {
+				c.iq = append(c.iq, c.allocInst())
+			},
+			wantSub: "1 instructions in the issue queue",
+		},
+		{
+			name: "load queue",
+			mutate: func(c *Core) {
+				c.lq = append(c.lq, c.allocInst())
+			},
+			wantSub: "1 loads in the load queue",
+		},
+		{
+			name: "store queue",
+			mutate: func(c *Core) {
+				c.sq = append(c.sq, c.allocInst())
+			},
+			wantSub: "1 stores in the store queue",
+		},
+		{
+			name: "store buffer",
+			mutate: func(c *Core) {
+				d := c.allocInst()
+				d.si = &nop
+				c.storeBuf.push(d)
+			},
+			wantSub: "1 committed stores in the store buffer",
+		},
+		{
+			name: "drains in flight",
+			mutate: func(c *Core) {
+				c.drainsInFlight = 2
+			},
+			wantSub: "2 store drains in flight",
+		},
+		{
+			name: "pending ifetch",
+			mutate: func(c *Core) {
+				c.fetchLinePend = true
+				c.fetchPendLine = 0x1040
+			},
+			wantSub: "in-flight instruction fetch for line 0x1040",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newQuietCore()
+			if err := c.Quiesced(); err != nil {
+				t.Fatalf("fresh core not quiesced: %v", err)
+			}
+			if !c.Quiet() {
+				t.Fatal("fresh core not Quiet")
+			}
+			tc.mutate(c)
+			err := c.Quiesced()
+			if err == nil {
+				t.Fatal("mutated core reported quiesced")
+			}
+			if c.Quiet() {
+				t.Fatalf("Quiet() true while Quiesced() = %v (fast path diverged)", err)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not name the condition %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestStopFetchParksFrontEnd: with fetch stopped, ticking the core must
+// never dispatch new instructions, and ResumeFetch must re-enable it.
+func TestStopFetchParksFrontEnd(t *testing.T) {
+	b := isa.NewBuilder("park")
+	b.Li(isa.X(5), 7)
+	b.Addi(isa.X(5), isa.X(5), 1)
+	b.Halt()
+	prog := b.MustBuild()
+
+	sched := event.NewScheduler()
+	phys := mem.NewPhysical()
+	c := NewCore(0, DefaultConfig(), sched, nil, phys)
+	c.SetProgram(prog)
+	c.StopFetch()
+	for i := 0; i < 100; i++ {
+		c.Tick()
+		sched.Tick()
+	}
+	if c.Fetched != 0 {
+		t.Fatalf("parked core fetched %d instructions", c.Fetched)
+	}
+	if err := c.Quiesced(); err != nil {
+		t.Fatalf("parked core not quiesced: %v", err)
+	}
+	c.ResumeFetch()
+	if c.fetchDrain {
+		t.Fatal("ResumeFetch did not clear the drain flag")
+	}
+	// Restart behavior through a real memory system is covered by the
+	// sim-level drain tests; a portless core cannot fetch.
+}

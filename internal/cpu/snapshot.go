@@ -12,16 +12,31 @@ import (
 // empty ROB, queues and store buffer, no outstanding drains and no pending
 // instruction fetch. Checkpoints are only valid in this state — the
 // snapshot format deliberately has no encoding for in-flight dynInsts.
+// Quiet is the allocation-free form of Quiesced, for callers that poll
+// every cycle (the drain loop): Quiet() == (Quiesced() == nil), without
+// building an error. The two must cover the same conditions; the quiesce
+// table test pins the equivalence.
+func (c *Core) Quiet() bool {
+	return c.rob.len() == 0 && len(c.iq) == 0 && len(c.lq) == 0 && len(c.sq) == 0 &&
+		c.storeBuf.len() == 0 && c.drainsInFlight == 0 && !c.fetchLinePend
+}
+
 func (c *Core) Quiesced() error {
 	switch {
 	case c.rob.len() > 0:
 		return fmt.Errorf("cpu: %d instructions in the ROB", c.rob.len())
-	case len(c.iq) > 0 || len(c.lq) > 0 || len(c.sq) > 0:
-		return fmt.Errorf("cpu: non-empty issue/load/store queues")
-	case c.storeBuf.len() > 0 || c.drainsInFlight > 0:
-		return fmt.Errorf("cpu: undrained stores")
+	case len(c.iq) > 0:
+		return fmt.Errorf("cpu: %d instructions in the issue queue", len(c.iq))
+	case len(c.lq) > 0:
+		return fmt.Errorf("cpu: %d loads in the load queue", len(c.lq))
+	case len(c.sq) > 0:
+		return fmt.Errorf("cpu: %d stores in the store queue", len(c.sq))
+	case c.storeBuf.len() > 0:
+		return fmt.Errorf("cpu: %d committed stores in the store buffer", c.storeBuf.len())
+	case c.drainsInFlight > 0:
+		return fmt.Errorf("cpu: %d store drains in flight", c.drainsInFlight)
 	case c.fetchLinePend:
-		return fmt.Errorf("cpu: in-flight instruction fetch")
+		return fmt.Errorf("cpu: in-flight instruction fetch for line %#x", c.fetchPendLine)
 	}
 	return nil
 }

@@ -16,8 +16,9 @@ import (
 )
 
 // resultCacheVersion versions the on-disk result entry layout; bump it
-// when the entry format (not the simulator) changes.
-const resultCacheVersion = 1
+// when the entry format (not the simulator) changes. v2 added the
+// mid-run checkpoint cadence to the key.
+const resultCacheVersion = 2
 
 // binFingerprint hashes the running executable once, so disk-cached
 // results are keyed to the exact simulator build that produced them: any
@@ -45,9 +46,9 @@ var binFingerprint = sync.OnceValue(func() string {
 // workload/scheme/scale/geometry tuple, the warm-up depth and snapshot
 // content hash, and the simulator build fingerprint.
 func diskKey(key runKey) string {
-	return fmt.Sprintf("result|v%d|bin=%s|wl=%s|scheme=%s|scale=%g|max=%d|l0d=%d/%d|warm=%d|snap=%s",
+	return fmt.Sprintf("result|v%d|bin=%s|wl=%s|scheme=%s|scale=%g|max=%d|l0d=%d/%d|warm=%d|snap=%s|every=%d",
 		resultCacheVersion, binFingerprint(), key.workload, key.scheme,
-		key.scale, key.maxCycles, key.l0dSize, key.l0dAssoc, key.warmup, key.snapHash)
+		key.scale, key.maxCycles, key.l0dSize, key.l0dAssoc, key.warmup, key.snapHash, key.every)
 }
 
 // cachedEntry is the JSON layout of one disk-cached run result. The full

@@ -152,6 +152,7 @@ func (e *Executor) runJob(ctx context.Context, j Job) (sim.RunResult, error) {
 	}
 	key.warmup = j.Opt.WarmupInsts
 	key.snapHash = snapHash
+	key.every = j.Opt.ckptEvery()
 	return cachedRun(ctx, j.Opt, key, run)
 }
 

@@ -32,6 +32,35 @@ type Options struct {
 	// configuration and the simulator build fingerprint, so figure sweeps
 	// resume across process invocations.
 	CacheDir string
+	// CheckpointEvery, when positive, drains every run to a quiescent
+	// boundary each time it crosses that many simulated cycles and
+	// snapshots the machine (persisted to the CacheDir snapshot store when
+	// one is configured), so very long runs can crash-resume mid-detailed-
+	// simulation. Draining costs deterministic simulated cycles, so the
+	// cadence is part of a run's identity: results at different cadences
+	// are cached separately and never compared.
+	CheckpointEvery int
+	// Resume, with CheckpointEvery and CacheDir set, restarts each run
+	// from its latest persisted mid-run checkpoint instead of from cold
+	// (or warmup-only) state. A resumed run is bit-identical to an
+	// uninterrupted run at the same cadence.
+	Resume bool
+
+	// ckptSpy, when non-nil (tests only), observes the n-th mid-run
+	// checkpoint after it is persisted; returning an error aborts the run,
+	// simulating a crash immediately after that checkpoint landed.
+	ckptSpy func(n int) error
+}
+
+// ckptEvery returns the effective mid-run checkpoint cadence: nonsensical
+// negative values disable checkpointing (cadence 0) everywhere — the run
+// loop, the snapshot store gate and every cache key — rather than
+// converting to a huge unsigned cycle count that silently never fires.
+func (o Options) ckptEvery() int {
+	if o.CheckpointEvery > 0 {
+		return o.CheckpointEvery
+	}
+	return 0
 }
 
 // DefaultOptions is sized for the bench harness: big enough for stable
@@ -53,6 +82,10 @@ type runKey struct {
 	l0dAssoc  int
 	warmup    int
 	snapHash  string
+	// every is the mid-run checkpoint cadence: drains perturb timing
+	// deterministically, so runs at different cadences are distinct
+	// experiments.
+	every int
 }
 
 // runEntry is a singleflight-style cache slot: concurrent jobs for the
@@ -135,11 +168,14 @@ func ResetRunCache() {
 	resetSnapCache()
 }
 
-// buildRun assembles the standard figure machine for one workload under
-// one scheme: program built at opt.Scale, one core for SPEC or four for
-// Parsec, processes loaded and scheduled, nothing yet simulated.
-func buildRun(spec workload.Spec, sch defense.Scheme, opt Options) *sim.System {
-	prog := workload.Build(spec, opt.Scale)
+// BuildSystem assembles the standard figure machine for one workload
+// under one scheme: program built at scale, one core for SPEC or four
+// for Parsec (full-system, with the periodic OS timer that drives
+// protection-domain switches), processes loaded and scheduled, nothing
+// yet simulated. It is exported for the differential checkpoint suites,
+// which must run the exact machine the figures do.
+func BuildSystem(spec workload.Spec, sch defense.Scheme, scale float64) *sim.System {
+	prog := workload.Build(spec, scale)
 	cores := 1
 	if spec.Suite == "parsec" {
 		cores = 4
@@ -164,6 +200,11 @@ func buildRun(spec workload.Spec, sch defense.Scheme, opt Options) *sim.System {
 	return sys
 }
 
+// buildRun is BuildSystem at an Options' scale.
+func buildRun(spec workload.Spec, sch defense.Scheme, opt Options) *sim.System {
+	return BuildSystem(spec, sch, opt.Scale)
+}
+
 // RunOne executes one workload under one scheme and returns the result.
 // It is NOT memoized — throughput benchmarks and single-run API users get
 // a fresh simulation; the figure/sweep matrices deduplicate through
@@ -171,7 +212,8 @@ func buildRun(spec workload.Spec, sch defense.Scheme, opt Options) *sim.System {
 // shared warm snapshot (which is memoized) instead of simulating from
 // reset. Cancelling ctx mid-simulation returns ctx.Err().
 func RunOne(ctx context.Context, spec workload.Spec, sch defense.Scheme, opt Options) (sim.RunResult, error) {
-	return forkOrRun(ctx, spec, opt, buildRun(spec, sch, opt))
+	return forkOrRun(ctx, spec, opt, buildRun(spec, sch, opt),
+		runKey{workload: spec.Name, scheme: sch.Name, scale: opt.Scale, maxCycles: opt.MaxCycles})
 }
 
 // runMatrix executes jobs through the shared executor and returns cycles
@@ -266,7 +308,9 @@ func sweepRun(ctx context.Context, spec workload.Spec, sizeBytes uint64, assoc i
 		sys.AddThread(p, th, prog.Entry)
 		sys.RunOn(th, p, th)
 	}
-	return forkOrRun(ctx, spec, opt, sys)
+	return forkOrRun(ctx, spec, opt, sys,
+		runKey{workload: spec.Name, scheme: "muontrap-sweep", scale: opt.Scale,
+			maxCycles: opt.MaxCycles, l0dSize: sizeBytes, l0dAssoc: assoc})
 }
 
 // geometryFigure builds Figures 5/6: the insecure baseline plus one

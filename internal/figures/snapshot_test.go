@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/defense"
 	"repro/internal/sim"
+	"repro/internal/simtest"
 	"repro/internal/workload"
 )
 
@@ -17,18 +18,7 @@ func sixSchemes() []defense.Scheme {
 
 func resultsEqual(t *testing.T, label string, a, b sim.RunResult) {
 	t.Helper()
-	if a.Cycles != b.Cycles || a.Committed != b.Committed {
-		t.Fatalf("%s: cold %d cycles / %d committed, forked %d / %d",
-			label, a.Cycles, a.Committed, b.Cycles, b.Committed)
-	}
-	if len(a.Counters) != len(b.Counters) {
-		t.Fatalf("%s: counter sets differ: %d vs %d", label, len(a.Counters), len(b.Counters))
-	}
-	for k, v := range a.Counters {
-		if b.Counters[k] != v {
-			t.Fatalf("%s: counter %s: cold %d, forked %d", label, k, v, b.Counters[k])
-		}
-	}
+	simtest.ResultsEqual(t, label, a, b)
 }
 
 // TestSnapshotForkMatchesColdRun is the determinism gate for the

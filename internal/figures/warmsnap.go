@@ -3,11 +3,13 @@ package figures
 import (
 	"context"
 	"fmt"
+	"os"
 	"path/filepath"
 	"sync"
 
 	"repro/internal/checkpoint"
 	"repro/internal/defense"
+	"repro/internal/event"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -107,13 +109,68 @@ func resetSnapCache() {
 	snapMu.Unlock()
 }
 
-// forkOrRun optionally restores the workload's shared warm snapshot into
-// a freshly built system, then runs it to completion under ctx. The warm
-// snapshot build itself is not cancellable (it is architectural
+// forkOrRun runs a freshly built system to completion under ctx, layering
+// the snapshot machinery around it:
+//
+//   - with Resume set and a persisted mid-run checkpoint for this exact
+//     run, the machine restores from it and continues — the crash-resume
+//     path;
+//   - otherwise, with WarmupInsts set, the workload's shared warm
+//     snapshot is restored — the figure-row fork path;
+//   - with CheckpointEvery set, the run drains and snapshots itself
+//     periodically, persisting each checkpoint to the content-addressed
+//     store under CacheDir so a later invocation can resume (superseded
+//     checkpoints of the same chain are pruned — only the latest stays
+//     on disk).
+//
+// key carries the run's identity (workload, scheme, geometry, sizing) as
+// the caller would memoize it; forkOrRun completes it with the
+// warm-up/snapshot/cadence fields it owns, so the mid-run checkpoint
+// chain is keyed by exactly the inputs the result cache uses.
+//
+// The warm snapshot build itself is not cancellable (it is architectural
 // fast-forward, orders of magnitude cheaper than detailed simulation), so
 // a cancelled warm-up never leaves a poisoned snapshot cache entry.
-func forkOrRun(ctx context.Context, spec workload.Spec, opt Options, sys *sim.System) (sim.RunResult, error) {
-	if opt.WarmupInsts > 0 {
+func forkOrRun(ctx context.Context, spec workload.Spec, opt Options, sys *sim.System, key runKey) (sim.RunResult, error) {
+	snapHash, err := snapHashFor(spec, opt)
+	if err != nil {
+		return sim.RunResult{}, err
+	}
+	key.warmup = opt.WarmupInsts
+	key.snapHash = snapHash
+	key.every = opt.ckptEvery()
+	var st *checkpoint.Store
+	var mkey string
+	if key.every > 0 && opt.CacheDir != "" {
+		st, err = checkpoint.NewStore(filepath.Join(opt.CacheDir, "snapshots"))
+		if err != nil {
+			// The run can proceed, but crash-resume durability is gone —
+			// that failure must be loud, not discovered after a crash.
+			warnf("%s: mid-run checkpoints will NOT be persisted (snapshot store: %v)", spec.Name, err)
+			st = nil
+		}
+		mkey = midrunKey(key)
+	}
+	resumed := false
+	prevHash := "" // this chain's on-disk checkpoint, pruned when superseded
+	if opt.Resume && st != nil {
+		if hash, ok := st.Resolve(mkey); ok {
+			snap, err := st.Load(hash)
+			if err == nil {
+				if err := sys.RestoreSnapshot(snap); err != nil {
+					return sim.RunResult{}, fmt.Errorf("%s: mid-run resume: %w", spec.Name, err)
+				}
+				resumed = true
+				prevHash = hash
+			} else {
+				// An unreadable checkpoint falls back to a cold start (the
+				// store is an accelerator, never an oracle) — but the lost
+				// work is reported, not hidden.
+				warnf("%s: mid-run checkpoint unreadable, restarting from cold: %v", spec.Name, err)
+			}
+		}
+	}
+	if !resumed && opt.WarmupInsts > 0 {
 		snap, _, err := warmSnapshot(spec, opt)
 		if err != nil {
 			return sim.RunResult{}, err
@@ -122,5 +179,67 @@ func forkOrRun(ctx context.Context, spec workload.Spec, opt Options, sys *sim.Sy
 			return sim.RunResult{}, fmt.Errorf("%s: snapshot fork: %w", spec.Name, err)
 		}
 	}
-	return sys.RunUntilHaltCtx(ctx, opt.MaxCycles)
+	var sink sim.CheckpointSink
+	if st != nil || opt.ckptSpy != nil {
+		taken := 0
+		warned := false
+		spy := opt.ckptSpy
+		sink = func(snap *checkpoint.Snapshot) error {
+			taken++
+			if st != nil {
+				// Put then Link, both atomic: a crash between them leaves
+				// the previous checkpoint resolvable, never a torn one.
+				// Once the new checkpoint is linked, the superseded one is
+				// pruned — every checkpoint is a full-machine image, and
+				// only the latest of a chain is ever resolvable. A failed
+				// write (full disk, revoked permissions) keeps the run
+				// alive but is reported once — silently losing durability
+				// would defeat the feature's whole purpose.
+				h, err := st.Put(snap)
+				if err == nil {
+					err = st.Link(mkey, h)
+				}
+				if err == nil {
+					if prevHash != "" && prevHash != h {
+						st.Remove(prevHash)
+					}
+					prevHash = h
+				} else if !warned {
+					warned = true
+					warnf("%s: mid-run checkpoint %d not persisted: %v", spec.Name, taken, err)
+				}
+			}
+			if spy != nil {
+				return spy(taken)
+			}
+			return nil
+		}
+	}
+	res, err := sys.RunUntilHaltCkpt(ctx, opt.MaxCycles, event.Cycle(key.every), sink)
+	if err == nil && st != nil && prevHash != "" {
+		// The run completed: its cached result supersedes the checkpoint
+		// chain, so retire the chain's last image and its ref instead of
+		// leaving one dead full-machine snapshot per finished cell.
+		st.Remove(prevHash)
+		st.Unlink(mkey)
+	}
+	return res, err
+}
+
+// warnf reports a non-fatal persistence degradation (checkpoint store
+// unusable, checkpoint not written, resume checkpoint unreadable) on
+// stderr. Simulations never fail for persistence reasons, but losing
+// crash-resume durability silently would defeat the feature, so it is
+// always said out loud. Var so tests can intercept.
+var warnf = func(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "muontrap/figures: "+format+"\n", args...)
+}
+
+// midrunKey identifies the mid-run checkpoint chain of one exact run. It
+// is derived from the same runKey serialization the disk result cache
+// uses (diskKey), so the two can never drift: any input that
+// distinguishes cached results also distinguishes checkpoint chains, and
+// a resume can never continue the wrong experiment.
+func midrunKey(key runKey) string {
+	return "midrun|" + diskKey(key)
 }

@@ -1,0 +1,116 @@
+package memsys
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/event"
+	"repro/internal/mem"
+)
+
+// newQuietHier builds a 1-core hierarchy in the full MuonTrap mode (so
+// the filter structures exist and their quiesce arms are reachable).
+func newQuietHier() *Hierarchy {
+	cfg := DefaultConfig(1)
+	cfg.Mode = Mode{
+		L0Data: true, L0Inst: true,
+		FilterProtect: true, CoherenceProtect: true,
+		CommitPrefetch: true, FilterTLB: true,
+	}
+	return New(event.NewScheduler(), mem.NewPhysical(), cfg)
+}
+
+// TestHierarchyQuiescedNamesEachCondition drives every non-quiesced
+// condition of the memory system individually and asserts the error
+// names the offending structure with its occupancy.
+func TestHierarchyQuiescedNamesEachCondition(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(h *Hierarchy)
+		wantSub string
+	}{
+		{
+			name:    "l2 mshrs",
+			mutate:  func(h *Hierarchy) { h.l2MSHRs.Allocate(0x40, cache.NoWaiter) },
+			wantSub: "1 live L2 MSHRs",
+		},
+		{
+			name:    "l1d mshrs",
+			mutate:  func(h *Hierarchy) { h.ports[0].l1dMSHRs.Allocate(0x40, cache.NoWaiter) },
+			wantSub: "1 live L1D MSHRs",
+		},
+		{
+			name:    "l1i mshrs",
+			mutate:  func(h *Hierarchy) { h.ports[0].l1iMSHRs.Allocate(0x40, cache.NoWaiter) },
+			wantSub: "1 live L1I MSHRs",
+		},
+		{
+			name:    "l0d mshrs",
+			mutate:  func(h *Hierarchy) { h.ports[0].l0d.MSHRs.Allocate(0x40, cache.NoWaiter) },
+			wantSub: "1 live L0D MSHRs",
+		},
+		{
+			name:    "l0i mshrs",
+			mutate:  func(h *Hierarchy) { h.ports[0].l0i.MSHRs.Allocate(0x40, cache.NoWaiter) },
+			wantSub: "1 live L0I MSHRs",
+		},
+		{
+			name: "parked access callback",
+			mutate: func(h *Hierarchy) {
+				h.ports[0].cbPut(func(AccessResult) {})
+			},
+			wantSub: "1 parked access callbacks",
+		},
+		{
+			name: "parked void callback",
+			mutate: func(h *Hierarchy) {
+				h.ports[0].vcbPut(func() {})
+			},
+			wantSub: "1 parked void callbacks",
+		},
+		{
+			name: "parked mshr waiter",
+			mutate: func(h *Hierarchy) {
+				h.ports[0].mwaitPut(comp{idx: -1})
+			},
+			wantSub: "1 parked MSHR waiters",
+		},
+		{
+			name: "parked ifetch waiter",
+			mutate: func(h *Hierarchy) {
+				h.ports[0].iwaitPut(icomp{typed: true})
+			},
+			wantSub: "1 parked ifetch MSHR waiters",
+		},
+		{
+			name: "in-flight page walk",
+			mutate: func(h *Hierarchy) {
+				h.ports[0].walkPut(ptwalk{})
+			},
+			wantSub: "1 in-flight page-table walks",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newQuietHier()
+			if err := h.Quiesced(); err != nil {
+				t.Fatalf("fresh hierarchy not quiesced: %v", err)
+			}
+			if !h.Quiet() {
+				t.Fatal("fresh hierarchy not Quiet")
+			}
+			tc.mutate(h)
+			err := h.Quiesced()
+			if err == nil {
+				t.Fatal("mutated hierarchy reported quiesced")
+			}
+			if h.Quiet() {
+				t.Fatalf("Quiet() true while Quiesced() = %v (fast path diverged)", err)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not name the condition %q", err, tc.wantSub)
+			}
+		})
+	}
+}

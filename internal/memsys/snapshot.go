@@ -9,6 +9,37 @@ import (
 	"repro/internal/event"
 )
 
+// Quiet is the allocation-free form of Quiesced, for callers that poll
+// every cycle (the drain loop): Quiet() == (Quiesced() == nil), without
+// building an error. The two must cover the same conditions; the quiesce
+// table test pins the equivalence.
+func (h *Hierarchy) Quiet() bool {
+	if h.l2MSHRs.InUse() > 0 {
+		return false
+	}
+	for _, p := range h.ports {
+		if !p.quiet() {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Port) quiet() bool {
+	if p.l1dMSHRs.InUse() > 0 || p.l1iMSHRs.InUse() > 0 {
+		return false
+	}
+	if p.l0d != nil && p.l0d.MSHRs.InUse() > 0 {
+		return false
+	}
+	if p.l0i != nil && p.l0i.MSHRs.InUse() > 0 {
+		return false
+	}
+	return len(p.cbs) == len(p.cbFree) && len(p.vcbs) == len(p.vcbFree) &&
+		len(p.mwait) == len(p.mwaitFree) && len(p.iwait) == len(p.iwaitFree) &&
+		len(p.walks) == len(p.walkFree)
+}
+
 // Quiesced reports whether the hierarchy holds no in-flight transactions:
 // every MSHR file empty and no parked completion callbacks. Checkpoints
 // are only valid in this state.
@@ -31,11 +62,15 @@ func (p *Port) quiesced() error {
 	if n := p.l1iMSHRs.InUse(); n > 0 {
 		return fmt.Errorf("%d live L1I MSHRs", n)
 	}
-	if p.l0d != nil && p.l0d.MSHRs.InUse() > 0 {
-		return fmt.Errorf("live L0D MSHRs")
+	if p.l0d != nil {
+		if n := p.l0d.MSHRs.InUse(); n > 0 {
+			return fmt.Errorf("%d live L0D MSHRs", n)
+		}
 	}
-	if p.l0i != nil && p.l0i.MSHRs.InUse() > 0 {
-		return fmt.Errorf("live L0I MSHRs")
+	if p.l0i != nil {
+		if n := p.l0i.MSHRs.InUse(); n > 0 {
+			return fmt.Errorf("%d live L0I MSHRs", n)
+		}
 	}
 	if live := len(p.cbs) - len(p.cbFree); live > 0 {
 		return fmt.Errorf("%d parked access callbacks", live)

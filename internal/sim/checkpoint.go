@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/checkpoint"
@@ -11,14 +12,27 @@ import (
 // snapshot (the container format is versioned separately by the
 // checkpoint package). Bump on any incompatible change to a component's
 // Save encoding.
-const machineFormat = 1
+//
+// v2 added mid-run checkpoint support: the stats baseline (the cycle the
+// measured region started, so restored runs report deltas correctly) and
+// per-core scheduling state — retired-instruction counts, the next OS
+// timer deadline and the RunOn assignment (PID, thread) — which a
+// warm-up-only snapshot never needed because nothing had run yet.
+const machineFormat = 2
+
+// drainBound caps how many cycles Drain will step while waiting for the
+// machine to quiesce. It is far beyond any legitimate drain (the deepest
+// dependency chain is ROB depth × DRAM row-miss latency plus a timer
+// stall or two); hitting it means a component is leaking in-flight state.
+const drainBound = 2_000_000
 
 // Quiesced reports whether the whole machine is at a checkpointable
 // boundary: no pending events, no in-flight pipeline state on any core,
-// no outstanding memory transactions.
+// no outstanding memory transactions. The error names the specific
+// component that holds state.
 func (s *System) Quiesced() error {
 	if n := s.Sched.Pending(); n > 0 {
-		return fmt.Errorf("sim: %d pending events", n)
+		return fmt.Errorf("sim: %d pending events in the scheduler", n)
 	}
 	for ci, c := range s.Cores {
 		if err := c.Quiesced(); err != nil {
@@ -28,12 +42,98 @@ func (s *System) Quiesced() error {
 	return s.Hier.Quiesced()
 }
 
+// Drain brings a running machine to a checkpointable boundary: fetch is
+// parked on every core, the ROBs retire their in-flight instructions,
+// store buffers, MSHRs, page-table walks, prefetches and filter-cache
+// writebacks complete, and the event queue runs dry. On success the
+// machine satisfies Quiesced() with fetch still parked — call ResumeFetch
+// (or CheckpointAt, which does) to continue execution.
+//
+// Drain advances the simulated clock: the cycles it takes are real
+// simulated time, identical on every machine in the same state, so runs
+// that drain at the same points remain bit-exactly comparable. If the
+// machine refuses to quiesce within the cycle bound, the error names the
+// component still holding state.
+func (s *System) Drain(ctx context.Context) error {
+	return s.drainWithin(ctx, drainBound)
+}
+
+func (s *System) drainWithin(ctx context.Context, bound int) error {
+	for _, c := range s.Cores {
+		c.StopFetch()
+	}
+	done := ctx.Done()
+	for i := 0; i < bound; i++ {
+		if s.quiet() {
+			return nil
+		}
+		if done != nil && i%64 == 0 {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
+		s.Step(1)
+	}
+	if err := s.Quiesced(); err != nil {
+		return fmt.Errorf("sim: machine refused to drain within %d cycles: %w", bound, err)
+	}
+	return nil
+}
+
+// quiet is the allocation-free per-cycle form of Quiesced() == nil: the
+// drain loop polls it every cycle, and building (then discarding) a
+// formatted error per cycle would put garbage on a path the simulator
+// keeps allocation-free. The component Quiet methods mirror their
+// Quiesced error conditions exactly (pinned by the quiesce table tests).
+func (s *System) quiet() bool {
+	if s.Sched.Pending() > 0 {
+		return false
+	}
+	for _, c := range s.Cores {
+		if !c.Quiet() {
+			return false
+		}
+	}
+	return s.Hier.Quiet()
+}
+
+// ResumeFetch reopens the front end on every core after a Drain.
+func (s *System) ResumeFetch() {
+	for _, c := range s.Cores {
+		c.ResumeFetch()
+	}
+}
+
 // Checkpoint serialises the machine into a snapshot: physical memory,
 // per-core architectural state and branch predictors, cache and TLB
 // contents, directory/coherence state, DRAM timing state and every
 // statistics baseline. The machine must be quiesced — the format has no
 // encoding for in-flight state, which is what keeps restores bit-exact.
+// Use CheckpointAt to reach quiescence from a running machine.
 func (s *System) Checkpoint() (*checkpoint.Snapshot, error) {
+	return s.snapshot(false, 0)
+}
+
+// CheckpointAt drains the machine to a quiescent boundary, snapshots it,
+// and resumes fetch. base is the stats baseline: the cycle the measured
+// region started, recorded in the snapshot so a run restored from it
+// reports Cycles as a delta from the region's true start, exactly as the
+// uninterrupted run would.
+func (s *System) CheckpointAt(ctx context.Context, base event.Cycle) (*checkpoint.Snapshot, error) {
+	if err := s.Drain(ctx); err != nil {
+		return nil, err
+	}
+	snap, err := s.snapshot(true, base)
+	if err != nil {
+		return nil, err
+	}
+	s.ResumeFetch()
+	return snap, nil
+}
+
+func (s *System) snapshot(midRun bool, base event.Cycle) (*checkpoint.Snapshot, error) {
 	if err := s.Quiesced(); err != nil {
 		return nil, fmt.Errorf("sim: checkpoint requires a quiesced machine: %w", err)
 	}
@@ -45,6 +145,19 @@ func (s *System) Checkpoint() (*checkpoint.Snapshot, error) {
 	w.U64(s.WarmedInsts)
 	w.U64(s.ContextSwitches)
 	w.U64(s.TimerTicks)
+	w.U64(s.CheckpointsTaken)
+	w.Bool(midRun)
+	w.U64(uint64(base))
+	for ci, c := range s.Cores {
+		w.U64(c.CommittedInsts())
+		w.U64(uint64(s.nextTimer[ci]))
+		if p := s.running[ci]; p != nil {
+			w.U64(p.PID)
+		} else {
+			w.U64(0)
+		}
+		w.U32(uint32(s.runThread[ci]))
+	}
 	s.Phys.Save(snap.Section("phys"))
 	s.Hier.Save(snap)
 	for i, c := range s.Cores {
@@ -56,15 +169,19 @@ func (s *System) Checkpoint() (*checkpoint.Snapshot, error) {
 // RestoreSnapshot loads a snapshot into this machine, which must be
 // freshly assembled the same way the checkpointed one was (same core
 // count, same cache/TLB/predictor geometry, processes created and
-// scheduled with the same RunOn sequence) and still quiesced at the same
-// simulated time. After it returns, running the machine produces
-// bit-identical cycles, instruction counts and statistics to continuing
-// the machine the snapshot was taken from.
+// scheduled with the same RunOn sequence), quiesced, and no further along
+// in simulated time than the snapshot — the clock is advanced to the
+// snapshot's cycle, so mid-run checkpoints restore into cycle-0 machines.
+// After it returns, running the machine produces bit-identical cycles,
+// instruction counts and statistics to continuing the machine the
+// snapshot was taken from.
 //
-// Protection schemes may differ between the two machines: snapshots carry
-// no speculative state (filter caches, filter TLBs and pipelines are
-// empty at any quiesce point), so a warm-up snapshot taken on an
-// unprotected machine restores into any scheme's machine.
+// Protection schemes may differ between the two machines only for
+// warm-up snapshots (taken before any detailed simulation): those carry
+// no speculative state, so a snapshot from an unprotected machine
+// restores into any scheme's machine. A mid-run snapshot carries filter
+// cache and coherence state and must be restored into an identically
+// configured machine.
 func (s *System) RestoreSnapshot(snap *checkpoint.Snapshot) error {
 	if err := s.Quiesced(); err != nil {
 		return fmt.Errorf("sim: restore requires a quiesced machine: %w", err)
@@ -74,17 +191,36 @@ func (s *System) RestoreSnapshot(snap *checkpoint.Snapshot) error {
 		return err
 	}
 	if f := r.U32(); f != machineFormat {
-		return fmt.Errorf("sim: snapshot machine format %d, want %d", f, machineFormat)
+		return fmt.Errorf("sim: snapshot machine format %d, want %d (incompatible snapshot; rebuild it)", f, machineFormat)
 	}
 	if n := int(r.U32()); n != len(s.Cores) {
 		return fmt.Errorf("sim: snapshot has %d cores, machine has %d", n, len(s.Cores))
 	}
-	if now := event.Cycle(r.U64()); now != s.Sched.Now() {
-		return fmt.Errorf("sim: snapshot taken at cycle %d, machine at %d", now, s.Sched.Now())
+	snapNow := event.Cycle(r.U64())
+	if snapNow < s.Sched.Now() {
+		return fmt.Errorf("sim: snapshot taken at cycle %d, machine already at %d", snapNow, s.Sched.Now())
 	}
 	s.WarmedInsts = r.U64()
 	s.ContextSwitches = r.U64()
 	s.TimerTicks = r.U64()
+	s.CheckpointsTaken = r.U64()
+	midRun := r.Bool()
+	base := event.Cycle(r.U64())
+	retired := make([]uint64, len(s.Cores))
+	for ci := range s.Cores {
+		retired[ci] = r.U64()
+		s.nextTimer[ci] = event.Cycle(r.U64())
+		pid := r.U64()
+		thread := int(r.U32())
+		var runPID uint64
+		if p := s.running[ci]; p != nil {
+			runPID = p.PID
+		}
+		if pid != runPID || (pid != 0 && thread != s.runThread[ci]) {
+			return fmt.Errorf("sim: core %d: snapshot scheduled pid %d thread %d, machine pid %d thread %d (RunOn sequences differ)",
+				ci, pid, thread, runPID, s.runThread[ci])
+		}
+	}
 	if err := r.Err(); err != nil {
 		return err
 	}
@@ -106,6 +242,17 @@ func (s *System) RestoreSnapshot(snap *checkpoint.Snapshot) error {
 		if err := c.Restore(cr); err != nil {
 			return fmt.Errorf("sim: core %d: %w", i, err)
 		}
+		if got := c.CommittedInsts(); got != retired[i] {
+			return fmt.Errorf("sim: core %d: machine section says %d retired, core section restored %d (corrupt snapshot)",
+				i, retired[i], got)
+		}
+	}
+	// An empty event queue makes the jump to the snapshot's cycle a pure
+	// clock change; Quiesced() above guaranteed it.
+	s.Sched.AdvanceTo(snapNow)
+	if midRun {
+		s.resumedMidRun = true
+		s.resumeBase = base
 	}
 	return nil
 }

@@ -7,7 +7,11 @@
 //
 //   - System: the whole machine. Step/RunUntilHalt drive detailed
 //     simulation; Warmup architecturally fast-forwards it; Checkpoint and
-//     RestoreSnapshot serialise and reload complete machine state.
+//     RestoreSnapshot serialise and reload complete machine state; Drain
+//     brings a running machine to a checkpointable boundary (stop fetch,
+//     retire the ROBs, complete MSHRs/walks/drains, run the event queue
+//     dry), and CheckpointAt/RunUntilHaltCkpt build mid-run checkpoints
+//     on top of it for crash-resume and sampling.
 //   - Config: machine shape plus OS costs (context switch, timer) and the
 //     BTB-isolation option of §4.9.
 //   - Process: one address space (program, page table) plus saved
@@ -28,7 +32,13 @@
 //     runs of a figure row, and a forked run reproduces a cold
 //     (warm-up-in-place) run bit-exactly.
 //   - Checkpoints require a quiesced machine (no pending events, empty
-//     pipelines, drained stores, idle MSHRs) at the same simulated time as
-//     the restore target; Quiesced() enforces it. Mismatched geometry or
-//     core counts are rejected at restore.
+//     pipelines, drained stores, idle MSHRs); Quiesced() enforces it and
+//     names the offending structure, and Drain reaches it mid-run. The
+//     restore target must be no further along in simulated time than the
+//     snapshot (its clock is advanced to match); mismatched geometry,
+//     core counts or RunOn scheduling are rejected at restore.
+//   - Mid-run checkpoints perturb timing deterministically: draining
+//     costs simulated cycles, so the checkpoint cadence is part of a
+//     run's identity, and a run restored from any mid-run snapshot
+//     finishes bit-identically to the run that produced it.
 package sim

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/checkpoint"
 	"repro/internal/cpu"
 	"repro/internal/event"
 	"repro/internal/isa"
@@ -83,6 +84,13 @@ type System struct {
 
 	nextTimer []event.Cycle
 
+	// Mid-run resume state: set by RestoreSnapshot when the snapshot was
+	// taken by CheckpointAt. resumeBase is the cycle the measured region
+	// originally started, so RunUntilHalt on the restored machine reports
+	// Cycles as the same delta the uninterrupted run would.
+	resumedMidRun bool
+	resumeBase    event.Cycle
+
 	// Stats.
 	ContextSwitches uint64
 	TimerTicks      uint64
@@ -90,6 +98,11 @@ type System struct {
 	// (the checkpoint fast-forward); they are not part of the measured
 	// region and are excluded from per-core Committed counts.
 	WarmedInsts uint64
+	// CheckpointsTaken counts mid-run drain-to-quiesce checkpoints
+	// (including any before a crash-resume: the count is carried in the
+	// snapshot so interrupted and uninterrupted runs report the same
+	// total).
+	CheckpointsTaken uint64
 }
 
 // New builds a machine.
@@ -275,6 +288,15 @@ func (s *System) Step(n int) {
 	}
 }
 
+// nextCheckpointAfter returns the earliest start+k*every strictly after
+// now. Computing the schedule from absolute time (rather than loop-local
+// counters) is what keeps a restored run's checkpoints landing on the
+// same cycles as the run that produced the snapshot.
+func nextCheckpointAfter(start, every, now event.Cycle) event.Cycle {
+	k := (now-start)/every + 1
+	return start + k*every
+}
+
 // RunResult summarises a run.
 type RunResult struct {
 	Cycles    event.Cycle
@@ -302,9 +324,44 @@ func (s *System) RunUntilHalt(maxCycles int) (RunResult, error) {
 // the context is cancelled mid-simulation. A context that can never be
 // cancelled (ctx.Done() == nil, e.g. context.Background()) costs nothing.
 func (s *System) RunUntilHaltCtx(ctx context.Context, maxCycles int) (RunResult, error) {
+	return s.RunUntilHaltCkpt(ctx, maxCycles, 0, nil)
+}
+
+// CheckpointSink receives each mid-run snapshot taken by RunUntilHaltCkpt.
+// Returning an error aborts the run with that error — the persistence
+// layer's failure, or a test simulating a crash immediately after a
+// checkpoint landed.
+type CheckpointSink func(*checkpoint.Snapshot) error
+
+// RunUntilHaltCkpt is RunUntilHaltCtx with periodic mid-run checkpoints:
+// when every > 0 the machine is drained to a quiescent boundary and
+// snapshotted each time the run crosses a multiple of every cycles
+// (measured from the measured region's start), and each snapshot is
+// handed to sink (which may be nil to drain without keeping snapshots —
+// useful for reproducing a checkpointed run's exact timing).
+//
+// Draining costs simulated cycles, so a checkpointed run's timing differs
+// from an uncheckpointed one — but it is deterministic: two runs with the
+// same cadence drain at the same points, and a run restored from any of
+// the snapshots continues bit-identically to the run that produced it,
+// including all later checkpoints. The checkpoint cadence is therefore
+// part of a run's identity, exactly like its workload scale.
+//
+// On a machine restored from a mid-run snapshot the measured region's
+// start comes from the snapshot, so reported Cycles, the remaining
+// maxCycles budget and the checkpoint schedule all line up with the
+// uninterrupted run's.
+func (s *System) RunUntilHaltCkpt(ctx context.Context, maxCycles int, every event.Cycle, sink CheckpointSink) (RunResult, error) {
 	done := ctx.Done()
 	start := s.Sched.Now()
-	for i := 0; i < maxCycles; i += 64 {
+	if s.resumedMidRun {
+		start = s.resumeBase
+	}
+	var next event.Cycle
+	if every > 0 {
+		next = nextCheckpointAfter(start, every, s.Sched.Now())
+	}
+	for s.Sched.Now()-start < event.Cycle(maxCycles) {
 		if done != nil {
 			select {
 			case <-done:
@@ -322,6 +379,26 @@ func (s *System) RunUntilHaltCtx(ctx context.Context, maxCycles int) (RunResult,
 		}
 		if all {
 			break
+		}
+		if every > 0 && s.Sched.Now() >= next {
+			s.CheckpointsTaken++
+			if sink == nil {
+				// Timing-only mode: drain exactly as a checkpointing run
+				// would, skip building the (expensive) snapshot.
+				if err := s.Drain(ctx); err != nil {
+					return RunResult{}, fmt.Errorf("sim: mid-run checkpoint: %w", err)
+				}
+				s.ResumeFetch()
+			} else {
+				snap, err := s.CheckpointAt(ctx, start)
+				if err != nil {
+					return RunResult{}, fmt.Errorf("sim: mid-run checkpoint: %w", err)
+				}
+				if err := sink(snap); err != nil {
+					return RunResult{}, err
+				}
+			}
+			next = nextCheckpointAfter(start, every, s.Sched.Now())
 		}
 	}
 	var res RunResult
@@ -353,6 +430,7 @@ func (s *System) RunUntilHaltCtx(ctx context.Context, maxCycles int) (RunResult,
 	}
 	res.Cycles = s.Sched.Now() - start
 	res.Counters = make(map[string]uint64)
+	res.Counters["ckpt.taken"] = s.CheckpointsTaken
 	res.Counters["warmup.insts"] = s.WarmedInsts
 	s.Hier.DumpCounters(res.Counters)
 	for ci, c := range s.Cores {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/simtest"
 	"repro/internal/workload"
 )
 
@@ -13,18 +14,7 @@ import (
 // fast-forwards it n instructions.
 func warmMachine(t *testing.T, n int) *sim.System {
 	t.Helper()
-	spec, ok := workload.ByName("hmmer")
-	if !ok {
-		t.Fatal("hmmer workload missing")
-	}
-	prog := workload.Build(spec, 0.02)
-	s := sim.New(sim.DefaultConfig(1))
-	p := s.NewProcess(prog)
-	s.RunOn(0, p, 0)
-	if got := s.Warmup(n); got != n {
-		t.Fatalf("warm-up executed %d insts, want %d", got, n)
-	}
-	return s
+	return simtest.WarmSystem(t, "hmmer", 0.02, n)
 }
 
 // TestCheckpointRoundTripIsLossless checkpoints a warmed machine, restores
@@ -92,7 +82,7 @@ func TestRestoreRejectsMismatchedMachine(t *testing.T) {
 		t.Fatal(err)
 	}
 	wide := sim.New(sim.DefaultConfig(2))
-	prog := workload.Build(mustSpec(t, "hmmer"), 0.02)
+	prog := workload.Build(simtest.MustSpec(t, "hmmer"), 0.02)
 	p := wide.NewProcess(prog)
 	wide.RunOn(0, p, 0)
 	wide.AddThread(p, 1, prog.Entry)
@@ -100,15 +90,6 @@ func TestRestoreRejectsMismatchedMachine(t *testing.T) {
 	if err := wide.RestoreSnapshot(snap); err == nil {
 		t.Fatal("restored a 1-core snapshot into a 2-core machine")
 	}
-}
-
-func mustSpec(t *testing.T, name string) workload.Spec {
-	t.Helper()
-	spec, ok := workload.ByName(name)
-	if !ok {
-		t.Fatalf("workload %s missing", name)
-	}
-	return spec
 }
 
 // TestWarmupIsArchitecturallyFaithful runs a small program entirely under

@@ -1,0 +1,9 @@
+// Package simtest provides the run-and-compare helpers shared by the
+// simulator's test suites: architecturally warming a machine, and
+// asserting two runs agree bit-for-bit on cycles, instructions and
+// every statistics counter. The golden, snapshot-fork and differential
+// checkpoint suites all build on it, so "two runs are identical" means
+// exactly one thing everywhere. (The canonical machine *builder* lives
+// in the production figure harness — figures.BuildSystem — so test
+// support never sits in a shipped dependency path.)
+package simtest

@@ -1,0 +1,10 @@
+//go:build !race
+
+package simtest
+
+// RaceEnabled reports whether the binary was built with the race
+// detector. Exhaustive differential suites use it to trim their matrix
+// under -race: the detector multiplies single-threaded simulation cost
+// several-fold while adding nothing over the non-race run of the same
+// cells, so the race job runs a representative subset instead.
+const RaceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package simtest
+
+// RaceEnabled reports whether the binary was built with the race
+// detector; see race_off.go.
+const RaceEnabled = true

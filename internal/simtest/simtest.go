@@ -1,0 +1,59 @@
+package simtest
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// MustSpec looks a workload up in the registry, failing the test when it
+// is missing.
+func MustSpec(tb testing.TB, name string) workload.Spec {
+	tb.Helper()
+	spec, ok := workload.ByName(name)
+	if !ok {
+		tb.Fatalf("workload %s missing", name)
+	}
+	return spec
+}
+
+// WarmSystem builds a default 1-core machine running the named workload
+// and architecturally fast-forwards it insts instructions.
+func WarmSystem(tb testing.TB, name string, scale float64, insts int) *sim.System {
+	tb.Helper()
+	spec := MustSpec(tb, name)
+	s := sim.New(sim.DefaultConfig(1))
+	p := s.NewProcess(workload.Build(spec, scale))
+	s.RunOn(0, p, 0)
+	if got := s.Warmup(insts); got != insts {
+		tb.Fatalf("warm-up executed %d insts, want %d", got, insts)
+	}
+	return s
+}
+
+// CountersEqual asserts two counter sets are identical: same keys, same
+// values. The label prefixes failures so table-driven callers stay
+// readable.
+func CountersEqual(tb testing.TB, label string, a, b map[string]uint64) {
+	tb.Helper()
+	if len(a) != len(b) {
+		tb.Fatalf("%s: counter sets differ: %d vs %d", label, len(a), len(b))
+	}
+	for k, v := range a {
+		if got, ok := b[k]; !ok || got != v {
+			tb.Fatalf("%s: counter %s: %d vs %d", label, k, v, got)
+		}
+	}
+}
+
+// ResultsEqual asserts two runs agree bit-for-bit: cycles, committed
+// instructions and every statistics counter.
+func ResultsEqual(tb testing.TB, label string, a, b sim.RunResult) {
+	tb.Helper()
+	if a.Cycles != b.Cycles || a.Committed != b.Committed {
+		tb.Fatalf("%s: %d cycles / %d committed vs %d / %d",
+			label, a.Cycles, a.Committed, b.Cycles, b.Committed)
+	}
+	CountersEqual(tb, label, a.Counters, b.Counters)
+}

@@ -3,6 +3,7 @@ package muontrap_test
 import (
 	"testing"
 
+	"repro/internal/simtest"
 	"repro/muontrap"
 )
 
@@ -73,12 +74,5 @@ func TestRunBitIdenticalAcrossInvocations(t *testing.T) {
 	if a.Cycles != b.Cycles || a.Instructions != b.Instructions {
 		t.Fatalf("run differs: %d/%d vs %d/%d", a.Cycles, a.Instructions, b.Cycles, b.Instructions)
 	}
-	if len(a.Counters) != len(b.Counters) {
-		t.Fatalf("counter sets differ: %d vs %d", len(a.Counters), len(b.Counters))
-	}
-	for k, v := range a.Counters {
-		if b.Counters[k] != v {
-			t.Fatalf("counter %s differs: %d vs %d", k, v, b.Counters[k])
-		}
-	}
+	simtest.CountersEqual(t, "muontrap", a.Counters, b.Counters)
 }

@@ -46,6 +46,14 @@ type Options struct {
 	// CacheDir, when non-empty, backs run memoization with a disk cache
 	// so experiment sweeps resume across process invocations.
 	CacheDir string
+	// CheckpointEvery, when positive, drains and snapshots each run every
+	// n simulated cycles mid-detailed-simulation (persisted under
+	// CacheDir) so interrupted sweeps can crash-resume. See
+	// WithCheckpointEvery for the determinism contract.
+	CheckpointEvery int
+	// Resume restarts runs from their latest persisted mid-run
+	// checkpoint; see WithResume.
+	Resume bool
 }
 
 // DefaultOptions is the bench-harness experiment size.
@@ -62,6 +70,8 @@ func (o Options) runner() *Runner {
 		WithWorkers(o.Parallelism),
 		WithWarmup(o.WarmupInsts),
 		WithCacheDir(o.CacheDir),
+		WithCheckpointEvery(o.CheckpointEvery),
+		WithResume(o.Resume),
 	)
 }
 

@@ -21,6 +21,8 @@ type Runner struct {
 	warmup    int
 	scale     float64
 	maxCycles int
+	ckptEvery int
+	resume    bool
 	progress  func(Progress)
 }
 
@@ -42,6 +44,24 @@ func WithCacheDir(dir string) RunnerOption { return func(r *Runner) { r.cacheDir
 // of that workload from the restored snapshot. Zero (the default) runs
 // from reset.
 func WithWarmup(insts int) RunnerOption { return func(r *Runner) { r.warmup = insts } }
+
+// WithCheckpointEvery drains each run to a quiescent boundary every n
+// simulated cycles and snapshots the whole machine mid-detailed-
+// simulation, persisting the checkpoint into the cache directory's
+// content-addressed snapshot store (when WithCacheDir is set) so an
+// interrupted sweep can crash-resume with WithResume. Draining costs
+// deterministic simulated cycles, so the cadence is part of each run's
+// identity: results are cached per cadence, and a resumed run is
+// bit-identical to an uninterrupted run at the same cadence. Zero (the
+// default) disables mid-run checkpoints.
+func WithCheckpointEvery(n int) RunnerOption { return func(r *Runner) { r.ckptEvery = n } }
+
+// WithResume restarts each run from its latest persisted mid-run
+// checkpoint instead of from cold (or warmup-only) state. It requires
+// WithCheckpointEvery and WithCacheDir with the same values the
+// interrupted invocation used; with no matching checkpoint on disk it
+// silently falls back to a cold start.
+func WithResume(resume bool) RunnerOption { return func(r *Runner) { r.resume = resume } }
 
 // WithProgress streams sweep progress: fn is called once per completed
 // Sweep cell, serialized, from worker goroutines. Completion order is
@@ -83,11 +103,13 @@ func (r *Runner) options(scale float64, maxCycles int) figures.Options {
 		maxCycles = r.maxCycles
 	}
 	return figures.Options{
-		Scale:       scale,
-		MaxCycles:   maxCycles,
-		Parallelism: r.workers,
-		WarmupInsts: r.warmup,
-		CacheDir:    r.cacheDir,
+		Scale:           scale,
+		MaxCycles:       maxCycles,
+		Parallelism:     r.workers,
+		WarmupInsts:     r.warmup,
+		CacheDir:        r.cacheDir,
+		CheckpointEvery: r.ckptEvery,
+		Resume:          r.resume,
 	}
 }
 
