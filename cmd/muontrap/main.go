@@ -1,9 +1,12 @@
 // Command muontrap runs one benchmark kernel under one protection scheme
-// and prints timing plus microarchitectural statistics.
+// and prints timing plus microarchitectural statistics. With -server it
+// executes the run remotely on a muontrapd experiment daemon instead of
+// simulating in-process (see docs/API.md).
 //
 // Usage:
 //
 //	muontrap -workload povray -scheme muontrap -scale 0.2
+//	muontrap -workload canneal -server http://localhost:7077
 //	muontrap -list
 package main
 
@@ -16,15 +19,17 @@ import (
 	"sort"
 
 	"repro/muontrap"
+	"repro/muontrap/client"
 )
 
 func main() {
 	var (
-		work  = flag.String("workload", "povray", "benchmark name (see -list)")
-		sch   = flag.String("scheme", "muontrap", "protection scheme (see -list)")
-		scale = flag.Float64("scale", 0.15, "workload trip-count multiplier")
-		list  = flag.Bool("list", false, "list workloads and schemes, then exit")
-		all   = flag.Bool("counters", false, "dump every statistic counter")
+		work   = flag.String("workload", "povray", "benchmark name (see -list)")
+		sch    = flag.String("scheme", "muontrap", "protection scheme (see -list)")
+		scale  = flag.Float64("scale", 0.15, "workload trip-count multiplier")
+		list   = flag.Bool("list", false, "list workloads and schemes, then exit")
+		all    = flag.Bool("counters", false, "dump every statistic counter")
+		server = flag.String("server", "", "muontrapd base URL; run remotely instead of simulating in-process")
 	)
 	flag.Parse()
 
@@ -56,10 +61,47 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	r := muontrap.NewRunner()
-	res, err := r.Run(ctx, muontrap.RunSpec{Workload: workload, Scheme: scheme, Scale: *scale})
-	if err != nil {
-		fatal(err)
+	var res muontrap.RunResult
+	if *server != "" {
+		// Remote execution: a single run is a 1×1 sweep on the daemon.
+		// (Sweeps memoize; rerun with a fresh daemon cache to re-simulate.)
+		c := client.New(*server)
+		job, err := c.Submit(ctx, muontrap.Sweep{
+			Workloads: []muontrap.Workload{workload},
+			Schemes:   []muontrap.Scheme{scheme},
+			Scales:    []float64{*scale},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		final, err := c.Stream(ctx, job.ID, nil)
+		if err != nil {
+			if ctx.Err() != nil {
+				// Mirror the local Ctrl-C semantics: abandoning the stream
+				// must not leave the daemon simulating on our behalf.
+				_, _ = c.Cancel(context.Background(), job.ID)
+				fatal(ctx.Err())
+			}
+			fatal(err)
+		}
+		if final.State != muontrap.JobDone {
+			fatal(fmt.Errorf("remote job %s ended %s: %s", final.ID, final.State, final.Error))
+		}
+		sr, err := c.Result(ctx, job.ID)
+		if err != nil {
+			fatal(err)
+		}
+		if len(sr.Runs) == 0 {
+			fatal(fmt.Errorf("daemon returned an empty result for job %s", job.ID))
+		}
+		res = sr.Runs[0]
+	} else {
+		r := muontrap.NewRunner()
+		var err error
+		res, err = r.Run(ctx, muontrap.RunSpec{Workload: workload, Scheme: scheme, Scale: *scale})
+		if err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Printf("workload      %s\n", res.Workload)
 	fmt.Printf("scheme        %s\n", res.Scheme)

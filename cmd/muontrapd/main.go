@@ -1,0 +1,128 @@
+// Command muontrapd serves the MuonTrap experiment service over HTTP:
+// declarative sweep submission, per-cell progress streaming over SSE,
+// cancellation, content-keyed result fetch, and crash-resume of
+// interrupted jobs from their latest mid-run checkpoint. The wire format
+// is documented in docs/API.md; muontrap/client is the Go client.
+//
+// Usage:
+//
+//	muontrapd -addr :7077
+//	muontrapd -addr :7077 -checkpoint-every 5000000 -auto-resume
+//	muontrapd -cache /shared/muontrap -workers 8 -max-jobs 2
+//
+// With a cache directory (the default uses the user cache dir), results
+// are content-keyed on disk — resubmitting an identical sweep against
+// the same simulator binary is answered without simulating — and the job
+// journal survives restarts: jobs the previous daemon left unfinished
+// surface as "interrupted". With -checkpoint-every N, their runs also
+// persist mid-run checkpoints, so resuming (POST /v1/jobs/{id}/resume,
+// or automatically with -auto-resume) restores each unfinished cell from
+// its latest checkpoint instead of simulating from cold.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":7077", "listen address")
+		cache      = flag.String("cache", "auto", `service/cache root directory; "auto" uses the user cache dir, "off" disables persistence (no restart-resume)`)
+		workers    = flag.Int("workers", 0, "concurrent simulations per sweep (0 = GOMAXPROCS)")
+		maxJobs    = flag.Int("max-jobs", 1, "concurrently executing sweeps; further submissions queue")
+		scale      = flag.Float64("scale", 0, "default workload trip-count multiplier for sweeps that omit scales (0 = library default)")
+		maxCycles  = flag.Int("max-cycles", 0, "default per-run cycle bound (0 = library default)")
+		warmup     = flag.Int("warmup", 0, "instructions to fast-forward per workload before the measured region")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "drain + snapshot each run every N simulated cycles for crash-resume (0 = off)")
+		autoResume = flag.Bool("auto-resume", false, "on startup, re-queue every interrupted journaled job with checkpoint resume")
+	)
+	flag.Parse()
+	if *ckptEvery < 0 {
+		fatal(errors.New("-checkpoint-every must be a positive cycle count (or 0 to disable)"))
+	}
+
+	dir := ""
+	switch *cache {
+	case "off", "":
+	case "auto":
+		if base, err := os.UserCacheDir(); err == nil {
+			dir = filepath.Join(base, "muontrapd")
+		}
+	default:
+		dir = *cache
+	}
+	if *autoResume && dir == "" {
+		fatal(errors.New("-auto-resume needs a cache directory (-cache) holding the journal and checkpoints"))
+	}
+
+	srv, err := service.New(service.Config{
+		Dir:             dir,
+		Workers:         *workers,
+		MaxJobs:         *maxJobs,
+		Scale:           *scale,
+		MaxCycles:       *maxCycles,
+		Warmup:          *warmup,
+		CheckpointEvery: *ckptEvery,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if interrupted := srv.InterruptedJobs(); len(interrupted) > 0 {
+		fmt.Printf("muontrapd: %d interrupted job(s) in journal\n", len(interrupted))
+		if *autoResume {
+			for _, id := range interrupted {
+				if _, err := srv.ResumeJob(id); err != nil {
+					fmt.Fprintf(os.Stderr, "muontrapd: resuming %s: %v\n", id, err)
+				} else {
+					fmt.Printf("muontrapd: resumed %s\n", id)
+				}
+			}
+		}
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		// Stop accepting, then abort in-flight jobs. Their journal entries
+		// keep the running state, so the next daemon sees them as
+		// interrupted and can resume them from their checkpoints.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+		srv.Close()
+	}()
+
+	fmt.Printf("muontrapd: listening on %s", *addr)
+	if dir != "" {
+		fmt.Printf(" (cache %s)", dir)
+	}
+	fmt.Println()
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	// ListenAndServe returns ErrServerClosed as soon as Shutdown begins;
+	// wait for the connection drain and job unwind to finish rather than
+	// exiting from under them (which would be a kill, not a shutdown).
+	<-shutdownDone
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

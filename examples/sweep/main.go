@@ -1,25 +1,106 @@
-// Sweep: reproduce the shape of the paper's Figure 5 on two contrasting
-// Parsec kernels — streamcluster collapses with a tiny filter cache (its
-// in-flight speculative lines exceed the capacity, so lines are evicted
-// before commit and must be refetched), while swaptions barely notices.
+// Sweep: drive an experiment matrix remotely, through the muontrapd
+// HTTP service, instead of simulating in-process.
+//
+// The demo reproduces the core contrast of the paper's Figure 5 on two
+// Parsec kernels — streamcluster is filter-cache-sensitive while
+// swaptions barely notices MuonTrap at all — but the point here is the
+// transport: the sweep is submitted as JSON, progress arrives per cell
+// over SSE, the declaration-ordered result comes back by job ID, and the
+// same result is then re-fetched by its content cache key (the handle a
+// completely separate process could use).
+//
+// By default the example hosts a daemon in-process on a loopback port so
+// it is self-contained; point -server at a running `muontrapd` to drive
+// a real remote daemon with the exact same client code.
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 
+	"repro/internal/service"
 	"repro/muontrap"
+	"repro/muontrap/client"
 )
 
 func main() {
-	r := muontrap.NewRunner(muontrap.WithScale(0.08))
+	server := flag.String("server", "", "muontrapd base URL (default: self-host an in-process daemon)")
+	flag.Parse()
+	base := *server
+	if base == "" {
+		base = selfHost()
+	}
 
-	t, err := r.Figure(context.Background(), muontrap.Fig5)
+	c := client.New(base)
+	ctx := context.Background()
+
+	sweep := muontrap.Sweep{
+		Workloads: []muontrap.Workload{"streamcluster", "swaptions"},
+		Schemes:   []muontrap.Scheme{"insecure", "muontrap"},
+		Scales:    []float64{0.08},
+	}
+
+	// The primitive verbs, spelled out: submit (which hands back the job
+	// identity, including its content cache key), stream per-cell
+	// progress until the terminal event, then fetch the declaration-
+	// ordered result. client.Sweep composes exactly these three.
+	fmt.Printf("submitting 4-cell sweep to %s\n", base)
+	job, err := c.Submit(ctx, sweep)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(t.String())
-	fmt.Println("\nExpected shape (paper Figure 5): streamcluster/freqmine blow up below")
-	fmt.Println("256B; by 2KiB every kernel runs at least as fast as the insecure baseline.")
+	final, err := c.Stream(ctx, job.ID, func(p muontrap.Progress) {
+		fmt.Printf("  [%d/%d] %-14s %-10s %12d cycles\n",
+			p.Done, p.Total, p.Run.Workload, p.Run.Scheme, p.Run.Cycles)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if final.State != muontrap.JobDone {
+		log.Fatalf("job ended %s: %s", final.State, final.Error)
+	}
+	res, err := c.Result(ctx, job.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nnormalised execution time (muontrap / insecure):")
+	for _, w := range sweep.Workloads {
+		ins, _ := res.Find(w, "insecure")
+		mt, _ := res.Find(w, "muontrap")
+		if ins.Cycles > 0 {
+			fmt.Printf("  %-14s %.3f\n", w, float64(mt.Cycles)/float64(ins.Cycles))
+		}
+	}
+
+	// The result is content-keyed: any process that knows the key (or can
+	// recompute it) retrieves it without a job ID — this is what lets a
+	// fleet of machines share one result store.
+	again, err := c.ResultByKey(ctx, job.CacheKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nre-fetched by cache key %s…: %d runs, no re-simulation\n", job.CacheKey[:16], len(again.Runs))
+	fmt.Println("\nExpected shape (the paper's Figure 5 contrast): streamcluster's in-flight")
+	fmt.Println("speculative lines stress the filter cache, so it pays noticeably more under")
+	fmt.Println("MuonTrap than swaptions, which barely notices the filter at all.")
+}
+
+// selfHost starts an ephemeral (cache-less) service instance on a
+// loopback port and returns its base URL.
+func selfHost() string {
+	srv, err := service.New(service.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = http.Serve(ln, srv) }()
+	return "http://" + ln.Addr().String()
 }

@@ -1,0 +1,6 @@
+// Package docs holds the repository's documentation gates: a test-run
+// link and anchor checker over the documented surface (README.md,
+// ARCHITECTURE.md, PERF.md, docs/). Dead relative links or missing
+// heading anchors fail `go test ./internal/docs` — and therefore CI —
+// so the docs cannot silently rot as files move.
+package docs

@@ -41,6 +41,12 @@ var binFingerprint = sync.OnceValue(func() string {
 	return hex.EncodeToString(h.Sum(nil))[:16]
 })
 
+// BinFingerprint returns the truncated SHA-256 of the running executable
+// — the same fingerprint every disk-cache key embeds. The experiment
+// service folds it into its sweep cache keys so a rebuilt simulator
+// (which may change timing) never serves a stale remote result.
+func BinFingerprint() string { return binFingerprint() }
+
 // diskKey renders a runKey as the canonical string the disk cache hashes.
 // Every figure input that can change a run's outcome is present: the
 // workload/scheme/scale/geometry tuple, the warm-up depth and snapshot

@@ -1,0 +1,31 @@
+// Package service is the HTTP/JSON experiment daemon behind
+// cmd/muontrapd: it turns the muontrap.Runner library into a network
+// service that non-Go clients can drive with plain HTTP.
+//
+// A Server accepts declarative muontrap.Sweep submissions, validates
+// their identifiers up front (400 + sentinel-coded errors, never a
+// queued-then-failed job), and executes them on a bounded pool of
+// Runners — MaxJobs concurrent sweeps, Workers simulations each. Every
+// completed matrix cell streams to subscribers as a Server-Sent Event;
+// DELETE threads context cancellation all the way into the simulator's
+// cycle loop.
+//
+// Results are content-keyed: a job's cache key hashes the resolved
+// matrix, every option that can change the outcome, and the simulator
+// build fingerprint. Identical submissions are served from the stored
+// result without simulating, and GET /v1/results/{key} fetches a result
+// with no job ID at all.
+//
+// Durability composes with the PR 4 checkpoint machinery rather than
+// duplicating it. The server journals job lifecycle under Dir/service;
+// the runners persist mid-run checkpoints into the same Dir at the
+// configured cadence. Kill the daemon mid-sweep and restart it: the
+// journal surfaces the job as "interrupted", and resuming it re-enters
+// the queue with muontrap.WithResume, so each unfinished cell restores
+// its latest mid-run checkpoint — keyed by run identity and binary
+// fingerprint, not by host or process — and finishes bit-identical to an
+// uninterrupted run. The e2e suite pins exactly that.
+//
+// The wire format is documented in docs/API.md; muontrap/client is the
+// Go client.
+package service

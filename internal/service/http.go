@@ -1,0 +1,292 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/muontrap"
+)
+
+// The HTTP surface. Routes (all JSON; full reference in docs/API.md):
+//
+//	POST   /v1/jobs              submit a sweep            → 202 Job (200 if served from the result store)
+//	GET    /v1/jobs              list jobs                 → 200 {"jobs": [Job]}
+//	GET    /v1/jobs/{id}         job status                → 200 Job
+//	GET    /v1/jobs/{id}/stream  progress over SSE
+//	GET    /v1/jobs/{id}/result  completed SweepResult     → 200 | 409 while not done
+//	DELETE /v1/jobs/{id}         cancel                    → 202 Job
+//	POST   /v1/jobs/{id}/resume  re-queue with resume      → 202 Job
+//	GET    /v1/results/{key}     SweepResult by cache key  → 200 | 404
+//	GET    /v1/catalog           workloads/schemes/figures → 200
+//	GET    /v1/healthz           liveness                  → 200
+
+// apiError is the JSON error envelope. Code is machine-readable and maps
+// 1:1 onto the muontrap.ErrUnknown* sentinels (see errorCode); the
+// client package performs the reverse mapping so errors.Is works across
+// the wire.
+type apiError struct {
+	Code  string `json:"code"`
+	Error string `json:"error"`
+}
+
+// errorCode maps an error to its wire code and HTTP status.
+func errorCode(err error) (string, int) {
+	switch {
+	case errors.Is(err, muontrap.ErrUnknownWorkload):
+		return "unknown_workload", http.StatusBadRequest
+	case errors.Is(err, muontrap.ErrUnknownScheme):
+		return "unknown_scheme", http.StatusBadRequest
+	case errors.Is(err, muontrap.ErrUnknownFigure):
+		return "unknown_figure", http.StatusBadRequest
+	case errors.Is(err, muontrap.ErrUnknownJob):
+		return "unknown_job", http.StatusNotFound
+	}
+	var conflict *conflictError
+	if errors.As(err, &conflict) {
+		return "conflict", http.StatusConflict
+	}
+	return "bad_request", http.StatusBadRequest
+}
+
+// ServeHTTP makes the Server mountable directly into any http.Server.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// routes wires the method-qualified route table.
+func (s *Server) routes() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/jobs/{id}/resume", s.handleResume)
+	mux.HandleFunc("GET /v1/results/{key}", s.handleResultByKey)
+	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux = mux
+}
+
+// writeJSON emits one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	_ = enc.Encode(v)
+}
+
+// writeError emits the JSON error envelope for err.
+func writeError(w http.ResponseWriter, err error) {
+	code, status := errorCode(err)
+	writeJSON(w, status, apiError{Code: code, Error: err.Error()})
+}
+
+// submitRequest is the POST /v1/jobs body.
+type submitRequest struct {
+	Sweep muontrap.Sweep `json:"sweep"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("decoding submit request: %w", err))
+		return
+	}
+	rec, cached, err := s.submit(req.Sweep)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	status := http.StatusAccepted
+	if cached {
+		// Served whole from the content-keyed result store: the job was
+		// born done, nothing was queued.
+		status = http.StatusOK
+	}
+	writeJSON(w, status, rec)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	jobs := make([]muontrap.Job, 0, len(ids))
+	for _, id := range ids {
+		if j, err := s.lookup(id); err == nil {
+			jobs = append(jobs, j.snapshot())
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string][]muontrap.Job{"jobs": jobs})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	snap := j.snapshot()
+	if snap.State != muontrap.JobDone {
+		writeError(w, &conflictError{fmt.Sprintf("job %s is %s; the result exists only once it is done", snap.ID, snap.State)})
+		return
+	}
+	res, ok := s.doneResult(j)
+	if !ok {
+		writeError(w, &conflictError{fmt.Sprintf("job result for cache key %s is no longer stored", snap.CacheKey)})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	rec, err := s.cancelJob(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, rec)
+}
+
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	rec, err := s.ResumeJob(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, rec)
+}
+
+func (s *Server) handleResultByKey(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if res, ok := s.loadResult(key); ok {
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
+	// Not on disk — maybe completed in-memory on an ephemeral server.
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	for _, id := range ids {
+		j, err := s.lookup(id)
+		if err != nil {
+			continue
+		}
+		j.mu.Lock()
+		match := j.rec.CacheKey == key && j.rec.State == muontrap.JobDone && j.result != nil
+		res := j.result
+		j.mu.Unlock()
+		if match {
+			writeJSON(w, http.StatusOK, res)
+			return
+		}
+	}
+	writeJSON(w, http.StatusNotFound, apiError{Code: "unknown_result", Error: fmt.Sprintf("no stored result for cache key %q", key)})
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, muontrap.Catalog{
+		Workloads: muontrap.Workloads(),
+		Schemes:   muontrap.Schemes(),
+		SchemeDoc: muontrap.SchemeDescriptions(),
+		Figures:   muontrap.FigureIDs(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "jobs": n})
+}
+
+// handleStream serves a job's life over Server-Sent Events:
+//
+//	event: job        one snapshot, immediately on connect
+//	event: progress   one muontrap.Progress per completed cell
+//	event: <state>    terminal Job snapshot (done/failed/cancelled/interrupted)
+//
+// Progress frames published before the subscriber attached are replayed
+// first, so every subscriber — including one connecting after the job
+// finished — observes the complete per-cell sequence. A consumer slower
+// than the simulation may drop live frames it would have replayed anyway
+// (the channel never stalls the pool); the terminal event is always
+// delivered.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, fmt.Errorf("streaming unsupported by this connection"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	ch, replay, snap := j.subscribe()
+	defer j.unsubscribe(ch)
+
+	if snap.State == muontrap.JobDone && len(replay) == 0 {
+		// Done jobs release their retained frame history (and born-done
+		// cache hits never had one); synthesize the replay from the
+		// result, in declaration order.
+		if res, ok := s.doneResult(j); ok {
+			for i, run := range res.Runs {
+				data, err := json.Marshal(muontrap.Progress{Done: i + 1, Total: len(res.Runs), Run: run})
+				if err == nil {
+					replay = append(replay, streamEvent{name: "progress", data: data})
+				}
+			}
+		}
+	}
+
+	writeSSE(w, "job", snap)
+	for _, ev := range replay {
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data)
+	}
+	flusher.Flush()
+
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				// Publisher closed the stream: the job reached a terminal
+				// state. Name the event after it.
+				final := j.snapshot()
+				writeSSE(w, string(final.State), final)
+				flusher.Flush()
+				return
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data)
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE emits one SSE frame with a JSON-marshalled payload.
+func writeSSE(w http.ResponseWriter, event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+}

@@ -1,0 +1,786 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/figures"
+	"repro/muontrap"
+)
+
+// Config sizes the experiment daemon. The zero value serves: an
+// ephemeral (journal-less, cache-less) server at the library defaults.
+type Config struct {
+	// Dir is the service root: the figure result/snapshot cache the
+	// runners use (it is passed to muontrap.WithCacheDir verbatim) plus
+	// the service's own state under Dir/service — the job journal and the
+	// completed sweep results keyed by cache key. Empty disables all
+	// persistence: jobs die with the process and restart-resume is
+	// unavailable.
+	Dir string
+	// Workers caps concurrent simulations per sweep (0 = GOMAXPROCS).
+	Workers int
+	// MaxJobs caps concurrently executing sweeps; further submissions
+	// queue. Zero means 1: one sweep at a time, each using the full
+	// worker pool.
+	MaxJobs int
+	// Scale and MaxCycles are the defaults applied when a submitted Sweep
+	// leaves Scales / MaxCycles empty, exactly like the corresponding
+	// Runner options (0 = library default).
+	Scale     float64
+	MaxCycles int
+	// Warmup forwards muontrap.WithWarmup to every job's runner.
+	Warmup int
+	// CheckpointEvery forwards muontrap.WithCheckpointEvery: with Dir
+	// set, every run drains and persists a mid-run checkpoint at this
+	// cycle cadence, which is what makes an interrupted job resumable
+	// from the middle of a simulation after a daemon restart. The cadence
+	// is part of run identity, so it must match across restarts — the
+	// journal records it and Resume refuses a mismatch.
+	CheckpointEvery int
+}
+
+// journalVersion versions the job journal entry layout.
+const journalVersion = 1
+
+// jobEntry is the JSON layout of one journaled job: the public record
+// plus every config field that is part of run identity (folded into the
+// job's cache key), so a restarted daemon detects that it is configured
+// incompatibly with the jobs it is about to resume — resuming under
+// changed flags would store a differently-configured result under the
+// journaled cache key, silently poisoning the content-keyed store.
+type jobEntry struct {
+	Version         int          `json:"version"`
+	Job             muontrap.Job `json:"job"`
+	CheckpointEvery int          `json:"checkpoint_every"`
+	Warmup          int          `json:"warmup"`
+	Scale           float64      `json:"scale"`
+	MaxCycles       int          `json:"max_cycles"`
+}
+
+// job is one submitted sweep and its live scheduling state.
+type job struct {
+	mu     sync.Mutex
+	rec    muontrap.Job
+	resume bool // run with WithResume (set by Resume after an interruption)
+	// incompat, when non-empty, names the identity-flag mismatch between
+	// this journaled job and the daemon's current configuration; resume
+	// is refused (409) so the differently-configured attempt cannot
+	// store its result under the job's old cache key.
+	incompat string
+
+	cancel    context.CancelFunc
+	cancelled bool // DELETE requested (distinguishes user cancel from server death)
+
+	subs map[chan streamEvent]struct{}
+	// history retains every published progress frame for the current
+	// attempt, so a subscriber attaching at any point — even after the
+	// job finished — replays the complete per-cell sequence instead of
+	// only the frames published after it connected.
+	history []streamEvent
+	result  *muontrap.SweepResult
+}
+
+// streamEvent is one SSE frame: an event name and its JSON payload.
+type streamEvent struct {
+	name string
+	data []byte
+}
+
+// Server is the experiment service: it accepts declarative sweep
+// submissions over HTTP, executes them on a bounded pool of
+// muontrap.Runners, streams per-cell progress over SSE, journals job
+// lifecycle under Config.Dir so a killed daemon's jobs are resumable,
+// and serves completed results by job ID or content cache key. It
+// implements http.Handler.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	ctx  context.Context // cancelled by Close; job contexts derive from it
+	stop context.CancelFunc
+	wg   sync.WaitGroup
+	sem  chan struct{}
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string // submission order, for deterministic listing
+}
+
+// New builds a Server and, when cfg.Dir is set, loads the job journal:
+// jobs the previous process left queued or running are surfaced as
+// "interrupted" (resumable), completed jobs keep serving their results.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 1
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:  cfg,
+		ctx:  ctx,
+		stop: stop,
+		sem:  make(chan struct{}, cfg.MaxJobs),
+		jobs: make(map[string]*job),
+	}
+	s.routes()
+	if err := s.loadJournal(); err != nil {
+		stop()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Close cancels every in-flight job context and waits for job goroutines
+// to unwind. It deliberately does NOT journal a terminal state for
+// running jobs: like a kill, it leaves them recorded as queued/running so
+// the next daemon sees them as interrupted and can resume them.
+func (s *Server) Close() {
+	s.stop()
+	s.wg.Wait()
+}
+
+// InterruptedJobs lists the IDs of jobs loaded from the journal in an
+// interrupted state, in journal order. The daemon's -auto-resume flag
+// feeds these straight back into the queue.
+func (s *Server) InterruptedJobs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var ids []string
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		if j.rec.State == muontrap.JobInterrupted {
+			ids = append(ids, id)
+		}
+		j.mu.Unlock()
+	}
+	return ids
+}
+
+// ResumeJob re-enters a terminal, non-done job into the queue with the
+// checkpoint-resume path enabled. It is the engine behind POST
+// /v1/jobs/{id}/resume (and the daemon's -auto-resume).
+func (s *Server) ResumeJob(id string) (muontrap.Job, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return muontrap.Job{}, fmt.Errorf("%w %q", muontrap.ErrUnknownJob, id)
+	}
+	j.mu.Lock()
+	switch j.rec.State {
+	case muontrap.JobInterrupted, muontrap.JobCancelled, muontrap.JobFailed:
+	default:
+		state := j.rec.State
+		j.mu.Unlock()
+		return muontrap.Job{}, &conflictError{fmt.Sprintf(
+			"job %s is %s; only interrupted, cancelled or failed jobs can be resumed", id, state)}
+	}
+	if j.incompat != "" {
+		msg := j.incompat
+		j.mu.Unlock()
+		return muontrap.Job{}, &conflictError{msg}
+	}
+	j.rec.State = muontrap.JobQueued
+	j.rec.Error = ""
+	j.rec.FinishedAt = ""
+	j.rec.Done = 0
+	j.resume = true
+	j.cancelled = false
+	j.subs = make(map[chan streamEvent]struct{})
+	j.history = nil // the resumed attempt streams its own full sequence
+	rec := j.rec
+	j.mu.Unlock()
+	s.persist(j)
+	s.start(j)
+	return rec, nil
+}
+
+// conflictError marks a request that names a real resource in the wrong
+// state (HTTP 409).
+type conflictError struct{ msg string }
+
+func (e *conflictError) Error() string { return e.msg }
+
+// submit validates a sweep, assigns it a job ID and cache key, and either
+// completes it instantly from the stored result or queues it. The bool
+// reports whether the result was served from the content cache.
+func (s *Server) submit(sw muontrap.Sweep) (muontrap.Job, bool, error) {
+	if err := validateSweep(sw); err != nil {
+		return muontrap.Job{}, false, err
+	}
+	key := s.cacheKey(sw)
+	total := len(sw.Workloads) * len(sw.Schemes) * len(s.effectiveScales(sw))
+	j := &job{
+		rec: muontrap.Job{
+			ID:          newJobID(),
+			State:       muontrap.JobQueued,
+			Sweep:       sw,
+			CacheKey:    key,
+			Total:       total,
+			SubmittedAt: time.Now().UTC().Format(time.RFC3339),
+		},
+		subs: make(map[chan streamEvent]struct{}),
+	}
+
+	// A stored result for this exact matrix + options + binary means the
+	// job is already done: content keys make resubmission free.
+	if res, ok := s.loadResult(key); ok {
+		j.rec.State = muontrap.JobDone
+		j.rec.Done = total
+		j.rec.FinishedAt = j.rec.SubmittedAt
+		j.result = res
+		s.register(j)
+		s.persist(j)
+		return j.snapshot(), true, nil
+	}
+
+	s.register(j)
+	s.persist(j)
+	s.start(j)
+	return j.snapshot(), false, nil
+}
+
+// register adds a job to the in-memory table in submission order.
+func (s *Server) register(j *job) {
+	s.mu.Lock()
+	s.jobs[j.rec.ID] = j
+	s.order = append(s.order, j.rec.ID)
+	s.mu.Unlock()
+}
+
+// start launches the job goroutine: wait for a pool slot, run the sweep,
+// record the outcome. Server death (s.ctx) and job cancellation share
+// one derived context, so both abort the simulation inside its cycle
+// loop; the finish path distinguishes them.
+func (s *Server) start(j *job) {
+	ctx, cancel := context.WithCancel(s.ctx)
+	j.mu.Lock()
+	j.cancel = cancel
+	if j.cancelled {
+		// A DELETE raced ahead of this attempt getting its cancel func
+		// (or hit the spent func of a previous attempt). Honor it now:
+		// pre-cancel the fresh context so the goroutine unwinds into the
+		// cancelled state instead of silently running to completion.
+		cancel()
+	}
+	resume := j.resume
+	sw := j.rec.Sweep
+	j.mu.Unlock()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer cancel()
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-ctx.Done():
+			s.finish(j, nil, ctx.Err())
+			return
+		}
+		if !j.setRunning() {
+			return
+		}
+		s.persist(j)
+
+		r := muontrap.NewRunner(
+			muontrap.WithWorkers(s.cfg.Workers),
+			muontrap.WithCacheDir(s.cfg.Dir),
+			muontrap.WithWarmup(s.cfg.Warmup),
+			muontrap.WithCheckpointEvery(s.cfg.CheckpointEvery),
+			muontrap.WithScale(s.cfg.Scale),
+			muontrap.WithMaxCycles(s.cfg.MaxCycles),
+			muontrap.WithResume(resume),
+			muontrap.WithProgress(j.publishProgress),
+		)
+		res, err := r.Sweep(ctx, sw)
+		s.finish(j, res, err)
+	}()
+}
+
+// setRunning transitions queued → running; it refuses (false) if the job
+// reached a terminal state first (e.g. cancelled while queued).
+func (j *job) setRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.rec.State != muontrap.JobQueued {
+		return false
+	}
+	j.rec.State = muontrap.JobRunning
+	return true
+}
+
+// finish records a sweep outcome and wakes every stream subscriber with
+// the terminal event. The one deliberately un-journaled transition is
+// interruption by server shutdown: that job keeps its journaled
+// queued/running state, exactly as if the process had been SIGKILLed,
+// so the next daemon marks it interrupted and can resume it. Every real
+// outcome — done, failed, or a user cancellation that unwound while the
+// daemon was going down — is journaled as such, so a restart never
+// resurrects work that genuinely ended.
+func (s *Server) finish(j *job, res *muontrap.SweepResult, err error) {
+	serverDying := s.ctx.Err() != nil
+
+	j.mu.Lock()
+	switch {
+	case err == nil:
+		j.rec.State = muontrap.JobDone
+		j.rec.Done = j.rec.Total
+		j.result = res
+		// The per-cell frame history (every counter map, once per cell)
+		// has done its job: late subscribers to a done job get their
+		// replay synthesized from the result instead, so a long-lived
+		// daemon does not hold every sweep's progress frames forever.
+		j.history = nil
+	case j.cancelled:
+		j.rec.State = muontrap.JobCancelled
+	case serverDying:
+		j.rec.State = muontrap.JobInterrupted
+	default:
+		j.rec.State = muontrap.JobFailed
+		j.rec.Error = err.Error()
+	}
+	j.rec.FinishedAt = time.Now().UTC().Format(time.RFC3339)
+	state := j.rec.State
+	for ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+	key := j.rec.CacheKey
+	j.mu.Unlock()
+
+	if state == muontrap.JobDone {
+		if s.storeResult(key, res) {
+			// Durably stored: serve future fetches from disk and let the
+			// in-memory copy go. (On a store failure — or an ephemeral,
+			// cache-less daemon — the memory copy stays authoritative.)
+			j.mu.Lock()
+			j.result = nil
+			j.mu.Unlock()
+		}
+	}
+	if state != muontrap.JobInterrupted {
+		s.persist(j)
+	}
+}
+
+// cancelJob aborts a queued or running job. The state flips to cancelled
+// when the simulation has actually unwound (promptly: the cycle loop
+// polls its context every 64 simulated cycles), so the returned snapshot
+// may still say running.
+func (s *Server) cancelJob(id string) (muontrap.Job, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return muontrap.Job{}, fmt.Errorf("%w %q", muontrap.ErrUnknownJob, id)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.rec.State {
+	case muontrap.JobQueued, muontrap.JobRunning:
+		// The flag alone suffices even when j.cancel is nil or stale
+		// (DELETE racing the attempt's start): start() re-checks it
+		// under this mutex and pre-cancels the fresh context.
+		j.cancelled = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	case muontrap.JobCancelled: // idempotent
+	default:
+		return muontrap.Job{}, &conflictError{fmt.Sprintf("job %s is %s and cannot be cancelled", id, j.rec.State)}
+	}
+	return j.rec, nil
+}
+
+// publishProgress mirrors one completed cell to the job record, the
+// replay history, and every live stream subscriber. Sends never block
+// the worker pool: a slow subscriber drops live frames (it already holds
+// the history up to its attach point; the terminal event and the result
+// are delivered through other paths and never dropped).
+func (j *job) publishProgress(p muontrap.Progress) {
+	data, err := json.Marshal(p)
+	if err != nil {
+		return
+	}
+	ev := streamEvent{name: "progress", data: data}
+	j.mu.Lock()
+	j.rec.Done = p.Done
+	j.rec.Total = p.Total
+	j.history = append(j.history, ev)
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+	j.mu.Unlock()
+}
+
+// subscribe registers a stream listener and returns it with the current
+// job snapshot and the progress frames published before it attached
+// (replayed first, so every subscriber sees the complete sequence). For
+// a job already in a terminal state the channel comes back closed, so
+// the handler falls straight through to the terminal event after the
+// replay.
+func (j *job) subscribe() (chan streamEvent, []streamEvent, muontrap.Job) {
+	ch := make(chan streamEvent, 256)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	replay := append([]streamEvent(nil), j.history...)
+	if j.subs == nil || j.rec.State.Terminal() {
+		close(ch)
+		return ch, replay, j.rec
+	}
+	j.subs[ch] = struct{}{}
+	return ch, replay, j.rec
+}
+
+// unsubscribe detaches a stream listener (client went away mid-run).
+func (j *job) unsubscribe(ch chan streamEvent) {
+	j.mu.Lock()
+	if _, ok := j.subs[ch]; ok {
+		delete(j.subs, ch)
+		close(ch)
+	}
+	j.mu.Unlock()
+}
+
+// snapshot returns a copy of the public record.
+func (j *job) snapshot() muontrap.Job {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rec
+}
+
+// doneResult returns a done job's result — the in-memory copy when the
+// job holds one (ephemeral daemon, or the store write failed), otherwise
+// the content-keyed store.
+func (s *Server) doneResult(j *job) (*muontrap.SweepResult, bool) {
+	j.mu.Lock()
+	res := j.result
+	key := j.rec.CacheKey
+	done := j.rec.State == muontrap.JobDone
+	j.mu.Unlock()
+	if !done {
+		return nil, false
+	}
+	if res != nil {
+		return res, true
+	}
+	return s.loadResult(key)
+}
+
+// lookup finds a job by ID.
+func (s *Server) lookup(id string) (*job, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w %q", muontrap.ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// validateSweep applies the same up-front identifier validation
+// Runner.Sweep performs, so a bad matrix is rejected at submission with
+// the sentinel-coded error rather than failing the job later.
+func validateSweep(sw muontrap.Sweep) error {
+	if len(sw.Workloads) == 0 {
+		return fmt.Errorf("sweep declares no workloads")
+	}
+	if len(sw.Schemes) == 0 {
+		return fmt.Errorf("sweep declares no schemes")
+	}
+	for _, w := range sw.Workloads {
+		if _, err := muontrap.ParseWorkload(string(w)); err != nil {
+			return err
+		}
+	}
+	for _, sch := range sw.Schemes {
+		if sch == "" {
+			continue // empty means the insecure baseline, as everywhere
+		}
+		if _, err := muontrap.ParseScheme(string(sch)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// effectiveScales resolves the sweep's scales exactly as the job's
+// runner will: an empty list means one run at the configured default.
+func (s *Server) effectiveScales(sw muontrap.Sweep) []float64 {
+	if len(sw.Scales) > 0 {
+		return sw.Scales
+	}
+	scale := s.cfg.Scale
+	if scale <= 0 {
+		scale = figures.DefaultOptions().Scale
+	}
+	return []float64{scale}
+}
+
+// cacheKey derives the content key of a sweep's result: the resolved
+// matrix in declaration order (order is part of the result — SweepResult
+// is declaration-ordered), every option that can change an outcome
+// (scales, cycle bound, warm-up depth, checkpoint cadence), and the
+// simulator build fingerprint. Worker count is deliberately absent: the
+// repo's determinism tests pin that parallelism never changes results.
+func (s *Server) cacheKey(sw muontrap.Sweep) string {
+	maxCycles := sw.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = s.cfg.MaxCycles
+	}
+	if maxCycles <= 0 {
+		maxCycles = figures.DefaultOptions().MaxCycles
+	}
+	scales := make([]string, 0, len(sw.Scales))
+	for _, sc := range s.effectiveScales(sw) {
+		scales = append(scales, strconv.FormatFloat(sc, 'g', -1, 64))
+	}
+	wl := make([]string, len(sw.Workloads))
+	for i, w := range sw.Workloads {
+		wl[i] = string(w)
+	}
+	sch := make([]string, len(sw.Schemes))
+	for i, x := range sw.Schemes {
+		if x == "" {
+			// The empty scheme is the documented alias for the insecure
+			// baseline everywhere it is accepted; normalize before
+			// hashing so the alias and the name share one stored result.
+			x = muontrap.SchemeInsecure
+		}
+		sch[i] = string(x)
+	}
+	canon := fmt.Sprintf("sweep|v%d|bin=%s|wl=%s|sch=%s|scales=%s|max=%d|warm=%d|every=%d",
+		journalVersion, figures.BinFingerprint(),
+		strings.Join(wl, ","), strings.Join(sch, ","), strings.Join(scales, ","),
+		maxCycles, s.cfg.Warmup, s.cfg.CheckpointEvery)
+	sum := sha256.Sum256([]byte(canon))
+	return hex.EncodeToString(sum[:])
+}
+
+// newJobID returns a fresh random job identifier.
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failure is unrecoverable noise; fall back to a
+		// time-derived ID rather than refusing service.
+		return fmt.Sprintf("job-t%x", time.Now().UnixNano())
+	}
+	return "job-" + hex.EncodeToString(b[:])
+}
+
+// ---- persistence: the job journal and the content-keyed result store --
+
+func (s *Server) jobPath(id string) string {
+	return filepath.Join(s.cfg.Dir, "service", "jobs", id+".json")
+}
+
+func (s *Server) resultStorePath(key string) string {
+	return filepath.Join(s.cfg.Dir, "service", "sweeps", key+".json")
+}
+
+// validCacheKey reports whether key has the exact shape cacheKey
+// produces: 64 lowercase hex digits. Everything else is rejected before
+// any filesystem path is built from it — /v1/results/{key} takes the
+// key from the URL, and Go's ServeMux decodes %2F inside a path
+// segment, so an unvalidated key would traverse out of the sweeps
+// directory and serve arbitrary *.json files to unauthenticated
+// clients.
+func validCacheKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// persist journals a job's current record, best-effort but loud: losing
+// the journal degrades restart-resume, so failures are reported on
+// stderr rather than swallowed.
+func (s *Server) persist(j *job) {
+	if s.cfg.Dir == "" {
+		return
+	}
+	j.mu.Lock()
+	e := jobEntry{
+		Version: journalVersion, Job: j.rec,
+		CheckpointEvery: s.cfg.CheckpointEvery, Warmup: s.cfg.Warmup,
+		Scale: s.cfg.Scale, MaxCycles: s.cfg.MaxCycles,
+	}
+	j.mu.Unlock()
+	b, err := json.MarshalIndent(e, "", "\t")
+	if err != nil {
+		return
+	}
+	path := s.jobPath(e.Job.ID)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "muontrapd: job journal unavailable: %v\n", err)
+		return
+	}
+	if err := checkpoint.WriteAtomic(path, b); err != nil {
+		fmt.Fprintf(os.Stderr, "muontrapd: journaling %s failed: %v\n", e.Job.ID, err)
+	}
+}
+
+// storeResult persists a completed sweep's result under its cache key,
+// reporting whether it durably landed.
+func (s *Server) storeResult(key string, res *muontrap.SweepResult) bool {
+	if s.cfg.Dir == "" || res == nil {
+		return false
+	}
+	b, err := json.MarshalIndent(res, "", "\t")
+	if err != nil {
+		return false
+	}
+	path := s.resultStorePath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "muontrapd: result store unavailable: %v\n", err)
+		return false
+	}
+	if err := checkpoint.WriteAtomic(path, b); err != nil {
+		fmt.Fprintf(os.Stderr, "muontrapd: storing result %s failed: %v\n", key, err)
+		return false
+	}
+	return true
+}
+
+// loadResult fetches a stored sweep result by cache key. Any failure —
+// including a key that is not the canonical 64-hex shape — is a miss:
+// the store is an accelerator, never an oracle, and never a path oracle
+// either.
+func (s *Server) loadResult(key string) (*muontrap.SweepResult, bool) {
+	if s.cfg.Dir == "" || !validCacheKey(key) {
+		return nil, false
+	}
+	b, err := os.ReadFile(s.resultStorePath(key))
+	if err != nil {
+		return nil, false
+	}
+	var res muontrap.SweepResult
+	if err := json.Unmarshal(b, &res); err != nil {
+		return nil, false
+	}
+	return &res, true
+}
+
+// compatible verifies that this daemon's identity-affecting
+// configuration matches what a journal entry was recorded under. On a
+// mismatch the job loads but refuses resume (409): its cache key embeds
+// the old values, and a resumed attempt under new flags would run a
+// different experiment while storing its result under the old key.
+// Startup itself never fails over this — one stale entry must not brick
+// the daemon.
+func (s *Server) compatible(e jobEntry) error {
+	mismatch := func(field string, old, new any) error {
+		return fmt.Errorf("job %s was recorded with %s=%v, this daemon is configured with %v; restart with the original flags to resume it",
+			e.Job.ID, field, old, new)
+	}
+	switch {
+	case e.CheckpointEvery != s.cfg.CheckpointEvery:
+		return mismatch("checkpoint cadence", e.CheckpointEvery, s.cfg.CheckpointEvery)
+	case e.Warmup != s.cfg.Warmup:
+		return mismatch("warmup", e.Warmup, s.cfg.Warmup)
+	case e.Scale != s.cfg.Scale:
+		return mismatch("scale", e.Scale, s.cfg.Scale)
+	case e.MaxCycles != s.cfg.MaxCycles:
+		return mismatch("max-cycles", e.MaxCycles, s.cfg.MaxCycles)
+	}
+	return nil
+}
+
+// loadJournal restores the job table from Dir/service/jobs. Jobs the
+// dead process left queued or running become interrupted — the crash
+// window restart-resume exists for. Resumable entries recorded under
+// different identity-affecting flags (checkpoint cadence, warmup,
+// scale, cycle bound) load but refuse resume; see compatible.
+func (s *Server) loadJournal() error {
+	if s.cfg.Dir == "" {
+		return nil
+	}
+	dir := filepath.Join(s.cfg.Dir, "service", "jobs")
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("service journal: %w", err)
+	}
+	names := make([]string, 0, len(ents))
+	for _, ent := range ents {
+		if strings.HasSuffix(ent.Name(), ".json") {
+			names = append(names, ent.Name())
+		}
+	}
+	sort.Strings(names)
+
+	var recs []jobEntry
+	for _, name := range names {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "muontrapd: skipping unreadable journal entry %s: %v\n", name, err)
+			continue
+		}
+		var e jobEntry
+		if err := json.Unmarshal(b, &e); err != nil || e.Version != journalVersion || e.Job.ID == "" {
+			fmt.Fprintf(os.Stderr, "muontrapd: skipping malformed journal entry %s\n", name)
+			continue
+		}
+		recs = append(recs, e)
+	}
+	// Recover submission order from the journaled timestamps: RFC 3339
+	// UTC strings sort chronologically; ties fall back to ID order,
+	// keeping the listing deterministic.
+	sort.SliceStable(recs, func(a, b int) bool {
+		if recs[a].Job.SubmittedAt != recs[b].Job.SubmittedAt {
+			return recs[a].Job.SubmittedAt < recs[b].Job.SubmittedAt
+		}
+		return recs[a].Job.ID < recs[b].Job.ID
+	})
+
+	for _, e := range recs {
+		rec := e.Job
+		switch rec.State {
+		case muontrap.JobQueued, muontrap.JobRunning:
+			// The interrupted state is derived, never journaled: the
+			// journal keeps saying queued/running (what death left
+			// behind), and every restart re-derives the same picture.
+			rec.State = muontrap.JobInterrupted
+			rec.Done = 0
+		}
+		j := &job{rec: rec, subs: make(map[chan streamEvent]struct{})}
+		// Done jobs never re-run, so they place no constraint on this
+		// daemon's flags; any resumable entry recorded under different
+		// identity-affecting flags loads but refuses resume.
+		if rec.State != muontrap.JobDone {
+			if err := s.compatible(e); err != nil {
+				j.incompat = err.Error()
+				fmt.Fprintf(os.Stderr, "muontrapd: %v\n", err)
+			}
+		}
+		s.jobs[rec.ID] = j
+		s.order = append(s.order, rec.ID)
+	}
+	return nil
+}

@@ -1,0 +1,620 @@
+package service_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/figures"
+	"repro/internal/service"
+	"repro/internal/simtest"
+	"repro/muontrap"
+	"repro/muontrap/client"
+)
+
+// newTestServer hosts a service instance over httptest and returns a
+// client for it. The server (and its jobs) dies with the test.
+func newTestServer(t *testing.T, cfg service.Config, opts ...client.Option) (*client.Client, *httptest.Server) {
+	t.Helper()
+	srv, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+	})
+	return client.New(hs.URL, opts...), hs
+}
+
+// fig4Sweep is the paper's Figure 4 matrix shape — Parsec kernels under
+// the six golden protection schemes — cut to two kernels and the harness
+// test scale so the suite stays minutes, not hours. Parsec cells run the
+// full 4-core machine with OS timer ticks, so this exercises the exact
+// configuration the figure does.
+func fig4Sweep() muontrap.Sweep {
+	return muontrap.Sweep{
+		Workloads: []muontrap.Workload{"swaptions", "blackscholes"},
+		Schemes: []muontrap.Scheme{
+			"insecure", "muontrap", "invisispec-spectre", "invisispec-future",
+			"stt-spectre", "stt-future",
+		},
+		Scales: []float64{0.02},
+	}
+}
+
+// marshal renders a SweepResult to the canonical JSON the wire uses.
+func marshal(t *testing.T, res *muontrap.SweepResult) []byte {
+	t.Helper()
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestRemoteFig4SweepByteIdenticalToInProcess is the transport
+// determinism gate: a Figure-4-shaped sweep executed through submit →
+// SSE stream → result fetch over real HTTP must be byte-identical — as
+// marshalled JSON, and per cycle/instruction/counter — to Runner.Sweep
+// of the same matrix in-process, with both sides simulating from
+// scratch.
+func TestRemoteFig4SweepByteIdenticalToInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure-scale simulation")
+	}
+	figures.ResetRunCache()
+	defer figures.ResetRunCache()
+
+	var progress []muontrap.Progress
+	c, _ := newTestServer(t, service.Config{Workers: 4},
+		client.WithProgress(func(p muontrap.Progress) { progress = append(progress, p) }))
+
+	sw := fig4Sweep()
+	remote, err := c.Sweep(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(sw.Workloads) * len(sw.Schemes)
+	if len(remote.Runs) != want {
+		t.Fatalf("remote sweep returned %d runs, want %d", len(remote.Runs), want)
+	}
+	if len(progress) != want {
+		t.Fatalf("streamed %d progress events, want %d", len(progress), want)
+	}
+	for i, p := range progress {
+		if p.Done != i+1 || p.Total != want {
+			t.Fatalf("progress %d: Done/Total = %d/%d, want %d/%d", i, p.Done, p.Total, i+1, want)
+		}
+	}
+
+	// Fresh in-process run of the same matrix: wipe the process-global
+	// memoization so the local leg re-simulates every cell.
+	figures.ResetRunCache()
+	local, err := muontrap.NewRunner(muontrap.WithWorkers(4)).Sweep(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rb, lb := marshal(t, remote), marshal(t, local); string(rb) != string(lb) {
+		t.Fatalf("remote sweep result differs from in-process:\nremote: %s\nlocal:  %s", rb, lb)
+	}
+	for i := range local.Runs {
+		r, l := remote.Runs[i], local.Runs[i]
+		if r.Cycles != l.Cycles || r.Instructions != l.Instructions {
+			t.Fatalf("%s/%s: remote %d/%d, local %d/%d",
+				l.Workload, l.Scheme, r.Cycles, r.Instructions, l.Cycles, l.Instructions)
+		}
+		simtest.CountersEqual(t, string(l.Workload)+"/"+string(l.Scheme), r.Counters, l.Counters)
+	}
+}
+
+// TestSubmitMapsSentinelsAcrossTheWire: identifier validation errors
+// surface remotely with the same errors.Is sentinels as in-process, and
+// unknown job IDs map to ErrUnknownJob.
+func TestSubmitMapsSentinelsAcrossTheWire(t *testing.T) {
+	c, _ := newTestServer(t, service.Config{})
+	ctx := context.Background()
+
+	_, err := c.Submit(ctx, muontrap.Sweep{
+		Workloads: []muontrap.Workload{"nope"},
+		Schemes:   []muontrap.Scheme{"insecure"},
+	})
+	if !errors.Is(err, muontrap.ErrUnknownWorkload) {
+		t.Fatalf("err = %v, want ErrUnknownWorkload", err)
+	}
+	_, err = c.Submit(ctx, muontrap.Sweep{
+		Workloads: []muontrap.Workload{"hmmer"},
+		Schemes:   []muontrap.Scheme{"nope"},
+	})
+	if !errors.Is(err, muontrap.ErrUnknownScheme) {
+		t.Fatalf("err = %v, want ErrUnknownScheme", err)
+	}
+	if _, err := c.Job(ctx, "job-doesnotexist"); !errors.Is(err, muontrap.ErrUnknownJob) {
+		t.Fatalf("err = %v, want ErrUnknownJob", err)
+	}
+	var apiErr *client.APIError
+	if _, err := c.Result(ctx, "job-doesnotexist"); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("err = %v, want 404 APIError", err)
+	}
+}
+
+// TestCatalogEnumeratesIdentifiers: a non-Go client can discover every
+// valid workload/scheme/figure identifier from the daemon itself.
+func TestCatalogEnumeratesIdentifiers(t *testing.T) {
+	c, _ := newTestServer(t, service.Config{})
+	cat, err := c.Catalog(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Workloads) != 33 {
+		t.Fatalf("catalog lists %d workloads, want 33", len(cat.Workloads))
+	}
+	if len(cat.Schemes) == 0 || len(cat.Figures) != 7 {
+		t.Fatalf("catalog incomplete: %d schemes, %d figures", len(cat.Schemes), len(cat.Figures))
+	}
+	if cat.SchemeDoc["muontrap"] == "" {
+		t.Fatal("catalog carries no scheme descriptions")
+	}
+}
+
+// TestCancelRemoteJobMidSimulation: DELETE aborts an in-flight
+// simulation promptly — the cancellation is threaded from the HTTP
+// handler through the runner into the simulator's cycle loop.
+func TestCancelRemoteJobMidSimulation(t *testing.T) {
+	c, _ := newTestServer(t, service.Config{})
+	ctx := context.Background()
+
+	// mcf at scale 25 simulates for far longer than this test waits.
+	job, err := c.Submit(ctx, muontrap.Sweep{
+		Workloads: []muontrap.Workload{"mcf"},
+		Schemes:   []muontrap.Scheme{"insecure"},
+		Scales:    []float64{25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, job.ID, muontrap.JobRunning, 10*time.Second)
+
+	start := time.Now()
+	if _, err := c.Cancel(ctx, job.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, job.ID, muontrap.JobCancelled, 10*time.Second)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, want prompt abort", elapsed)
+	}
+
+	// A cancelled job has no result…
+	var apiErr *client.APIError
+	if _, err := c.Result(ctx, job.ID); !errors.As(err, &apiErr) || apiErr.Status != http.StatusConflict {
+		t.Fatalf("result of cancelled job: err = %v, want 409 APIError", err)
+	}
+	// …and cancelling it again is idempotent, while a second resume-less
+	// terminal transition (cancel of a done job) would be a conflict —
+	// covered by TestResultStoreServesResubmission below.
+	if _, err := c.Cancel(ctx, job.ID); err != nil {
+		t.Fatalf("idempotent cancel: %v", err)
+	}
+}
+
+// waitState polls a job until it reaches want (fatal on timeout or on
+// reaching a different terminal state first, except when waiting for a
+// terminal state itself).
+func waitState(t *testing.T, c *client.Client, id string, want muontrap.JobState, timeout time.Duration) muontrap.Job {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		job, err := c.Job(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job.State == want {
+			return job
+		}
+		if job.State.Terminal() {
+			t.Fatalf("job %s reached %s while waiting for %s (error: %s)", id, job.State, want, job.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s waiting for %s", id, job.State, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestResultStoreServesResubmission: with a cache directory, a completed
+// sweep's result is stored under its content key; resubmitting the
+// identical sweep is answered instantly with a done job, and the result
+// is fetchable by bare cache key with no job ID.
+func TestResultStoreServesResubmission(t *testing.T) {
+	figures.ResetRunCache()
+	defer figures.ResetRunCache()
+	dir := t.TempDir()
+	c, _ := newTestServer(t, service.Config{Dir: dir, Workers: 2})
+	ctx := context.Background()
+
+	sw := muontrap.Sweep{
+		Workloads: []muontrap.Workload{"hmmer"},
+		Schemes:   []muontrap.Scheme{"insecure", "muontrap"},
+		Scales:    []float64{0.05},
+	}
+	first, err := c.Sweep(ctx, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Resubmission: born done, served from the result store.
+	job, err := c.Submit(ctx, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != muontrap.JobDone {
+		t.Fatalf("resubmitted job state = %s, want done at submission", job.State)
+	}
+	if job.CacheKey == "" {
+		t.Fatal("job carries no cache key")
+	}
+	again, err := c.Result(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(marshal(t, again)) != string(marshal(t, first)) {
+		t.Fatal("resubmitted result differs from original")
+	}
+
+	// Content-keyed fetch, no job ID.
+	byKey, err := c.ResultByKey(ctx, job.CacheKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(marshal(t, byKey)) != string(marshal(t, first)) {
+		t.Fatal("cache-key result differs from original")
+	}
+	if _, err := c.ResultByKey(ctx, strings.Repeat("0", 64)); err == nil {
+		t.Fatal("unknown cache key should 404")
+	}
+
+	// A born-done job still streams the full per-cell sequence: it never
+	// had live frames, so the replay is synthesized from the result.
+	var replayed []muontrap.Progress
+	final, err := c.Stream(ctx, job.ID, func(p muontrap.Progress) { replayed = append(replayed, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != muontrap.JobDone {
+		t.Fatalf("born-done job streamed terminal %s", final.State)
+	}
+	if len(replayed) != len(first.Runs) {
+		t.Fatalf("born-done stream replayed %d progress frames, want %d", len(replayed), len(first.Runs))
+	}
+	for i, p := range replayed {
+		want := first.Runs[i]
+		if p.Done != i+1 || p.Total != len(first.Runs) ||
+			p.Run.Workload != want.Workload || p.Run.Scheme != want.Scheme || p.Run.Cycles != want.Cycles {
+			t.Fatalf("synthesized frame %d = %+v, want declaration-ordered cell %+v", i, p, want)
+		}
+	}
+
+	// Cancel of a done job is a conflict.
+	var apiErr *client.APIError
+	if _, err := c.Cancel(ctx, job.ID); !errors.As(err, &apiErr) || apiErr.Status != http.StatusConflict {
+		t.Fatalf("cancel of done job: err = %v, want 409", err)
+	}
+}
+
+// TestStreamWireFormat reads the SSE endpoint raw off the socket for an
+// already-finished job: the first frame must be the `job` snapshot, the
+// full progress history must replay (one frame for this 1-cell sweep),
+// and the terminal frame must be named after the state.
+func TestStreamWireFormat(t *testing.T) {
+	figures.ResetRunCache()
+	defer figures.ResetRunCache()
+	c, hs := newTestServer(t, service.Config{})
+	ctx := context.Background()
+
+	sw := muontrap.Sweep{
+		Workloads: []muontrap.Workload{"hmmer"},
+		Schemes:   []muontrap.Scheme{"insecure"},
+		Scales:    []float64{0.05},
+	}
+	job, err := c.Submit(ctx, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stream(ctx, job.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(hs.URL + "/v1/jobs/" + job.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream Content-Type = %q", ct)
+	}
+	var events []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: ") {
+			events = append(events, strings.TrimPrefix(line, "event: "))
+		}
+		if len(events) > 0 && events[len(events)-1] == "done" {
+			break
+		}
+	}
+	if len(events) != 3 || events[0] != "job" || events[1] != "progress" || events[2] != "done" {
+		t.Fatalf("late-subscriber event sequence = %v, want [job progress done]", events)
+	}
+}
+
+// TestJournalSurvivesRestart: a graceful restart over the same
+// directory re-serves a done job's status and result (the record from
+// the journal, the result from the content-keyed store); restarting at
+// a different checkpoint cadence than the journal was recorded at must
+// refuse to start — resuming under a different cadence would silently
+// run a different experiment.
+func TestJournalSurvivesRestart(t *testing.T) {
+	figures.ResetRunCache()
+	defer figures.ResetRunCache()
+	dir := t.TempDir()
+	c, _ := newTestServer(t, service.Config{Dir: dir, CheckpointEvery: 2000})
+	first, err := c.Sweep(context.Background(), muontrap.Sweep{
+		Workloads: []muontrap.Workload{"hmmer"},
+		Schemes:   []muontrap.Scheme{"insecure"},
+		Scales:    []float64{0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same cadence: the restarted daemon lists the job as done and
+	// serves its result from the store.
+	c2, _ := newTestServer(t, service.Config{Dir: dir, CheckpointEvery: 2000})
+	jobs, err := c2.Jobs(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].State != muontrap.JobDone {
+		t.Fatalf("restarted daemon job list = %+v, want one done job", jobs)
+	}
+	res, err := c2.Result(context.Background(), jobs[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(marshal(t, res)) != string(marshal(t, first)) {
+		t.Fatal("restarted daemon serves a different result")
+	}
+
+	// A journal holding only done jobs does not pin the flags: done jobs
+	// are never re-run, so a daemon may change configuration over them.
+	if srv, err := service.New(service.Config{Dir: dir, CheckpointEvery: 5000}); err != nil {
+		t.Fatalf("restart over done-only journal with changed cadence: %v", err)
+	} else {
+		srv.Close()
+	}
+
+	// A resumable entry recorded under different identity-affecting
+	// flags must load (one stale job must not brick the daemon) but
+	// refuse resume: the resumed attempt would store a different
+	// experiment under the journaled cache key. Leave a cancelled
+	// (resumable) job behind, restart with a different cadence, and the
+	// daemon must start, keep serving the job, and 409 its resume.
+	long, err := c2.Submit(context.Background(), muontrap.Sweep{
+		Workloads: []muontrap.Workload{"mcf"},
+		Schemes:   []muontrap.Scheme{"insecure"},
+		Scales:    []float64{25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Cancel(context.Background(), long.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c2, long.ID, muontrap.JobCancelled, 10*time.Second)
+
+	c3, _ := newTestServer(t, service.Config{Dir: dir, CheckpointEvery: 5000})
+	var apiErr *client.APIError
+	_, err = c3.Resume(context.Background(), long.ID)
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusConflict || !strings.Contains(apiErr.Message, "cadence") {
+		t.Fatalf("resume under mismatched cadence: err = %v, want 409 naming the cadence", err)
+	}
+	// A daemon restarted with the original flags may still resume it.
+	c4, _ := newTestServer(t, service.Config{Dir: dir, CheckpointEvery: 2000})
+	if _, err := c4.Resume(context.Background(), long.ID); err != nil {
+		t.Fatalf("resume under original flags refused: %v", err)
+	}
+	if _, err := c4.Cancel(context.Background(), long.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c4, long.ID, muontrap.JobCancelled, 10*time.Second)
+}
+
+// TestResultKeyRejectsPathTraversal: the {key} URL segment is attacker-
+// controlled and ServeMux decodes %2F inside it; a key that is not the
+// canonical 64-hex shape must 404 without ever touching the filesystem.
+// (Regression: an unvalidated key could read any *.json on the host via
+// GET /v1/results/..%2F..%2F<path>.)
+func TestResultKeyRejectsPathTraversal(t *testing.T) {
+	dir := t.TempDir()
+	// A juicy out-of-store target an escaped key could previously reach.
+	if err := os.MkdirAll(filepath.Join(dir, "service"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "service", "secret.json"), []byte(`{"runs":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, hs := newTestServer(t, service.Config{Dir: dir})
+
+	for _, key := range []string{
+		"..%2Fsecret",
+		"..%2F..%2Fservice%2Fsecret",
+		"%2e%2e%2f%2e%2e%2fservice%2fsecret",
+		strings.Repeat("0", 63), // right charset, wrong length
+		strings.Repeat("Z", 64), // right length, wrong charset
+	} {
+		resp, err := http.Get(hs.URL + "/v1/results/" + key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET /v1/results/%s = HTTP %d, want 404", key, resp.StatusCode)
+		}
+	}
+}
+
+// TestServerKillRestartResumeIdenticalTable is the acceptance gate for
+// restart-resume: a checkpointing job's server is torn down only after
+// the first mid-run checkpoint has verifiably been persisted (the test
+// polls the snapshot store for the latest-checkpoint ref, exactly like
+// the Runner-level crash test), the daemon is "killed" — the service is
+// closed without journaling any terminal state, which is what SIGKILL
+// leaves behind — and a fresh daemon over the same directory must
+// surface the job as interrupted, resume it from the persisted
+// checkpoint via the WithResume path, and produce a SweepResult
+// byte-identical to an uninterrupted run at the same cadence.
+func TestServerKillRestartResumeIdenticalTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure-scale simulation")
+	}
+	figures.ResetRunCache()
+	defer figures.ResetRunCache()
+
+	sw := muontrap.Sweep{
+		Workloads: []muontrap.Workload{"hmmer"},
+		Schemes:   []muontrap.Scheme{"muontrap"},
+		Scales:    []float64{0.3},
+	}
+	const cadence = 2000
+	cfg := func(dir string) service.Config {
+		return service.Config{Dir: dir, CheckpointEvery: cadence}
+	}
+
+	// Uninterrupted reference at the same cadence.
+	refDir := t.TempDir()
+	cRef, _ := newTestServer(t, cfg(refDir))
+	ref, err := cRef.Sweep(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Leg 2: submit against a fresh daemon, kill it after the first
+	// checkpoint ref lands on disk.
+	figures.ResetRunCache()
+	dir := t.TempDir()
+	srv, err := service.New(cfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	c := client.New(hs.URL)
+	job, err := c.Submit(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapDir := filepath.Join(dir, "snapshots")
+	deadline := time.Now().Add(2 * time.Minute)
+	for !hasRef(snapDir) {
+		if time.Now().After(deadline) {
+			t.Fatal("no mid-run checkpoint ref appeared before the kill deadline")
+		}
+		if j, err := c.Job(context.Background(), job.ID); err == nil && j.State.Terminal() {
+			break // outraced the poll; the resume leg degrades to the store path below
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	hs.Close()
+	srv.Close() // like a kill: in-flight work aborted, no terminal state journaled
+
+	// The crash window: a checkpoint exists, the result does not (unless
+	// the run outraced the poll — then wipe the stores so the resume leg
+	// still exercises a fresh attempt, via the checkpoint's cold
+	// fallback).
+	if err := os.RemoveAll(filepath.Join(dir, "results")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(filepath.Join(dir, "service", "sweeps")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart over the same directory: the journal must surface the job
+	// as interrupted (or done if it outraced — then force a resume
+	// anyway by treating it as the rare logged fallback).
+	figures.ResetRunCache()
+	srv2, err := service.New(cfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs2 := httptest.NewServer(srv2)
+	t.Cleanup(func() {
+		hs2.Close()
+		srv2.Close()
+	})
+	c2 := client.New(hs2.URL)
+	restarted, err := c2.Job(context.Background(), job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resumed *muontrap.SweepResult
+	switch restarted.State {
+	case muontrap.JobInterrupted:
+		if _, err := c2.Resume(context.Background(), job.ID); err != nil {
+			t.Fatal(err)
+		}
+		final, err := c2.Stream(context.Background(), job.ID, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final.State != muontrap.JobDone {
+			t.Fatalf("resumed job ended %s (%s)", final.State, final.Error)
+		}
+		resumed, err = c2.Result(context.Background(), job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+	case muontrap.JobDone:
+		// Outraced the kill; rare. The wiped stores force a fresh fetch
+		// failure, so resubmit and compare that instead.
+		t.Log("job completed before the kill; comparing a resubmitted run")
+		resumed, err = c2.Sweep(context.Background(), sw)
+		if err != nil {
+			t.Fatal(err)
+		}
+	default:
+		t.Fatalf("restarted daemon reports job %s as %s, want interrupted", job.ID, restarted.State)
+	}
+
+	if string(marshal(t, resumed)) != string(marshal(t, ref)) {
+		t.Fatalf("resumed sweep differs from uninterrupted reference:\nresumed: %s\nref:     %s",
+			marshal(t, resumed), marshal(t, ref))
+	}
+	a, _ := ref.Find("hmmer", "muontrap")
+	b, _ := resumed.Find("hmmer", "muontrap")
+	simtest.CountersEqual(t, "restart-resume", a.Counters, b.Counters)
+}
+
+// hasRef reports whether the snapshot store holds any latest-checkpoint
+// ref file.
+func hasRef(snapDir string) bool {
+	ents, err := os.ReadDir(snapDir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".ref") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,303 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/muontrap"
+)
+
+// Client drives a muontrapd experiment daemon over HTTP. It is a thin,
+// dependency-free mirror of muontrap.Runner: Submit/Stream/Result are
+// the primitive verbs, Sweep composes them into the blocking call shape
+// Runner.Sweep has. A Client is immutable after New and safe for
+// concurrent use.
+type Client struct {
+	base     string
+	hc       *http.Client
+	progress func(muontrap.Progress)
+}
+
+// Option configures a Client at construction.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the http.Client used for every request
+// (default http.DefaultClient). Streaming requests hold their connection
+// open for the life of a job, so the client must not enforce an overall
+// request timeout; use context deadlines instead.
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithProgress streams per-cell completions during Sweep, mirroring
+// muontrap.WithProgress: fn is called serially, once per completed cell.
+func WithProgress(fn func(muontrap.Progress)) Option {
+	return func(c *Client) { c.progress = fn }
+}
+
+// New builds a client for the daemon at base ("http://host:7077"; any
+// trailing slash is trimmed).
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(base, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx daemon response. Unwrap maps the wire code back
+// to the matching muontrap sentinel, so
+//
+//	errors.Is(err, muontrap.ErrUnknownWorkload)
+//
+// holds against a remote daemon exactly as it does in-process.
+type APIError struct {
+	Status  int    // HTTP status code
+	Code    string // machine-readable code ("unknown_workload", "conflict", …)
+	Message string // human-readable message from the daemon
+}
+
+// Error renders the daemon's message with its code.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("muontrapd: %s (%s, HTTP %d)", e.Message, e.Code, e.Status)
+}
+
+// Unwrap surfaces the sentinel behind the wire code, if any.
+func (e *APIError) Unwrap() error {
+	switch e.Code {
+	case "unknown_workload":
+		return muontrap.ErrUnknownWorkload
+	case "unknown_scheme":
+		return muontrap.ErrUnknownScheme
+	case "unknown_figure":
+		return muontrap.ErrUnknownFigure
+	case "unknown_job":
+		return muontrap.ErrUnknownJob
+	}
+	return nil
+}
+
+// do performs one JSON request/response round trip. A non-2xx status is
+// decoded into an *APIError; out may be nil to discard the body.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeError turns a non-2xx response into an *APIError, preserving the
+// raw body when it is not the JSON envelope.
+func decodeError(resp *http.Response) error {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var e struct {
+		Code  string `json:"code"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(b, &e); err != nil || e.Error == "" {
+		return &APIError{Status: resp.StatusCode, Code: "http_error", Message: strings.TrimSpace(string(b))}
+	}
+	return &APIError{Status: resp.StatusCode, Code: e.Code, Message: e.Error}
+}
+
+// Submit sends a sweep and returns the accepted job. A daemon holding a
+// stored result for this exact matrix (same options, same simulator
+// binary) returns the job already done.
+func (c *Client) Submit(ctx context.Context, sw muontrap.Sweep) (muontrap.Job, error) {
+	var job muontrap.Job
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", struct {
+		Sweep muontrap.Sweep `json:"sweep"`
+	}{sw}, &job)
+	return job, err
+}
+
+// Job fetches one job's current status.
+func (c *Client) Job(ctx context.Context, id string) (muontrap.Job, error) {
+	var job muontrap.Job
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &job)
+	return job, err
+}
+
+// Jobs lists every job the daemon knows, in submission order.
+func (c *Client) Jobs(ctx context.Context) ([]muontrap.Job, error) {
+	var out struct {
+		Jobs []muontrap.Job `json:"jobs"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out.Jobs, err
+}
+
+// Cancel aborts a queued or running job. Cancellation is observed inside
+// the simulator's cycle loop; the job reaches the "cancelled" state once
+// in-flight cells have unwound (promptly, but not synchronously with
+// this call).
+func (c *Client) Cancel(ctx context.Context, id string) (muontrap.Job, error) {
+	var job muontrap.Job
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &job)
+	return job, err
+}
+
+// Resume re-enters an interrupted (or cancelled/failed) job into the
+// queue with checkpoint resume enabled: on a daemon configured with a
+// checkpoint cadence and cache directory, each unfinished cell restores
+// its latest persisted mid-run checkpoint instead of starting cold.
+func (c *Client) Resume(ctx context.Context, id string) (muontrap.Job, error) {
+	var job muontrap.Job
+	err := c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/resume", nil, &job)
+	return job, err
+}
+
+// Result fetches a done job's SweepResult. While the job is in any other
+// state the daemon answers 409 ("conflict" code).
+func (c *Client) Result(ctx context.Context, id string) (*muontrap.SweepResult, error) {
+	var res muontrap.SweepResult
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// ResultByKey fetches a stored SweepResult by content cache key, with no
+// job ID: any process that can recompute the key (or remembered it from
+// Job.CacheKey) can retrieve the result.
+func (c *Client) ResultByKey(ctx context.Context, key string) (*muontrap.SweepResult, error) {
+	var res muontrap.SweepResult
+	if err := c.do(ctx, http.MethodGet, "/v1/results/"+key, nil, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Catalog fetches the daemon's identifier registries.
+func (c *Client) Catalog(ctx context.Context) (muontrap.Catalog, error) {
+	var cat muontrap.Catalog
+	err := c.do(ctx, http.MethodGet, "/v1/catalog", nil, &cat)
+	return cat, err
+}
+
+// Stream follows a job's SSE stream until it reaches a terminal state
+// and returns the terminal job snapshot. Each progress frame is handed
+// to onProgress (which may be nil). Cancelling ctx abandons the stream
+// without affecting the job.
+func (c *Client) Stream(ctx context.Context, id string, onProgress func(muontrap.Progress)) (muontrap.Job, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/stream", nil)
+	if err != nil {
+		return muontrap.Job{}, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return muontrap.Job{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return muontrap.Job{}, decodeError(resp)
+	}
+
+	var event string
+	var data bytes.Buffer
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			data.WriteString(strings.TrimSpace(strings.TrimPrefix(line, "data:")))
+		case line == "":
+			if event == "" && data.Len() == 0 {
+				continue
+			}
+			job, terminal, err := dispatchSSE(event, data.Bytes(), onProgress)
+			if err != nil {
+				return muontrap.Job{}, err
+			}
+			if terminal {
+				return job, nil
+			}
+			event = ""
+			data.Reset()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return muontrap.Job{}, err
+	}
+	return muontrap.Job{}, fmt.Errorf("muontrapd: stream for job %s ended without a terminal event", id)
+}
+
+// dispatchSSE routes one complete SSE frame.
+func dispatchSSE(event string, data []byte, onProgress func(muontrap.Progress)) (muontrap.Job, bool, error) {
+	switch muontrap.JobState(event) {
+	case muontrap.JobDone, muontrap.JobFailed, muontrap.JobCancelled, muontrap.JobInterrupted:
+		var job muontrap.Job
+		if err := json.Unmarshal(data, &job); err != nil {
+			return muontrap.Job{}, false, fmt.Errorf("decoding terminal %s event: %w", event, err)
+		}
+		return job, true, nil
+	}
+	if event == "progress" && onProgress != nil {
+		var p muontrap.Progress
+		if err := json.Unmarshal(data, &p); err != nil {
+			return muontrap.Job{}, false, fmt.Errorf("decoding progress event: %w", err)
+		}
+		onProgress(p)
+	}
+	return muontrap.Job{}, false, nil
+}
+
+// Sweep is the remote mirror of muontrap.Runner.Sweep: submit the
+// matrix, stream progress (to the WithProgress callback, if configured)
+// until the job finishes, and fetch the aggregated declaration-ordered
+// result. A failed job surfaces its recorded error; a cancelled or
+// interrupted job surfaces as an error naming the state.
+func (c *Client) Sweep(ctx context.Context, sw muontrap.Sweep) (*muontrap.SweepResult, error) {
+	job, err := c.Submit(ctx, sw)
+	if err != nil {
+		return nil, err
+	}
+	// Stream even a born-done (result-store hit) job: the daemon replays
+	// the full per-cell sequence for finished jobs, so WithProgress fires
+	// once per cell exactly as Runner.Sweep does for memoized cells.
+	job, err = c.Stream(ctx, job.ID, c.progress)
+	if err != nil {
+		return nil, err
+	}
+	switch job.State {
+	case muontrap.JobDone:
+		return c.Result(ctx, job.ID)
+	case muontrap.JobFailed:
+		return nil, fmt.Errorf("muontrapd: job %s failed: %s", job.ID, job.Error)
+	case muontrap.JobCancelled:
+		return nil, fmt.Errorf("muontrapd: job %s was cancelled", job.ID)
+	default:
+		return nil, fmt.Errorf("muontrapd: job %s ended %s", job.ID, job.State)
+	}
+}

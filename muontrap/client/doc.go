@@ -1,0 +1,28 @@
+// Package client is the Go client for muontrapd, the MuonTrap
+// experiment daemon: it drives remote sweeps over plain HTTP/JSON with
+// the same call shapes as the in-process muontrap.Runner.
+//
+// The one-call path mirrors Runner.Sweep — submit, stream progress,
+// fetch the declaration-ordered result:
+//
+//	c := client.New("http://localhost:7077",
+//		client.WithProgress(func(p muontrap.Progress) {
+//			log.Printf("%d/%d %s/%s", p.Done, p.Total, p.Run.Workload, p.Run.Scheme)
+//		}))
+//	res, err := c.Sweep(ctx, muontrap.Sweep{
+//		Workloads: []muontrap.Workload{"swaptions", "streamcluster"},
+//		Schemes:   []muontrap.Scheme{"insecure", "muontrap"},
+//	})
+//
+// The primitive verbs (Submit, Job, Jobs, Stream, Cancel, Resume,
+// Result, ResultByKey, Catalog) map 1:1 onto the HTTP endpoints
+// documented in docs/API.md, for callers that manage job lifecycle
+// themselves — e.g. submitting, disconnecting, and fetching the result
+// later by the job's content cache key.
+//
+// Errors from the daemon unwrap to the same sentinels the library uses:
+// errors.Is(err, muontrap.ErrUnknownWorkload) works identically against
+// a remote daemon and an in-process Runner. Determinism crosses the wire
+// too — the e2e suite pins that a remote sweep's result is byte-identical
+// to Runner.Sweep of the same matrix in-process.
+package client

@@ -1,0 +1,72 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/muontrap"
+	"repro/muontrap/client"
+)
+
+// Client.Sweep is the remote mirror of muontrap.Runner.Sweep: submit the
+// matrix to a muontrapd daemon, stream per-cell progress, and fetch the
+// declaration-ordered result.
+func ExampleClient_Sweep() {
+	c := client.New("http://localhost:7077",
+		client.WithProgress(func(p muontrap.Progress) {
+			fmt.Printf("%d/%d %s/%s\n", p.Done, p.Total, p.Run.Workload, p.Run.Scheme)
+		}))
+	res, err := c.Sweep(context.Background(), muontrap.Sweep{
+		Workloads: []muontrap.Workload{"swaptions", "streamcluster"},
+		Schemes:   []muontrap.Scheme{"insecure", "muontrap"},
+		Scales:    []float64{0.1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, run := range res.Runs {
+		fmt.Printf("%-14s %-10s %d cycles\n", run.Workload, run.Scheme, run.Cycles)
+	}
+}
+
+// The primitive verbs manage job lifecycle explicitly: submit now,
+// disconnect, and fetch the result later — by job ID, or by the job's
+// content cache key from any process at all.
+func ExampleClient_Submit() {
+	c := client.New("http://localhost:7077")
+	ctx := context.Background()
+
+	job, err := c.Submit(ctx, muontrap.Sweep{
+		Workloads: []muontrap.Workload{"hmmer"},
+		Schemes:   []muontrap.Scheme{"muontrap"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(job.ID, job.State, job.CacheKey)
+
+	// …much later, possibly from a different process:
+	final, err := c.Stream(ctx, job.ID, nil) // block until terminal
+	if err != nil {
+		log.Fatal(err)
+	}
+	if final.State == muontrap.JobDone {
+		res, _ := c.ResultByKey(ctx, final.CacheKey)
+		fmt.Println(len(res.Runs), "runs")
+	}
+}
+
+// Daemon errors unwrap to the library's sentinels, so remote validation
+// failures are handled exactly like in-process ones.
+func ExampleClient_Submit_errors() {
+	c := client.New("http://localhost:7077")
+	_, err := c.Submit(context.Background(), muontrap.Sweep{
+		Workloads: []muontrap.Workload{"not-a-benchmark"},
+		Schemes:   []muontrap.Scheme{"insecure"},
+	})
+	if errors.Is(err, muontrap.ErrUnknownWorkload) {
+		fmt.Println("bad workload name — see /v1/catalog")
+	}
+}

@@ -29,6 +29,10 @@
 //     FigureIDs(), AttackNames() and SchemeDescriptions() enumerate them;
 //     list output is sorted and duplicate-free, so help text and golden
 //     output are deterministic.
+//   - Job and JobState are the experiment daemon's wire types: cmd/
+//     muontrapd serves Runner.Sweep over HTTP (submit / stream / cancel /
+//     resume / fetch-by-cache-key), and muontrap/client drives it with
+//     the same call shapes as Runner. See docs/API.md for the protocol.
 //   - Attack replays one of the paper's six attacks under a scheme and
 //     reports whether the secret leaked.
 //   - TableOne renders the experimental setup from the live

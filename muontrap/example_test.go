@@ -1,0 +1,77 @@
+package muontrap_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/muontrap"
+)
+
+// Runner.Run executes one simulation; every call is fresh and
+// unmemoized, so it is the right shape for benchmarking a single
+// configuration.
+func ExampleRunner_Run() {
+	r := muontrap.NewRunner()
+	res, err := r.Run(context.Background(), muontrap.RunSpec{
+		Workload: "povray",
+		Scheme:   "muontrap",
+		Scale:    0.1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s under %s: %d cycles, IPC %.2f\n",
+		res.Workload, res.Scheme, res.Cycles, res.IPC())
+}
+
+// Runner.Sweep runs a declarative (workloads × schemes × scales) matrix
+// over the worker pool, streaming each completed cell and returning
+// results in declaration order. With WithCacheDir the matrix also
+// memoizes across process invocations.
+func ExampleRunner_Sweep() {
+	r := muontrap.NewRunner(
+		muontrap.WithWorkers(4),
+		muontrap.WithProgress(func(p muontrap.Progress) {
+			fmt.Printf("%d/%d done\n", p.Done, p.Total)
+		}),
+	)
+	res, err := r.Sweep(context.Background(), muontrap.Sweep{
+		Workloads: []muontrap.Workload{"hmmer", "mcf"},
+		Schemes:   []muontrap.Scheme{"insecure", "muontrap", "stt-spectre"},
+		Scales:    []float64{0.1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, run := range res.Runs {
+		fmt.Printf("%-8s %-12s %d cycles\n", run.Workload, run.Scheme, run.Cycles)
+	}
+}
+
+// Identifiers are typed and validated: Parse* constructors reject
+// unknown names with errors.Is-able sentinels.
+func ExampleParseWorkload() {
+	w, err := muontrap.ParseWorkload("streamcluster")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(w, w.Suite())
+
+	_, err = muontrap.ParseWorkload("not-a-benchmark")
+	fmt.Println(err)
+	// Output:
+	// streamcluster parsec
+	// muontrap: unknown workload "not-a-benchmark" (see Workloads())
+}
+
+// Runner.Figure regenerates one of the paper's figures as a printable
+// table, through the same executor (and caches) as Sweep.
+func ExampleRunner_Figure() {
+	r := muontrap.NewRunner(muontrap.WithScale(0.05))
+	tbl, err := r.Figure(context.Background(), muontrap.Fig7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(tbl.String())
+}

@@ -14,12 +14,12 @@ import (
 // Result reports one run.
 type Result struct {
 	// Cycles is the simulated execution time.
-	Cycles uint64
+	Cycles uint64 `json:"cycles"`
 	// Instructions is the committed instruction count across all cores.
-	Instructions uint64
+	Instructions uint64 `json:"instructions"`
 	// Counters carries every microarchitectural statistic the simulator
 	// collected, keyed as "core0.l0d.hits", "l2.misses", ….
-	Counters map[string]uint64
+	Counters map[string]uint64 `json:"counters"`
 }
 
 // IPC reports committed instructions per cycle.

@@ -124,36 +124,37 @@ type RunSpec struct {
 
 // Sweep declares a (workloads × schemes × scales) experiment matrix. An
 // empty Scales runs every cell at the runner's default scale; a zero
-// MaxCycles inherits the runner's default.
+// MaxCycles inherits the runner's default. The JSON field names are the
+// experiment service's wire format (see docs/API.md).
 type Sweep struct {
-	Workloads []Workload
-	Schemes   []Scheme
-	Scales    []float64
-	MaxCycles int
+	Workloads []Workload `json:"workloads"`
+	Schemes   []Scheme   `json:"schemes"`
+	Scales    []float64  `json:"scales,omitempty"`
+	MaxCycles int        `json:"max_cycles,omitempty"`
 }
 
 // RunResult is one completed run with its full identity, so streamed
 // results are self-describing.
 type RunResult struct {
-	Workload Workload
-	Scheme   Scheme
-	Scale    float64
+	Workload Workload `json:"workload"`
+	Scheme   Scheme   `json:"scheme"`
+	Scale    float64  `json:"scale"`
 	Result
 }
 
 // Progress reports one completed run within a sweep or figure
 // regeneration: Done of Total cells have finished, Run being the latest.
 type Progress struct {
-	Done  int
-	Total int
-	Run   RunResult
+	Done  int       `json:"done"`
+	Total int       `json:"total"`
+	Run   RunResult `json:"run"`
 }
 
 // SweepResult aggregates a sweep: one RunResult per matrix cell, in
 // declaration order (workload-major, then scheme, then scale) regardless
 // of completion order, so output built from it is deterministic.
 type SweepResult struct {
-	Runs []RunResult
+	Runs []RunResult `json:"runs"`
 }
 
 // Find returns the first run matching (workload, scheme) — the unique
