@@ -9,6 +9,14 @@
 //	muontrapd -addr :7077
 //	muontrapd -addr :7077 -checkpoint-every 5000000 -auto-resume
 //	muontrapd -cache /shared/muontrap -workers 8 -max-jobs 2
+//	muontrapd -tenants tenants.json -max-queue 64 -drain-timeout 30s
+//
+// With -tenants (a JSON array of {name, key, max_queued, max_running}),
+// the daemon requires an API key on every endpoint except /v1/healthz
+// and enforces per-tenant quotas; over-quota or over-capacity
+// submissions are shed with 429/503 + Retry-After instead of queueing
+// unboundedly. Interactive-priority jobs preempt running bulk sweeps
+// (losslessly, via checkpoints) when every runner slot is busy.
 //
 // With a cache directory (the default uses the user cache dir), results
 // are content-keyed on disk — resubmitting an identical sweep against
@@ -29,6 +37,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -46,10 +55,22 @@ func main() {
 		warmup     = flag.Int("warmup", 0, "instructions to fast-forward per workload before the measured region")
 		ckptEvery  = flag.Int("checkpoint-every", 0, "drain + snapshot each run every N simulated cycles for crash-resume (0 = off)")
 		autoResume = flag.Bool("auto-resume", false, "on startup, re-queue every interrupted journaled job with checkpoint resume")
+
+		maxQueue     = flag.Int("max-queue", 0, "jobs waiting for a runner slot before submissions are shed with 503 (0 = unbounded)")
+		tenantsFile  = flag.String("tenants", "", "JSON tenants file enabling API-key auth and per-tenant quotas (empty = open daemon)")
+		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint attached to shed (429/503) responses")
+		drainTimeout = flag.Duration("drain-timeout", time.Minute, "bound on graceful-shutdown job drain; on expiry still-running jobs are journaled interrupted and abandoned (0 = wait forever)")
 	)
 	flag.Parse()
 	if *ckptEvery < 0 {
 		fatal(errors.New("-checkpoint-every must be a positive cycle count (or 0 to disable)"))
+	}
+	var tenants []service.Tenant
+	if *tenantsFile != "" {
+		var err error
+		if tenants, err = service.LoadTenants(*tenantsFile); err != nil {
+			fatal(err)
+		}
 	}
 
 	dir := ""
@@ -70,6 +91,9 @@ func main() {
 		Dir:             dir,
 		Workers:         *workers,
 		MaxJobs:         *maxJobs,
+		MaxQueue:        *maxQueue,
+		Tenants:         tenants,
+		RetryAfter:      *retryAfter,
 		Scale:           *scale,
 		MaxCycles:       *maxCycles,
 		Warmup:          *warmup,
@@ -105,7 +129,21 @@ func main() {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(shutdownCtx)
-		srv.Close()
+		// Bound the job drain: cancelled simulations normally unwind
+		// within one context-poll interval, but a wedged run must not
+		// keep the process alive forever. On expiry the stragglers are
+		// journaled as interrupted — still resumable by the next daemon —
+		// and named here so the abandonment is visible in the logs.
+		drainCtx := context.Background()
+		if *drainTimeout > 0 {
+			var cancelDrain context.CancelFunc
+			drainCtx, cancelDrain = context.WithTimeout(drainCtx, *drainTimeout)
+			defer cancelDrain()
+		}
+		if abandoned := srv.Shutdown(drainCtx); len(abandoned) > 0 {
+			fmt.Fprintf(os.Stderr, "muontrapd: drain timeout (%s) expired; abandoned %d running job(s) as interrupted: %s\n",
+				*drainTimeout, len(abandoned), strings.Join(abandoned, ", "))
+		}
 	}()
 
 	fmt.Printf("muontrapd: listening on %s", *addr)

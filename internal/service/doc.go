@@ -10,6 +10,32 @@
 // DELETE threads context cancellation all the way into the simulator's
 // cycle loop.
 //
+// The server is hardened for shared, multi-tenant use:
+//
+//   - Admission control: MaxQueue bounds the daemon-wide submission
+//     queue (503 "overloaded" at the bound), and Tenants enables
+//     per-API-key authentication with per-tenant queued/running quotas
+//     (429 "over_quota"). Shed responses carry Retry-After; /v1/healthz
+//     exposes queue depth, running count and cumulative shed counters as
+//     the readiness view.
+//   - Priority classes: interactive jobs dispatch ahead of bulk jobs
+//     and, when every slot is busy, preempt a running bulk sweep
+//     losslessly — the victim is driven to a checkpointable boundary,
+//     re-queued as resumable, and later continues from its checkpoint to
+//     a byte-identical result. Priority never enters the cache key.
+//   - Scalable SSE fan-out: progress frames live in one bounded ring
+//     per job; subscribers read at their own cursor and are disconnected
+//     (resumably, via Last-Event-ID) if they cannot accept a write
+//     within StreamWriteTimeout, so no consumer pins memory or stalls
+//     the pool.
+//   - Bounded drain: Shutdown(ctx) stops intake and waits for running
+//     sweeps; when ctx expires first, still-running jobs are journaled
+//     as interrupted — resumable by the next daemon — and reported.
+//
+// The sibling package faultinject wraps the server with deterministic
+// drops, delays and injected 500s; its load test drives all of the above
+// concurrently under the race detector.
+//
 // Results are content-keyed: a job's cache key hashes the resolved
 // matrix, every option that can change the outcome, and the simulator
 // build fingerprint. Identical submissions are served from the stored

@@ -1,0 +1,120 @@
+// Package faultinject wraps an http.Handler with deterministic,
+// counter-based fault injection — connection drops, added latency, and
+// injected 500s — so the experiment service's overload and recovery
+// behavior can be load-tested natively in Go, without an external chaos
+// proxy.
+//
+// Faults are injected strictly BEFORE the request reaches the wrapped
+// handler, so an injected fault never leaves a half-applied side effect
+// on the service: from the daemon's perspective the faulted request
+// simply never arrived, which is exactly the failure mode a client-side
+// retry policy must be correct against. Injection is counted per
+// request (every Nth), not randomized, so a given test configuration
+// exercises the same fault schedule on every run.
+package faultinject
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Injector is an http.Handler middleware injecting faults at a fixed
+// cadence. The zero value of each knob disables that fault. Configure
+// before serving; the knobs are read concurrently and must not change
+// while requests are in flight.
+type Injector struct {
+	// Inner is the wrapped handler (the real service).
+	Inner http.Handler
+	// DropEvery severs every Nth request's connection without a
+	// response — the client observes a transport error and cannot know
+	// whether the request was acted on. (It was not: the drop happens
+	// before the service sees it.)
+	DropEvery int
+	// ErrorEvery answers every Nth request with a bare 500 before the
+	// service sees it, modeling a flaky proxy hop.
+	ErrorEvery int
+	// DelayEvery sleeps Delay before forwarding every Nth request,
+	// modeling network jitter and slow hops.
+	DelayEvery int
+	Delay      time.Duration
+
+	reqs   atomic.Uint64
+	drops  atomic.Uint64
+	errors atomic.Uint64
+	delays atomic.Uint64
+}
+
+// Stats counts what the injector actually did.
+type Stats struct {
+	Requests uint64 // total requests seen
+	Drops    uint64 // connections severed
+	Errors   uint64 // 500s injected
+	Delays   uint64 // requests delayed
+}
+
+// Stats snapshots the injection counters.
+func (f *Injector) Stats() Stats {
+	return Stats{
+		Requests: f.reqs.Load(),
+		Drops:    f.drops.Load(),
+		Errors:   f.errors.Load(),
+		Delays:   f.delays.Load(),
+	}
+}
+
+// ServeHTTP applies at most one fault per request — drop wins over
+// error wins over delay when cadences collide — then forwards to the
+// wrapped handler.
+func (f *Injector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := f.reqs.Add(1)
+	if f.DropEvery > 0 && n%uint64(f.DropEvery) == 0 {
+		f.drops.Add(1)
+		// The sanctioned way for a handler to abort its connection
+		// mid-request: net/http recovers this sentinel panic, closes the
+		// connection, and suppresses the stack trace.
+		panic(http.ErrAbortHandler)
+	}
+	if f.ErrorEvery > 0 && n%uint64(f.ErrorEvery) == 0 {
+		f.errors.Add(1)
+		http.Error(w, "faultinject: injected server error", http.StatusInternalServerError)
+		return
+	}
+	if f.DelayEvery > 0 && n%uint64(f.DelayEvery) == 0 {
+		f.delays.Add(1)
+		time.Sleep(f.Delay)
+	}
+	f.Inner.ServeHTTP(w, r)
+}
+
+// Switchable is an http.Handler whose target can be swapped atomically
+// while requests are in flight — the seam the load tests use to "kill"
+// a daemon (swap in Down) and bring a restarted one up at the same
+// address (swap the new service back in), the way a crashed process
+// behind a stable load-balancer address looks to clients.
+type Switchable struct {
+	h atomic.Pointer[http.Handler]
+}
+
+// NewSwitchable starts out serving h.
+func NewSwitchable(h http.Handler) *Switchable {
+	s := &Switchable{}
+	s.Swap(h)
+	return s
+}
+
+// Swap atomically replaces the served handler.
+func (s *Switchable) Swap(h http.Handler) { s.h.Store(&h) }
+
+// ServeHTTP forwards to the current handler.
+func (s *Switchable) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	(*s.h.Load()).ServeHTTP(w, r)
+}
+
+// Down is a handler for the dead window between kill and restart:
+// every request is refused with 503 + Retry-After, as a load balancer
+// with no healthy backend would.
+var Down http.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, "faultinject: daemon is down", http.StatusServiceUnavailable)
+})

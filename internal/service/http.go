@@ -1,10 +1,14 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
+	"time"
 
 	"repro/muontrap"
 )
@@ -14,13 +18,21 @@ import (
 //	POST   /v1/jobs              submit a sweep            → 202 Job (200 if served from the result store)
 //	GET    /v1/jobs              list jobs                 → 200 {"jobs": [Job]}
 //	GET    /v1/jobs/{id}         job status                → 200 Job
-//	GET    /v1/jobs/{id}/stream  progress over SSE
+//	GET    /v1/jobs/{id}/stream  progress over SSE         (resumable via Last-Event-ID)
 //	GET    /v1/jobs/{id}/result  completed SweepResult     → 200 | 409 while not done
 //	DELETE /v1/jobs/{id}         cancel                    → 202 Job
 //	POST   /v1/jobs/{id}/resume  re-queue with resume      → 202 Job
 //	GET    /v1/results/{key}     SweepResult by cache key  → 200 | 404
 //	GET    /v1/catalog           workloads/schemes/figures → 200
-//	GET    /v1/healthz           liveness                  → 200
+//	GET    /v1/healthz           liveness + readiness      → 200 (never requires auth)
+//
+// With tenants configured, every route except /v1/healthz requires an
+// API key ("Authorization: Bearer <key>" or "X-API-Key: <key>"; 401
+// otherwise). Job listings and reads are visible across tenants — the
+// daemon serves one shared, content-keyed experiment corpus — but
+// cancel and resume act only on the caller's own jobs (403 otherwise).
+// Shed submissions answer 429 (over the tenant's queued quota) or 503
+// (over the daemon's queue bound), both with a Retry-After hint.
 
 // apiError is the JSON error envelope. Code is machine-readable and maps
 // 1:1 onto the muontrap.ErrUnknown* sentinels (see errorCode); the
@@ -47,26 +59,102 @@ func errorCode(err error) (string, int) {
 	if errors.As(err, &conflict) {
 		return "conflict", http.StatusConflict
 	}
+	var forbidden *forbiddenError
+	if errors.As(err, &forbidden) {
+		return "forbidden", http.StatusForbidden
+	}
+	var shed *shedError
+	if errors.As(err, &shed) {
+		if shed.status == http.StatusTooManyRequests {
+			return "over_quota", shed.status
+		}
+		return "overloaded", shed.status
+	}
 	return "bad_request", http.StatusBadRequest
 }
 
 // ServeHTTP makes the Server mountable directly into any http.Server.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// routes wires the method-qualified route table.
+// routes wires the method-qualified route table. Everything except the
+// health probe sits behind tenant auth (a no-op wrapper on an open
+// daemon).
 func (s *Server) routes() {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("POST /v1/jobs/{id}/resume", s.handleResume)
-	mux.HandleFunc("GET /v1/results/{key}", s.handleResultByKey)
-	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
+	mux.HandleFunc("POST /v1/jobs", s.auth(s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs", s.auth(s.handleList))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.auth(s.handleStatus))
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.auth(s.handleStream))
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.auth(s.handleResult))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.auth(s.handleCancel))
+	mux.HandleFunc("POST /v1/jobs/{id}/resume", s.auth(s.handleResume))
+	mux.HandleFunc("GET /v1/results/{key}", s.auth(s.handleResultByKey))
+	mux.HandleFunc("GET /v1/catalog", s.auth(s.handleCatalog))
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux = mux
+}
+
+// tenantCtxKey carries the authenticated tenant through the request
+// context.
+type tenantCtxKey struct{}
+
+// requestKey extracts the presented API key: "Authorization: Bearer
+// <key>" preferred, "X-API-Key: <key>" for clients that cannot set
+// Authorization.
+func requestKey(r *http.Request) string {
+	if h := r.Header.Get("Authorization"); h != "" {
+		const prefix = "Bearer "
+		if len(h) > len(prefix) && strings.EqualFold(h[:len(prefix)], prefix) {
+			return strings.TrimSpace(h[len(prefix):])
+		}
+		return "" // an Authorization header in any other scheme is not a key
+	}
+	return r.Header.Get("X-API-Key")
+}
+
+// auth gates a handler behind tenant authentication. On an open daemon
+// (no tenants configured) it is the identity function — the historical
+// no-auth behavior, with zero per-request overhead.
+func (s *Server) auth(h http.HandlerFunc) http.HandlerFunc {
+	if s.tenants == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		tn := s.tenants.authenticate(requestKey(r))
+		if tn == nil {
+			writeJSON(w, http.StatusUnauthorized, apiError{
+				Code:  "unauthorized",
+				Error: "missing or unknown API key (send \"Authorization: Bearer <key>\" or \"X-API-Key: <key>\")",
+			})
+			return
+		}
+		h(w, r.WithContext(context.WithValue(r.Context(), tenantCtxKey{}, tn)))
+	}
+}
+
+// requestTenant returns the authenticated tenant (nil on an open
+// daemon).
+func requestTenant(r *http.Request) *tenant {
+	tn, _ := r.Context().Value(tenantCtxKey{}).(*tenant)
+	return tn
+}
+
+// authorizeJob enforces cancel/resume ownership: with tenants
+// configured, a job may only be acted on by the tenant that submitted
+// it.
+func (s *Server) authorizeJob(r *http.Request, id string) error {
+	if s.tenants == nil {
+		return nil
+	}
+	j, err := s.lookup(id)
+	if err != nil {
+		return err
+	}
+	snap := j.snapshot()
+	if !s.tenants.canCancel(requestTenant(r), snap.Tenant) {
+		return &forbiddenError{fmt.Sprintf("job %s belongs to tenant %s", id, snap.Tenant)}
+	}
+	return nil
 }
 
 // writeJSON emits one JSON response.
@@ -78,8 +166,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeError emits the JSON error envelope for err.
+// writeError emits the JSON error envelope for err. Shed errors carry
+// the Retry-After hint the admission controller attached.
 func writeError(w http.ResponseWriter, err error) {
+	var shed *shedError
+	if errors.As(err, &shed) {
+		secs := int(shed.retryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
 	code, status := errorCode(err)
 	writeJSON(w, status, apiError{Code: code, Error: err.Error()})
 }
@@ -87,6 +184,9 @@ func writeError(w http.ResponseWriter, err error) {
 // submitRequest is the POST /v1/jobs body.
 type submitRequest struct {
 	Sweep muontrap.Sweep `json:"sweep"`
+	// Priority is the scheduling class: "interactive", "bulk", or empty
+	// for the bulk default.
+	Priority string `json:"priority,omitempty"`
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -97,7 +197,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("decoding submit request: %w", err))
 		return
 	}
-	rec, cached, err := s.submit(req.Sweep)
+	rec, cached, err := s.submit(req.Sweep, muontrap.Priority(req.Priority), requestTenant(r))
 	if err != nil {
 		writeError(w, err)
 		return
@@ -153,7 +253,12 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	rec, err := s.cancelJob(r.PathValue("id"))
+	id := r.PathValue("id")
+	if err := s.authorizeJob(r, id); err != nil {
+		writeError(w, err)
+		return
+	}
+	rec, err := s.cancelJob(id)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -162,7 +267,12 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
-	rec, err := s.ResumeJob(r.PathValue("id"))
+	id := r.PathValue("id")
+	if err := s.authorizeJob(r, id); err != nil {
+		writeError(w, err)
+		return
+	}
+	rec, err := s.ResumeJob(id)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -206,25 +316,42 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// healthResponse is the /v1/healthz payload: liveness plus the
+// scheduler's readiness counters (embedded flat, so the historical
+// "jobs" field keeps its place).
+type healthResponse struct {
+	Status string `json:"status"`
+	Stats
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	n := len(s.jobs)
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "jobs": n})
+	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Stats: s.Stats()})
 }
 
 // handleStream serves a job's life over Server-Sent Events:
 //
 //	event: job        one snapshot, immediately on connect
-//	event: progress   one muontrap.Progress per completed cell
+//	event: progress   one muontrap.Progress per completed cell, with an
+//	                  "id:" line carrying the job's monotonic frame id
 //	event: <state>    terminal Job snapshot (done/failed/cancelled/interrupted)
 //
-// Progress frames published before the subscriber attached are replayed
-// first, so every subscriber — including one connecting after the job
-// finished — observes the complete per-cell sequence. A consumer slower
-// than the simulation may drop live frames it would have replayed anyway
-// (the channel never stalls the pool); the terminal event is always
-// delivered.
+// Subscribers pull frames from the job's bounded ring at their own
+// cursor: attaching replays the retained frames (all of them, for rings
+// sized ≥ the matrix), publication never blocks on a slow consumer, and
+// a consumer that cannot accept a write within the configured deadline
+// is disconnected rather than pinning memory. Reconnecting with
+// Last-Event-ID (standard SSE) resumes after the last frame seen; a
+// consumer that fell further behind than the ring retains continues
+// from the oldest retained frame. When a done job's frames are no
+// longer held at all (daemon restarted since, or a born-done cache
+// hit), the complete per-cell sequence is synthesized from the stored
+// result instead, in declaration order with positional ids — the
+// ordering authority is always the declaration-ordered result itself.
+//
+// A preempted job emits no terminal event: its stream stays open while
+// the job waits, re-queued, for a slot, and the resumed attempt's
+// frames follow on the same connection. The terminal event always
+// reports a genuine end state.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	j, err := s.lookup(r.PathValue("id"))
 	if err != nil {
@@ -236,57 +363,82 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("streaming unsupported by this connection"))
 		return
 	}
+	var cursor uint64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			cursor = n
+		}
+	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
-	ch, replay, snap := j.subscribe()
-	defer j.unsubscribe(ch)
+	rc := http.NewResponseController(w)
+	write := func(id uint64, name string, data []byte) bool {
+		// The per-write deadline is the shed mechanism for dead or
+		// too-slow consumers: a blocked write aborts this subscriber
+		// (only), and the client's Last-Event-ID makes the cut resumable.
+		_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.StreamWriteTimeout))
+		var err error
+		if id > 0 {
+			_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", id, name, data)
+		} else {
+			_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, data)
+		}
+		return err == nil
+	}
 
-	if snap.State == muontrap.JobDone && len(replay) == 0 {
-		// Done jobs release their retained frame history (and born-done
-		// cache hits never had one); synthesize the replay from the
-		// result, in declaration order.
-		if res, ok := s.doneResult(j); ok {
-			for i, run := range res.Runs {
-				data, err := json.Marshal(muontrap.Progress{Done: i + 1, Total: len(res.Runs), Run: run})
-				if err == nil {
-					replay = append(replay, streamEvent{name: "progress", data: data})
+	sub := j.attach()
+	defer j.detach(sub)
+
+	if !writeSSE(write, "job", j.snapshot()) {
+		return
+	}
+	for {
+		evs, snap := j.eventsSince(cursor)
+		if snap.State == muontrap.JobDone && len(evs) == 0 && cursor < uint64(snap.Total) {
+			// Done jobs release their frame ring (and born-done cache
+			// hits never had one); synthesize the remaining replay from
+			// the result, in declaration order with positional ids.
+			if res, ok := s.doneResult(j); ok {
+				for i, run := range res.Runs {
+					id := uint64(i + 1)
+					if id <= cursor {
+						continue
+					}
+					data, err := json.Marshal(muontrap.Progress{Done: i + 1, Total: len(res.Runs), Run: run})
+					if err == nil {
+						evs = append(evs, streamEvent{id: id, name: "progress", data: data})
+					}
 				}
 			}
 		}
-	}
-
-	writeSSE(w, "job", snap)
-	for _, ev := range replay {
-		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data)
-	}
-	flusher.Flush()
-
-	for {
-		select {
-		case ev, ok := <-ch:
-			if !ok {
-				// Publisher closed the stream: the job reached a terminal
-				// state. Name the event after it.
-				final := j.snapshot()
-				writeSSE(w, string(final.State), final)
-				flusher.Flush()
+		for _, ev := range evs {
+			if !write(ev.id, ev.name, ev.data) {
 				return
 			}
-			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data)
+			cursor = ev.id
+		}
+		if snap.State.Terminal() {
+			writeSSE(write, string(snap.State), snap)
 			flusher.Flush()
+			return
+		}
+		flusher.Flush()
+		select {
+		case <-sub.wake:
 		case <-r.Context().Done():
 			return
 		}
 	}
 }
 
-// writeSSE emits one SSE frame with a JSON-marshalled payload.
-func writeSSE(w http.ResponseWriter, event string, v any) {
+// writeSSE emits one id-less SSE frame with a JSON-marshalled payload
+// through the deadline-guarded writer.
+func writeSSE(write func(uint64, string, []byte) bool, event string, v any) bool {
 	data, err := json.Marshal(v)
 	if err != nil {
-		return
+		return false
 	}
-	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	return write(0, event, data)
 }

@@ -22,7 +22,9 @@ import (
 )
 
 // Config sizes the experiment daemon. The zero value serves: an
-// ephemeral (journal-less, cache-less) server at the library defaults.
+// ephemeral (journal-less, cache-less) server at the library defaults,
+// open (no auth, no quotas, unbounded queue) — exactly the pre-tenancy
+// behavior.
 type Config struct {
 	// Dir is the service root: the figure result/snapshot cache the
 	// runners use (it is passed to muontrap.WithCacheDir verbatim) plus
@@ -37,6 +39,29 @@ type Config struct {
 	// queue. Zero means 1: one sweep at a time, each using the full
 	// worker pool.
 	MaxJobs int
+	// MaxQueue caps jobs waiting for a runner slot across all tenants.
+	// Submissions beyond it are shed with 503 + Retry-After instead of
+	// queueing unboundedly. Zero means unlimited (the historical
+	// behavior).
+	MaxQueue int
+	// Tenants, when non-empty, switches the daemon to authenticated
+	// multi-tenant mode: every endpoint except /v1/healthz requires a
+	// configured API key, and per-tenant quotas bound queued and running
+	// jobs (over-quota submissions shed with 429 + Retry-After). Empty
+	// runs open, exactly as before tenancy existed.
+	Tenants []Tenant
+	// RetryAfter is the hint returned with shed (429/503) responses.
+	// Zero defaults to one second.
+	RetryAfter time.Duration
+	// StreamHistory bounds the per-job ring of recent SSE progress
+	// frames (0 = 256). Subscribers that fall further behind continue
+	// from the oldest retained frame; a done job's full sequence is
+	// synthesized from its stored result regardless.
+	StreamHistory int
+	// StreamWriteTimeout disconnects an SSE subscriber whose connection
+	// cannot accept a write within this bound (0 = 30s). The client
+	// resumes with Last-Event-ID; dead peers stop pinning goroutines.
+	StreamWriteTimeout time.Duration
 	// Scale and MaxCycles are the defaults applied when a submitted Sweep
 	// leaves Scales / MaxCycles empty, exactly like the corresponding
 	// Runner options (0 = library default).
@@ -47,11 +72,18 @@ type Config struct {
 	// CheckpointEvery forwards muontrap.WithCheckpointEvery: with Dir
 	// set, every run drains and persists a mid-run checkpoint at this
 	// cycle cadence, which is what makes an interrupted job resumable
-	// from the middle of a simulation after a daemon restart. The cadence
-	// is part of run identity, so it must match across restarts — the
-	// journal records it and Resume refuses a mismatch.
+	// from the middle of a simulation after a daemon restart — and what
+	// makes priority preemption cheap: a preempted bulk job loses at
+	// most one cadence interval of work. The cadence is part of run
+	// identity, so it must match across restarts — the journal records
+	// it and Resume refuses a mismatch.
 	CheckpointEvery int
 }
+
+// defaultStreamHistory is the per-job SSE ring capacity when
+// Config.StreamHistory is zero — enough for the paper's full 33×6
+// evaluation matrix to replay without eviction.
+const defaultStreamHistory = 256
 
 // journalVersion versions the job journal entry layout.
 const journalVersion = 1
@@ -71,53 +103,63 @@ type jobEntry struct {
 	MaxCycles       int          `json:"max_cycles"`
 }
 
-// job is one submitted sweep and its live scheduling state.
+// job is one submitted sweep and its live scheduling state. Lock order:
+// the Server mutex may be held while taking job.mu, never the reverse.
 type job struct {
 	mu     sync.Mutex
 	rec    muontrap.Job
-	resume bool // run with WithResume (set by Resume after an interruption)
+	resume bool // run with WithResume (set by Resume and by preemption)
 	// incompat, when non-empty, names the identity-flag mismatch between
 	// this journaled job and the daemon's current configuration; resume
 	// is refused (409) so the differently-configured attempt cannot
 	// store its result under the job's old cache key.
 	incompat string
+	// tenant is the submitting tenant's live quota state (nil on an open
+	// daemon, or when a journaled job's tenant is no longer configured).
+	// The pointer is immutable; its counters are guarded by Server.mu.
+	tenant *tenant
 
 	cancel    context.CancelFunc
 	cancelled bool // DELETE requested (distinguishes user cancel from server death)
+	// preempt marks a running bulk attempt that the scheduler is driving
+	// to a resumable boundary so an interactive job can take its slot.
+	// The unwound attempt re-queues (resume=true) instead of finishing.
+	preempt bool
 
-	subs map[chan streamEvent]struct{}
-	// history retains every published progress frame for the current
-	// attempt, so a subscriber attaching at any point — even after the
-	// job finished — replays the complete per-cell sequence instead of
-	// only the frames published after it connected.
-	history []streamEvent
-	result  *muontrap.SweepResult
-}
+	// seq numbers published SSE frames; monotonic across attempts so
+	// Last-Event-ID cursors stay unambiguous. ring retains the most
+	// recent frames; subs are pull-model subscribers (see stream.go).
+	seq  uint64
+	ring *eventRing
+	subs map[*subscriber]struct{}
 
-// streamEvent is one SSE frame: an event name and its JSON payload.
-type streamEvent struct {
-	name string
-	data []byte
+	result *muontrap.SweepResult
 }
 
 // Server is the experiment service: it accepts declarative sweep
-// submissions over HTTP, executes them on a bounded pool of
-// muontrap.Runners, streams per-cell progress over SSE, journals job
-// lifecycle under Config.Dir so a killed daemon's jobs are resumable,
-// and serves completed results by job ID or content cache key. It
-// implements http.Handler.
+// submissions over HTTP, schedules them by priority class on a bounded
+// pool of muontrap.Runners with per-tenant admission control, streams
+// per-cell progress over SSE, journals job lifecycle under Config.Dir so
+// a killed daemon's jobs are resumable, and serves completed results by
+// job ID or content cache key. It implements http.Handler.
 type Server struct {
-	cfg Config
-	mux *http.ServeMux
+	cfg     Config
+	mux     *http.ServeMux
+	tenants *tenantTable // nil = open mode
 
 	ctx  context.Context // cancelled by Close; job contexts derive from it
 	stop context.CancelFunc
 	wg   sync.WaitGroup
-	sem  chan struct{}
 
-	mu    sync.Mutex
-	jobs  map[string]*job
-	order []string // submission order, for deterministic listing
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string  // submission order, for deterministic listing
+	pending [2][]*job // FIFO dispatch queues: [0] interactive, [1] bulk
+	running map[*job]struct{}
+	started []*job // running jobs in dispatch order (preemption picks the newest bulk)
+
+	shedQuota    uint64 // submissions shed 429 (per-tenant quota)
+	shedCapacity uint64 // submissions shed 503 (whole-daemon queue bound)
 }
 
 // New builds a Server and, when cfg.Dir is set, loads the job journal:
@@ -127,13 +169,24 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = 1
 	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.StreamWriteTimeout <= 0 {
+		cfg.StreamWriteTimeout = 30 * time.Second
+	}
+	tbl, err := newTenantTable(cfg.Tenants)
+	if err != nil {
+		return nil, err
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:  cfg,
-		ctx:  ctx,
-		stop: stop,
-		sem:  make(chan struct{}, cfg.MaxJobs),
-		jobs: make(map[string]*job),
+		cfg:     cfg,
+		tenants: tbl,
+		ctx:     ctx,
+		stop:    stop,
+		jobs:    make(map[string]*job),
+		running: make(map[*job]struct{}),
 	}
 	s.routes()
 	if err := s.loadJournal(); err != nil {
@@ -143,13 +196,94 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// newJob allocates the live-state shell around a job record.
+func (s *Server) newJob(rec muontrap.Job) *job {
+	return &job{
+		rec:    rec,
+		ring:   newEventRing(s.cfg.StreamHistory),
+		subs:   make(map[*subscriber]struct{}),
+		tenant: s.tenants.owner(rec.Tenant),
+	}
+}
+
 // Close cancels every in-flight job context and waits for job goroutines
 // to unwind. It deliberately does NOT journal a terminal state for
 // running jobs: like a kill, it leaves them recorded as queued/running so
 // the next daemon sees them as interrupted and can resume them.
-func (s *Server) Close() {
+func (s *Server) Close() { s.Shutdown(context.Background()) }
+
+// Shutdown cancels every in-flight job context and waits for the drain,
+// bounded by ctx. If ctx expires first, the jobs still holding runner
+// slots are journaled as interrupted — so the next daemon can resume
+// them even though this one is abandoning their goroutines — and their
+// IDs are returned (sorted) for the caller to log. A nil return means
+// the drain completed.
+func (s *Server) Shutdown(ctx context.Context) []string {
 	s.stop()
-	s.wg.Wait()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	s.mu.Lock()
+	stuck := make([]*job, 0, len(s.running))
+	for j := range s.running {
+		stuck = append(stuck, j)
+	}
+	s.mu.Unlock()
+	var abandoned []string
+	for _, j := range stuck {
+		j.mu.Lock()
+		terminal := j.rec.State.Terminal()
+		if !terminal {
+			j.rec.State = muontrap.JobInterrupted
+			abandoned = append(abandoned, j.rec.ID)
+		}
+		j.mu.Unlock()
+		if !terminal {
+			s.persist(j)
+		}
+	}
+	sort.Strings(abandoned)
+	return abandoned
+}
+
+// Stats is the readiness view behind /v1/healthz: scheduler load and
+// load-shedding counters.
+type Stats struct {
+	Jobs       int `json:"jobs"`        // jobs known (all states)
+	QueueDepth int `json:"queue_depth"` // jobs waiting for a runner slot
+	Running    int `json:"running"`     // jobs holding a runner slot
+	MaxJobs    int `json:"max_jobs"`
+	MaxQueue   int `json:"max_queue"` // 0 = unbounded
+	// Shed counters, monotonic over the daemon's life.
+	ShedOverQuota    uint64 `json:"shed_over_quota"`    // 429: per-tenant quota
+	ShedOverCapacity uint64 `json:"shed_over_capacity"` // 503: whole-daemon queue bound
+	Tenants          int    `json:"tenants"`            // configured tenants (0 = open)
+}
+
+// Stats snapshots the scheduler's readiness counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Jobs:             len(s.jobs),
+		QueueDepth:       len(s.pending[0]) + len(s.pending[1]),
+		Running:          len(s.running),
+		MaxJobs:          s.cfg.MaxJobs,
+		MaxQueue:         s.cfg.MaxQueue,
+		ShedOverQuota:    s.shedQuota,
+		ShedOverCapacity: s.shedCapacity,
+	}
+	if s.tenants != nil {
+		st.Tenants = len(s.tenants.byName)
+	}
+	return st
 }
 
 // InterruptedJobs lists the IDs of jobs loaded from the journal in an
@@ -170,103 +304,212 @@ func (s *Server) InterruptedJobs() []string {
 	return ids
 }
 
-// ResumeJob re-enters a terminal, non-done job into the queue with the
-// checkpoint-resume path enabled. It is the engine behind POST
-// /v1/jobs/{id}/resume (and the daemon's -auto-resume).
-func (s *Server) ResumeJob(id string) (muontrap.Job, error) {
-	s.mu.Lock()
-	j, ok := s.jobs[id]
-	s.mu.Unlock()
-	if !ok {
-		return muontrap.Job{}, fmt.Errorf("%w %q", muontrap.ErrUnknownJob, id)
-	}
-	j.mu.Lock()
-	switch j.rec.State {
-	case muontrap.JobInterrupted, muontrap.JobCancelled, muontrap.JobFailed:
-	default:
-		state := j.rec.State
-		j.mu.Unlock()
-		return muontrap.Job{}, &conflictError{fmt.Sprintf(
-			"job %s is %s; only interrupted, cancelled or failed jobs can be resumed", id, state)}
-	}
-	if j.incompat != "" {
-		msg := j.incompat
-		j.mu.Unlock()
-		return muontrap.Job{}, &conflictError{msg}
-	}
-	j.rec.State = muontrap.JobQueued
-	j.rec.Error = ""
-	j.rec.FinishedAt = ""
-	j.rec.Done = 0
-	j.resume = true
-	j.cancelled = false
-	j.subs = make(map[chan streamEvent]struct{})
-	j.history = nil // the resumed attempt streams its own full sequence
-	rec := j.rec
-	j.mu.Unlock()
-	s.persist(j)
-	s.start(j)
-	return rec, nil
-}
-
 // conflictError marks a request that names a real resource in the wrong
 // state (HTTP 409).
 type conflictError struct{ msg string }
 
 func (e *conflictError) Error() string { return e.msg }
 
+// shedError is an admission refusal: the request was not queued, and
+// the client should retry after the hinted delay. Status 429 is a
+// per-tenant quota, 503 the whole-daemon queue bound.
+type shedError struct {
+	status     int
+	retryAfter time.Duration
+	msg        string
+}
+
+func (e *shedError) Error() string { return e.msg }
+
+// forbiddenError marks an authenticated request acting on another
+// tenant's job (HTTP 403).
+type forbiddenError struct{ msg string }
+
+func (e *forbiddenError) Error() string { return e.msg }
+
+// prioIndex maps a priority class to its dispatch queue.
+func prioIndex(p muontrap.Priority) int {
+	if p == muontrap.PriorityInteractive {
+		return 0
+	}
+	return 1
+}
+
 // submit validates a sweep, assigns it a job ID and cache key, and either
-// completes it instantly from the stored result or queues it. The bool
-// reports whether the result was served from the content cache.
-func (s *Server) submit(sw muontrap.Sweep) (muontrap.Job, bool, error) {
+// completes it instantly from the stored result, or admits it against the
+// queue bound and the tenant's quota and schedules it. The bool reports
+// whether the result was served from the content cache.
+func (s *Server) submit(sw muontrap.Sweep, prio muontrap.Priority, tn *tenant) (muontrap.Job, bool, error) {
 	if err := validateSweep(sw); err != nil {
+		return muontrap.Job{}, false, err
+	}
+	prio, err := muontrap.ParsePriority(string(prio))
+	if err != nil {
 		return muontrap.Job{}, false, err
 	}
 	key := s.cacheKey(sw)
 	total := len(sw.Workloads) * len(sw.Schemes) * len(s.effectiveScales(sw))
-	j := &job{
-		rec: muontrap.Job{
-			ID:          newJobID(),
-			State:       muontrap.JobQueued,
-			Sweep:       sw,
-			CacheKey:    key,
-			Total:       total,
-			SubmittedAt: time.Now().UTC().Format(time.RFC3339),
-		},
-		subs: make(map[chan streamEvent]struct{}),
+	rec := muontrap.Job{
+		ID:          newJobID(),
+		State:       muontrap.JobQueued,
+		Sweep:       sw,
+		CacheKey:    key,
+		Priority:    prio,
+		Total:       total,
+		SubmittedAt: time.Now().UTC().Format(time.RFC3339),
 	}
+	if tn != nil {
+		rec.Tenant = tn.Name
+	}
+	j := s.newJob(rec)
+	j.tenant = tn
 
 	// A stored result for this exact matrix + options + binary means the
-	// job is already done: content keys make resubmission free.
+	// job is already done: content keys make resubmission free, and a
+	// born-done job consumes neither queue depth nor quota.
 	if res, ok := s.loadResult(key); ok {
 		j.rec.State = muontrap.JobDone
 		j.rec.Done = total
 		j.rec.FinishedAt = j.rec.SubmittedAt
 		j.result = res
-		s.register(j)
+		s.mu.Lock()
+		s.registerLocked(j)
+		s.mu.Unlock()
 		s.persist(j)
 		return j.snapshot(), true, nil
 	}
 
-	s.register(j)
+	s.mu.Lock()
+	if err := s.admitLocked(tn); err != nil {
+		s.mu.Unlock()
+		return muontrap.Job{}, false, err
+	}
+	if tn != nil {
+		tn.queued++
+	}
+	s.registerLocked(j)
+	s.pending[prioIndex(prio)] = append(s.pending[prioIndex(prio)], j)
+	s.dispatchLocked()
+	s.mu.Unlock()
 	s.persist(j)
-	s.start(j)
 	return j.snapshot(), false, nil
 }
 
-// register adds a job to the in-memory table in submission order.
-func (s *Server) register(j *job) {
-	s.mu.Lock()
-	s.jobs[j.rec.ID] = j
-	s.order = append(s.order, j.rec.ID)
-	s.mu.Unlock()
+// admitLocked applies admission control for one enqueue: the global
+// queue bound first (the daemon protecting itself), then the tenant's
+// queued quota (tenants protecting each other).
+func (s *Server) admitLocked(tn *tenant) error {
+	if s.cfg.MaxQueue > 0 && len(s.pending[0])+len(s.pending[1]) >= s.cfg.MaxQueue {
+		s.shedCapacity++
+		return &shedError{
+			status:     http.StatusServiceUnavailable,
+			retryAfter: s.cfg.RetryAfter,
+			msg:        fmt.Sprintf("submission queue is full (%d waiting, bound %d); retry later", len(s.pending[0])+len(s.pending[1]), s.cfg.MaxQueue),
+		}
+	}
+	if tn != nil && tn.MaxQueued > 0 && tn.queued >= tn.MaxQueued {
+		s.shedQuota++
+		return &shedError{
+			status:     http.StatusTooManyRequests,
+			retryAfter: s.cfg.RetryAfter,
+			msg:        fmt.Sprintf("tenant %s has %d jobs queued (quota %d); retry later", tn.Name, tn.queued, tn.MaxQueued),
+		}
+	}
+	return nil
 }
 
-// start launches the job goroutine: wait for a pool slot, run the sweep,
-// record the outcome. Server death (s.ctx) and job cancellation share
-// one derived context, so both abort the simulation inside its cycle
-// loop; the finish path distinguishes them.
-func (s *Server) start(j *job) {
+// registerLocked adds a job to the in-memory table in submission order.
+func (s *Server) registerLocked(j *job) {
+	s.jobs[j.rec.ID] = j
+	s.order = append(s.order, j.rec.ID)
+}
+
+// tenantCanRunLocked reports whether dispatching j now would respect its
+// tenant's running quota.
+func (s *Server) tenantCanRunLocked(j *job) bool {
+	tn := j.tenant
+	return tn == nil || tn.MaxRunning == 0 || tn.running < tn.MaxRunning
+}
+
+// popLocked removes and returns the next dispatchable job: interactive
+// before bulk, FIFO within a class, skipping (not shedding) jobs whose
+// tenant is at its running quota. Nil when nothing is dispatchable.
+func (s *Server) popLocked() *job {
+	for class := range s.pending {
+		for i, j := range s.pending[class] {
+			if s.tenantCanRunLocked(j) {
+				s.pending[class] = append(s.pending[class][:i:i], s.pending[class][i+1:]...)
+				return j
+			}
+		}
+	}
+	return nil
+}
+
+// dispatchLocked fills free runner slots from the priority queues, then
+// — when interactive work is still waiting with every slot busy —
+// preempts bulk jobs to free slots for it. Callers hold s.mu.
+func (s *Server) dispatchLocked() {
+	if s.ctx.Err() != nil {
+		return // shutting down: strand queued jobs for the journal
+	}
+	for len(s.running) < s.cfg.MaxJobs {
+		j := s.popLocked()
+		if j == nil {
+			break
+		}
+		s.running[j] = struct{}{}
+		s.started = append(s.started, j)
+		if j.tenant != nil {
+			j.tenant.queued--
+			j.tenant.running++
+		}
+		s.startLocked(j)
+	}
+	s.preemptLocked()
+}
+
+// preemptLocked drives running bulk jobs to a resumable boundary when
+// interactive jobs are waiting and every slot is busy. The victim is the
+// most recently dispatched bulk job (least sunk work beyond its last
+// checkpoint); its context is cancelled, and finish re-queues it with
+// resume enabled instead of recording a terminal state.
+func (s *Server) preemptLocked() {
+	if len(s.running) < s.cfg.MaxJobs {
+		return // a slot is free; anything still queued is tenant-capped
+	}
+	need := 0
+	for _, j := range s.pending[0] {
+		if s.tenantCanRunLocked(j) {
+			need++
+		}
+	}
+	if need == 0 {
+		return
+	}
+	// Slots already unwinding toward a free state count against need.
+	for j := range s.running {
+		j.mu.Lock()
+		if j.preempt {
+			need--
+		}
+		j.mu.Unlock()
+	}
+	for i := len(s.started) - 1; i >= 0 && need > 0; i-- {
+		j := s.started[i]
+		j.mu.Lock()
+		if j.rec.Priority != muontrap.PriorityInteractive && !j.preempt && !j.cancelled && j.cancel != nil {
+			j.preempt = true
+			j.cancel()
+			need--
+		}
+		j.mu.Unlock()
+	}
+}
+
+// startLocked hands a dispatched job its context and launches the run
+// goroutine. Callers hold s.mu.
+func (s *Server) startLocked(j *job) {
 	ctx, cancel := context.WithCancel(s.ctx)
 	j.mu.Lock()
 	j.cancel = cancel
@@ -285,18 +528,12 @@ func (s *Server) start(j *job) {
 	go func() {
 		defer s.wg.Done()
 		defer cancel()
-		select {
-		case s.sem <- struct{}{}:
-			defer func() { <-s.sem }()
-		case <-ctx.Done():
-			s.finish(j, nil, ctx.Err())
-			return
-		}
 		if !j.setRunning() {
+			// Reached a terminal state between dispatch and start.
+			s.releaseSlot(j)
 			return
 		}
 		s.persist(j)
-
 		r := muontrap.NewRunner(
 			muontrap.WithWorkers(s.cfg.Workers),
 			muontrap.WithCacheDir(s.cfg.Dir),
@@ -324,8 +561,38 @@ func (j *job) setRunning() bool {
 	return true
 }
 
+// releaseSlot returns a job's runner slot to the scheduler and
+// re-dispatches.
+func (s *Server) releaseSlot(j *job) {
+	s.mu.Lock()
+	s.releaseSlotLocked(j)
+	s.dispatchLocked()
+	s.mu.Unlock()
+}
+
+// releaseSlotLocked removes j from the running set and its tenant's
+// running count. Callers hold s.mu.
+func (s *Server) releaseSlotLocked(j *job) {
+	if _, held := s.running[j]; !held {
+		return
+	}
+	delete(s.running, j)
+	for i, r := range s.started {
+		if r == j {
+			s.started = append(s.started[:i:i], s.started[i+1:]...)
+			break
+		}
+	}
+	if j.tenant != nil {
+		j.tenant.running--
+	}
+}
+
 // finish records a sweep outcome and wakes every stream subscriber with
-// the terminal event. The one deliberately un-journaled transition is
+// the terminal event — except for a preempted attempt, which is not an
+// outcome at all: the job re-enters the queue as resumable, subscribers
+// stay attached, and the resumed attempt streams its cells under fresh
+// frame ids. The one deliberately un-journaled transition is
 // interruption by server shutdown: that job keeps its journaled
 // queued/running state, exactly as if the process had been SIGKILLed,
 // so the next daemon marks it interrupted and can resume it. Every real
@@ -336,16 +603,42 @@ func (s *Server) finish(j *job, res *muontrap.SweepResult, err error) {
 	serverDying := s.ctx.Err() != nil
 
 	j.mu.Lock()
+	if err != nil && j.preempt && !j.cancelled && !serverDying {
+		// Preempted for an interactive job. The attempt unwound at its
+		// latest checkpointable boundary; re-queue it resumable, in its
+		// own priority class, behind work already waiting.
+		j.preempt = false
+		j.resume = true
+		j.cancel = nil
+		j.rec.State = muontrap.JobQueued
+		j.rec.Done = 0
+		j.ring.clear()
+		class := prioIndex(j.rec.Priority)
+		j.mu.Unlock()
+		s.persist(j)
+		s.mu.Lock()
+		s.releaseSlotLocked(j)
+		if j.tenant != nil {
+			j.tenant.queued++
+		}
+		s.pending[class] = append(s.pending[class], j)
+		s.dispatchLocked()
+		s.mu.Unlock()
+		return
+	}
+
+	j.preempt = false
 	switch {
 	case err == nil:
 		j.rec.State = muontrap.JobDone
 		j.rec.Done = j.rec.Total
 		j.result = res
-		// The per-cell frame history (every counter map, once per cell)
-		// has done its job: late subscribers to a done job get their
-		// replay synthesized from the result instead, so a long-lived
-		// daemon does not hold every sweep's progress frames forever.
-		j.history = nil
+		// The ring keeps its frames: a subscriber mid-replay continues
+		// through the real (completion-ordered) sequence it was reading.
+		// Memory stays bounded — the ring never exceeds its capacity —
+		// and subscribers arriving after the frames are gone (daemon
+		// restart, born-done cache hits) get a replay synthesized from
+		// the result instead.
 	case j.cancelled:
 		j.rec.State = muontrap.JobCancelled
 	case serverDying:
@@ -356,10 +649,9 @@ func (s *Server) finish(j *job, res *muontrap.SweepResult, err error) {
 	}
 	j.rec.FinishedAt = time.Now().UTC().Format(time.RFC3339)
 	state := j.rec.State
-	for ch := range j.subs {
-		close(ch)
+	for sub := range j.subs {
+		sub.poke()
 	}
-	j.subs = nil
 	key := j.rec.CacheKey
 	j.mu.Unlock()
 
@@ -376,88 +668,178 @@ func (s *Server) finish(j *job, res *muontrap.SweepResult, err error) {
 	if state != muontrap.JobInterrupted {
 		s.persist(j)
 	}
+	s.releaseSlot(j)
 }
 
-// cancelJob aborts a queued or running job. The state flips to cancelled
-// when the simulation has actually unwound (promptly: the cycle loop
-// polls its context every 64 simulated cycles), so the returned snapshot
-// may still say running.
+// cancelJob aborts a queued or running job. A job still waiting in the
+// dispatch queue — one that never held a runner slot — transitions
+// queued → cancelled synchronously, consuming nothing; a running job's
+// state flips once the simulation has actually unwound (promptly: the
+// cycle loop polls its context every 64 simulated cycles), so the
+// returned snapshot may still say running.
 func (s *Server) cancelJob(id string) (muontrap.Job, error) {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
-	s.mu.Unlock()
 	if !ok {
+		s.mu.Unlock()
 		return muontrap.Job{}, fmt.Errorf("%w %q", muontrap.ErrUnknownJob, id)
 	}
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	switch j.rec.State {
-	case muontrap.JobQueued, muontrap.JobRunning:
-		// The flag alone suffices even when j.cancel is nil or stale
-		// (DELETE racing the attempt's start): start() re-checks it
-		// under this mutex and pre-cancels the fresh context.
+	case muontrap.JobQueued:
+		if s.removePendingLocked(j) {
+			// Never dispatched: cancel is synchronous and slot-free.
+			j.cancelled = true
+			j.rec.State = muontrap.JobCancelled
+			j.rec.FinishedAt = time.Now().UTC().Format(time.RFC3339)
+			if j.tenant != nil {
+				j.tenant.queued--
+			}
+			for sub := range j.subs {
+				sub.poke()
+			}
+			rec := j.rec
+			j.mu.Unlock()
+			s.dispatchLocked() // a preemption may now be unnecessary; harmless otherwise
+			s.mu.Unlock()
+			s.persist(j)
+			return rec, nil
+		}
+		// Dispatched but not yet running: flag + cancel, the attempt
+		// unwinds into cancelled through finish.
+		j.cancelled = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	case muontrap.JobRunning:
 		j.cancelled = true
 		if j.cancel != nil {
 			j.cancel()
 		}
 	case muontrap.JobCancelled: // idempotent
 	default:
-		return muontrap.Job{}, &conflictError{fmt.Sprintf("job %s is %s and cannot be cancelled", id, j.rec.State)}
+		state := j.rec.State
+		j.mu.Unlock()
+		s.mu.Unlock()
+		return muontrap.Job{}, &conflictError{fmt.Sprintf("job %s is %s and cannot be cancelled", id, state)}
 	}
-	return j.rec, nil
+	rec := j.rec
+	j.mu.Unlock()
+	s.mu.Unlock()
+	return rec, nil
 }
 
-// publishProgress mirrors one completed cell to the job record, the
-// replay history, and every live stream subscriber. Sends never block
-// the worker pool: a slow subscriber drops live frames (it already holds
-// the history up to its attach point; the terminal event and the result
-// are delivered through other paths and never dropped).
+// removePendingLocked drops j from whichever dispatch queue holds it,
+// reporting whether it was found. Callers hold s.mu.
+func (s *Server) removePendingLocked(j *job) bool {
+	for class := range s.pending {
+		for i, p := range s.pending[class] {
+			if p == j {
+				s.pending[class] = append(s.pending[class][:i:i], s.pending[class][i+1:]...)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ResumeJob re-enters a terminal, non-done job into the queue with the
+// checkpoint-resume path enabled, against the same admission control as
+// a fresh submission (the job's own tenant pays the quota). It is the
+// engine behind POST /v1/jobs/{id}/resume (and the daemon's
+// -auto-resume).
+func (s *Server) ResumeJob(id string) (muontrap.Job, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return muontrap.Job{}, fmt.Errorf("%w %q", muontrap.ErrUnknownJob, id)
+	}
+	j.mu.Lock()
+	switch j.rec.State {
+	case muontrap.JobInterrupted, muontrap.JobCancelled, muontrap.JobFailed:
+	default:
+		state := j.rec.State
+		j.mu.Unlock()
+		s.mu.Unlock()
+		return muontrap.Job{}, &conflictError{fmt.Sprintf(
+			"job %s is %s; only interrupted, cancelled or failed jobs can be resumed", id, state)}
+	}
+	if j.incompat != "" {
+		msg := j.incompat
+		j.mu.Unlock()
+		s.mu.Unlock()
+		return muontrap.Job{}, &conflictError{msg}
+	}
+	if err := s.admitLocked(j.tenant); err != nil {
+		j.mu.Unlock()
+		s.mu.Unlock()
+		return muontrap.Job{}, err
+	}
+	j.rec.State = muontrap.JobQueued
+	j.rec.Error = ""
+	j.rec.FinishedAt = ""
+	j.rec.Done = 0
+	j.resume = true
+	j.cancelled = false
+	j.preempt = false
+	j.cancel = nil
+	j.ring.clear() // the resumed attempt streams its own full sequence
+	rec := j.rec
+	class := prioIndex(j.rec.Priority)
+	j.mu.Unlock()
+	if j.tenant != nil {
+		j.tenant.queued++
+	}
+	s.pending[class] = append(s.pending[class], j)
+	s.dispatchLocked()
+	s.mu.Unlock()
+	s.persist(j)
+	return rec, nil
+}
+
+// publishProgress mirrors one completed cell to the job record and the
+// frame ring, and pokes every subscriber. Publishing never blocks on a
+// consumer: subscribers pull frames from the ring at their own cursor.
 func (j *job) publishProgress(p muontrap.Progress) {
 	data, err := json.Marshal(p)
 	if err != nil {
 		return
 	}
-	ev := streamEvent{name: "progress", data: data}
 	j.mu.Lock()
 	j.rec.Done = p.Done
 	j.rec.Total = p.Total
-	j.history = append(j.history, ev)
-	for ch := range j.subs {
-		select {
-		case ch <- ev:
-		default:
-		}
+	j.seq++
+	j.ring.append(streamEvent{id: j.seq, name: "progress", data: data})
+	for sub := range j.subs {
+		sub.poke()
 	}
 	j.mu.Unlock()
 }
 
-// subscribe registers a stream listener and returns it with the current
-// job snapshot and the progress frames published before it attached
-// (replayed first, so every subscriber sees the complete sequence). For
-// a job already in a terminal state the channel comes back closed, so
-// the handler falls straight through to the terminal event after the
-// replay.
-func (j *job) subscribe() (chan streamEvent, []streamEvent, muontrap.Job) {
-	ch := make(chan streamEvent, 256)
+// attach registers a stream subscriber.
+func (j *job) attach() *subscriber {
+	sub := &subscriber{wake: make(chan struct{}, 1)}
+	j.mu.Lock()
+	j.subs[sub] = struct{}{}
+	j.mu.Unlock()
+	return sub
+}
+
+// detach removes a stream subscriber (client went away or was shed).
+func (j *job) detach(sub *subscriber) {
+	j.mu.Lock()
+	delete(j.subs, sub)
+	j.mu.Unlock()
+}
+
+// eventsSince atomically snapshots the retained frames newer than
+// cursor and the job record, so a subscriber observes frames and the
+// terminal state in a consistent order.
+func (j *job) eventsSince(cursor uint64) ([]streamEvent, muontrap.Job) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	replay := append([]streamEvent(nil), j.history...)
-	if j.subs == nil || j.rec.State.Terminal() {
-		close(ch)
-		return ch, replay, j.rec
-	}
-	j.subs[ch] = struct{}{}
-	return ch, replay, j.rec
-}
-
-// unsubscribe detaches a stream listener (client went away mid-run).
-func (j *job) unsubscribe(ch chan streamEvent) {
-	j.mu.Lock()
-	if _, ok := j.subs[ch]; ok {
-		delete(j.subs, ch)
-		close(ch)
-	}
-	j.mu.Unlock()
+	return j.ring.since(cursor), j.rec
 }
 
 // snapshot returns a copy of the public record.
@@ -541,6 +923,8 @@ func (s *Server) effectiveScales(sw muontrap.Sweep) []float64 {
 // (scales, cycle bound, warm-up depth, checkpoint cadence), and the
 // simulator build fingerprint. Worker count is deliberately absent: the
 // repo's determinism tests pin that parallelism never changes results.
+// Priority and tenant are absent for the same reason — they decide when
+// a result is computed, never what it is.
 func (s *Server) cacheKey(sw muontrap.Sweep) string {
 	maxCycles := sw.MaxCycles
 	if maxCycles <= 0 {
@@ -712,7 +1096,8 @@ func (s *Server) compatible(e jobEntry) error {
 
 // loadJournal restores the job table from Dir/service/jobs. Jobs the
 // dead process left queued or running become interrupted — the crash
-// window restart-resume exists for. Resumable entries recorded under
+// window restart-resume exists for — and jobs an expired drain timeout
+// journaled as interrupted stay so. Resumable entries recorded under
 // different identity-affecting flags (checkpoint cadence, warmup,
 // scale, cycle bound) load but refuse resume; see compatible.
 func (s *Server) loadJournal() error {
@@ -763,13 +1148,18 @@ func (s *Server) loadJournal() error {
 		rec := e.Job
 		switch rec.State {
 		case muontrap.JobQueued, muontrap.JobRunning:
-			// The interrupted state is derived, never journaled: the
-			// journal keeps saying queued/running (what death left
+			// The interrupted state is normally derived, never journaled:
+			// the journal keeps saying queued/running (what death left
 			// behind), and every restart re-derives the same picture.
 			rec.State = muontrap.JobInterrupted
 			rec.Done = 0
+		case muontrap.JobInterrupted:
+			// Journaled explicitly by an expired drain timeout
+			// (Shutdown): the previous daemon abandoned the run on its
+			// way out. Same resumable picture.
+			rec.Done = 0
 		}
-		j := &job{rec: rec, subs: make(map[chan streamEvent]struct{})}
+		j := s.newJob(rec)
 		// Done jobs never re-run, so they place no constraint on this
 		// daemon's flags; any resumable entry recorded under different
 		// identity-affecting flags loads but refuses resume.

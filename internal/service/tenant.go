@@ -1,0 +1,127 @@
+package service
+
+import (
+	"crypto/subtle"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Tenant declares one API key and its admission quotas. A Server
+// configured with a non-empty tenant list requires every request
+// (except /v1/healthz) to authenticate with a configured key; quotas
+// then bound how much of the daemon a single key can occupy, so one
+// tenant flooding submissions degrades into its own 429s instead of
+// starving everyone else's queue.
+type Tenant struct {
+	// Name identifies the tenant in job records, quota errors and logs.
+	// The key itself is never journaled or echoed.
+	Name string `json:"name"`
+	// Key is the API key, presented as "Authorization: Bearer <key>" or
+	// "X-API-Key: <key>".
+	Key string `json:"key"`
+	// MaxQueued caps this tenant's jobs waiting for a runner slot;
+	// submissions beyond it are shed with 429 + Retry-After. Zero means
+	// unlimited.
+	MaxQueued int `json:"max_queued"`
+	// MaxRunning caps this tenant's concurrently executing jobs. Jobs
+	// over the cap stay queued (they are not shed); the dispatcher
+	// skips them until a slot of theirs frees. Zero means unlimited.
+	MaxRunning int `json:"max_running"`
+}
+
+// LoadTenants reads a tenants file: a JSON array of Tenant objects.
+//
+//	[{"name": "alice", "key": "sk-alice", "max_queued": 8, "max_running": 1}]
+func LoadTenants(path string) ([]Tenant, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenants file: %w", err)
+	}
+	var ts []Tenant
+	if err := json.Unmarshal(b, &ts); err != nil {
+		return nil, fmt.Errorf("tenants file %s: %w", path, err)
+	}
+	return ts, nil
+}
+
+// tenant is a configured Tenant plus its live admission counters, all
+// guarded by the Server mutex.
+type tenant struct {
+	Tenant
+	queued  int // jobs admitted but not yet holding a runner slot
+	running int // jobs currently holding a runner slot
+}
+
+// tenantTable indexes the configured tenants by key (for auth) and by
+// name (for re-binding journaled jobs after a restart).
+type tenantTable struct {
+	byKey  map[string]*tenant
+	byName map[string]*tenant
+}
+
+// newTenantTable validates and indexes the configured tenants. An empty
+// list yields a nil table: the daemon runs open (no auth, no quotas),
+// exactly as before tenancy existed.
+func newTenantTable(ts []Tenant) (*tenantTable, error) {
+	if len(ts) == 0 {
+		return nil, nil
+	}
+	tbl := &tenantTable{
+		byKey:  make(map[string]*tenant, len(ts)),
+		byName: make(map[string]*tenant, len(ts)),
+	}
+	for _, cfg := range ts {
+		if cfg.Name == "" || cfg.Key == "" {
+			return nil, fmt.Errorf("tenant %+v: name and key are both required", cfg)
+		}
+		if cfg.MaxQueued < 0 || cfg.MaxRunning < 0 {
+			return nil, fmt.Errorf("tenant %s: negative quota", cfg.Name)
+		}
+		if _, dup := tbl.byName[cfg.Name]; dup {
+			return nil, fmt.Errorf("duplicate tenant name %q", cfg.Name)
+		}
+		if _, dup := tbl.byKey[cfg.Key]; dup {
+			return nil, fmt.Errorf("duplicate tenant key (name %q)", cfg.Name)
+		}
+		tn := &tenant{Tenant: cfg}
+		tbl.byName[cfg.Name] = tn
+		tbl.byKey[cfg.Key] = tn
+	}
+	return tbl, nil
+}
+
+// authenticate resolves a presented API key in constant time per
+// configured tenant, so key lookup leaks no prefix-length timing.
+func (t *tenantTable) authenticate(key string) *tenant {
+	if t == nil || key == "" {
+		return nil
+	}
+	var found *tenant
+	for k, tn := range t.byKey {
+		if subtle.ConstantTimeCompare([]byte(k), []byte(key)) == 1 {
+			found = tn
+		}
+	}
+	return found
+}
+
+// owner resolves a journaled job's tenant name back to its live state;
+// nil when the daemon no longer configures that tenant (the job stays
+// serviceable, just unaccounted).
+func (t *tenantTable) owner(name string) *tenant {
+	if t == nil || name == "" {
+		return nil
+	}
+	return t.byName[name]
+}
+
+// canCancel reports whether a request authenticated as tn may cancel or
+// resume a job owned by owner. Open-mode daemons (nil table) and
+// orphaned jobs (owner "") are unrestricted.
+func (t *tenantTable) canCancel(tn *tenant, owner string) bool {
+	if t == nil || owner == "" {
+		return true
+	}
+	return tn != nil && tn.Name == owner
+}

@@ -5,10 +5,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/muontrap"
 )
@@ -18,10 +22,21 @@ import (
 // the primitive verbs, Sweep composes them into the blocking call shape
 // Runner.Sweep has. A Client is immutable after New and safe for
 // concurrent use.
+//
+// Against a hardened daemon the client is resilient by construction:
+// WithAPIKey authenticates every request, and WithRetries(n) turns shed
+// responses (429/503 + Retry-After) and transient transport failures
+// into bounded, jittered-backoff retries. Submission is idempotent by
+// cache key — an identical resubmission either lands as a fresh job or
+// is answered from the daemon's content-keyed result store — so Submit
+// is safe to replay even when a transport error hides whether the first
+// attempt arrived.
 type Client struct {
 	base     string
 	hc       *http.Client
 	progress func(muontrap.Progress)
+	apiKey   string
+	retries  int
 }
 
 // Option configures a Client at construction.
@@ -38,6 +53,21 @@ func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc
 func WithProgress(fn func(muontrap.Progress)) Option {
 	return func(c *Client) { c.progress = fn }
 }
+
+// WithAPIKey authenticates every request as the tenant owning key
+// ("Authorization: Bearer <key>"). Required against a daemon running
+// with -tenants; ignored by an open daemon.
+func WithAPIKey(key string) Option { return func(c *Client) { c.apiKey = key } }
+
+// WithRetries allows up to n additional attempts per request (default
+// 0: fail fast, the historical behavior). Retries apply to shed
+// responses (429/503, honoring the daemon's Retry-After hint), to
+// transient 5xx, and — for idempotent requests only (GETs, and Submit,
+// which is idempotent by cache key) — to transport errors, with
+// jittered exponential backoff between attempts. Streams reconnect with
+// Last-Event-ID under the same budget, resuming after the last frame
+// seen instead of replaying.
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
 
 // New builds a client for the daemon at base ("http://host:7077"; any
 // trailing slash is trimmed).
@@ -57,8 +87,11 @@ func New(base string, opts ...Option) *Client {
 // holds against a remote daemon exactly as it does in-process.
 type APIError struct {
 	Status  int    // HTTP status code
-	Code    string // machine-readable code ("unknown_workload", "conflict", …)
+	Code    string // machine-readable code ("unknown_workload", "over_quota", …)
 	Message string // human-readable message from the daemon
+	// RetryAfter is the daemon's Retry-After hint on shed (429/503)
+	// responses; zero when absent.
+	RetryAfter time.Duration
 }
 
 // Error renders the daemon's message with its code.
@@ -81,24 +114,103 @@ func (e *APIError) Unwrap() error {
 	return nil
 }
 
-// do performs one JSON request/response round trip. A non-2xx status is
-// decoded into an *APIError; out may be nil to discard the body.
+// retryableStatus reports whether a response status is worth retrying:
+// shed responses (429/503) are explicitly retry-later by contract, and
+// other 5xx are transient by convention (the daemon itself never 500s;
+// proxies and fault injectors do).
+func retryableStatus(status int) bool {
+	return status == http.StatusTooManyRequests || status >= 500
+}
+
+// backoff sleeps before retry attempt (0-based), honoring the server's
+// Retry-After hint when present and otherwise backing off exponentially
+// (base 100ms, cap 5s) with full jitter so a shed fleet of clients does
+// not return in lockstep. Cancelled contexts cut the sleep short.
+func backoff(ctx context.Context, attempt int, hint time.Duration) error {
+	d := hint
+	if d <= 0 {
+		max := 100 * time.Millisecond * (1 << min(attempt, 10))
+		if max > 5*time.Second {
+			max = 5 * time.Second
+		}
+		d = max/2 + rand.N(max/2)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// retryAfterOf extracts the Retry-After hint from an error, if any.
+func retryAfterOf(err error) time.Duration {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.RetryAfter
+	}
+	return 0
+}
+
+// do performs one JSON request/response round trip with the client's
+// retry budget. A non-2xx status is decoded into an *APIError; out may
+// be nil to discard the body.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	return c.doRetry(ctx, method, path, in, out, method == http.MethodGet)
+}
+
+// doRetry is do with an explicit idempotency claim: idempotent requests
+// may also be replayed after transport errors, where it is unknowable
+// whether the daemon acted on the lost attempt.
+func (c *Client) doRetry(ctx context.Context, method, path string, in, out any, idempotent bool) error {
+	var body []byte
 	if in != nil {
-		b, err := json.Marshal(in)
-		if err != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
 			return err
 		}
-		body = bytes.NewReader(b)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	for attempt := 0; ; attempt++ {
+		err := c.once(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		if attempt >= c.retries || ctx.Err() != nil {
+			return err
+		}
+		var apiErr *APIError
+		if errors.As(err, &apiErr) {
+			if !retryableStatus(apiErr.Status) {
+				return err
+			}
+		} else if !idempotent {
+			// Transport error on a non-idempotent request: the daemon may
+			// or may not have acted on it. Replaying could double the
+			// side effect; surface the ambiguity instead.
+			return err
+		}
+		if err := backoff(ctx, attempt, retryAfterOf(err)); err != nil {
+			return err
+		}
+	}
+}
+
+// once performs a single attempt.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	c.authorize(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -113,28 +225,63 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+// authorize attaches the configured API key.
+func (c *Client) authorize(req *http.Request) {
+	if c.apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.apiKey)
+	}
+}
+
 // decodeError turns a non-2xx response into an *APIError, preserving the
 // raw body when it is not the JSON envelope.
 func decodeError(resp *http.Response) error {
+	var retryAfter time.Duration
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
 	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	var e struct {
 		Code  string `json:"code"`
 		Error string `json:"error"`
 	}
 	if err := json.Unmarshal(b, &e); err != nil || e.Error == "" {
-		return &APIError{Status: resp.StatusCode, Code: "http_error", Message: strings.TrimSpace(string(b))}
+		return &APIError{Status: resp.StatusCode, Code: "http_error", Message: strings.TrimSpace(string(b)), RetryAfter: retryAfter}
 	}
-	return &APIError{Status: resp.StatusCode, Code: e.Code, Message: e.Error}
+	return &APIError{Status: resp.StatusCode, Code: e.Code, Message: e.Error, RetryAfter: retryAfter}
+}
+
+// submitRequest is the POST /v1/jobs body.
+type submitRequest struct {
+	Sweep    muontrap.Sweep `json:"sweep"`
+	Priority string         `json:"priority,omitempty"`
+}
+
+// SubmitOption customizes one submission.
+type SubmitOption func(*submitRequest)
+
+// WithPriority sets the submission's scheduling class. Interactive jobs
+// dispatch ahead of bulk jobs and preempt running bulk sweeps when every
+// runner slot is busy; the default (and the empty string) is bulk.
+func WithPriority(p muontrap.Priority) SubmitOption {
+	return func(r *submitRequest) { r.Priority = string(p) }
 }
 
 // Submit sends a sweep and returns the accepted job. A daemon holding a
 // stored result for this exact matrix (same options, same simulator
-// binary) returns the job already done.
-func (c *Client) Submit(ctx context.Context, sw muontrap.Sweep) (muontrap.Job, error) {
+// binary) returns the job already done. Submission is idempotent by
+// cache key, so with retries configured it is replayed even after
+// transport errors: the ambiguous attempt either never landed (the
+// replay is the submission) or landed as a job whose identical result
+// the replay's job will share.
+func (c *Client) Submit(ctx context.Context, sw muontrap.Sweep, opts ...SubmitOption) (muontrap.Job, error) {
+	req := submitRequest{Sweep: sw}
+	for _, o := range opts {
+		o(&req)
+	}
 	var job muontrap.Job
-	err := c.do(ctx, http.MethodPost, "/v1/jobs", struct {
-		Sweep muontrap.Sweep `json:"sweep"`
-	}{sw}, &job)
+	err := c.doRetry(ctx, http.MethodPost, "/v1/jobs", req, &job, true)
 	return job, err
 }
 
@@ -154,10 +301,10 @@ func (c *Client) Jobs(ctx context.Context) ([]muontrap.Job, error) {
 	return out.Jobs, err
 }
 
-// Cancel aborts a queued or running job. Cancellation is observed inside
-// the simulator's cycle loop; the job reaches the "cancelled" state once
-// in-flight cells have unwound (promptly, but not synchronously with
-// this call).
+// Cancel aborts a queued or running job. A job still waiting in the
+// dispatch queue cancels synchronously; a running job reaches the
+// "cancelled" state once in-flight cells have unwound (promptly, but
+// not synchronously with this call).
 func (c *Client) Cancel(ctx context.Context, id string) (muontrap.Job, error) {
 	var job muontrap.Job
 	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &job)
@@ -206,12 +353,44 @@ func (c *Client) Catalog(ctx context.Context) (muontrap.Catalog, error) {
 // and returns the terminal job snapshot. Each progress frame is handed
 // to onProgress (which may be nil). Cancelling ctx abandons the stream
 // without affecting the job.
+//
+// With retries configured, a dropped stream reconnects with
+// Last-Event-ID set to the last frame id received, so the daemon
+// resumes the feed after that frame — no progress frame is delivered
+// twice, and a subscriber the daemon shed for falling behind picks back
+// up where it left off.
 func (c *Client) Stream(ctx context.Context, id string, onProgress func(muontrap.Progress)) (muontrap.Job, error) {
+	var lastID string
+	for attempt := 0; ; attempt++ {
+		job, err := c.streamOnce(ctx, id, &lastID, onProgress)
+		if err == nil {
+			return job, nil
+		}
+		if attempt >= c.retries || ctx.Err() != nil {
+			return muontrap.Job{}, err
+		}
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && !retryableStatus(apiErr.Status) {
+			return muontrap.Job{}, err
+		}
+		if err := backoff(ctx, attempt, retryAfterOf(err)); err != nil {
+			return muontrap.Job{}, err
+		}
+	}
+}
+
+// streamOnce performs one streaming attempt, advancing *lastID past
+// every frame it delivers.
+func (c *Client) streamOnce(ctx context.Context, id string, lastID *string, onProgress func(muontrap.Progress)) (muontrap.Job, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/stream", nil)
 	if err != nil {
 		return muontrap.Job{}, err
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	if *lastID != "" {
+		req.Header.Set("Last-Event-ID", *lastID)
+	}
+	c.authorize(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return muontrap.Job{}, err
@@ -221,13 +400,15 @@ func (c *Client) Stream(ctx context.Context, id string, onProgress func(muontrap
 		return muontrap.Job{}, decodeError(resp)
 	}
 
-	var event string
+	var event, frameID string
 	var data bytes.Buffer
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
+		case strings.HasPrefix(line, "id:"):
+			frameID = strings.TrimSpace(strings.TrimPrefix(line, "id:"))
 		case strings.HasPrefix(line, "event:"):
 			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
 		case strings.HasPrefix(line, "data:"):
@@ -243,7 +424,11 @@ func (c *Client) Stream(ctx context.Context, id string, onProgress func(muontrap
 			if terminal {
 				return job, nil
 			}
+			if frameID != "" {
+				*lastID = frameID
+			}
 			event = ""
+			frameID = ""
 			data.Reset()
 		}
 	}
@@ -277,9 +462,11 @@ func dispatchSSE(event string, data []byte, onProgress func(muontrap.Progress)) 
 // matrix, stream progress (to the WithProgress callback, if configured)
 // until the job finishes, and fetch the aggregated declaration-ordered
 // result. A failed job surfaces its recorded error; a cancelled or
-// interrupted job surfaces as an error naming the state.
-func (c *Client) Sweep(ctx context.Context, sw muontrap.Sweep) (*muontrap.SweepResult, error) {
-	job, err := c.Submit(ctx, sw)
+// interrupted job surfaces as an error naming the state. A preempted
+// job is none of those — its stream simply stays open across the
+// preemption, and Sweep returns the resumed attempt's result.
+func (c *Client) Sweep(ctx context.Context, sw muontrap.Sweep, opts ...SubmitOption) (*muontrap.SweepResult, error) {
+	job, err := c.Submit(ctx, sw, opts...)
 	if err != nil {
 		return nil, err
 	}

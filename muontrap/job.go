@@ -1,6 +1,9 @@
 package muontrap
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // ErrUnknownJob is the sentinel behind the experiment service's 404: a
 // job identifier that names no submitted job. The HTTP client
@@ -55,6 +58,35 @@ func (s JobState) Terminal() bool {
 	return false
 }
 
+// Priority is a job's scheduling class on the experiment service.
+// Interactive jobs are dispatched ahead of bulk jobs and, when every
+// runner slot is busy, preempt a running bulk job: the bulk sweep is
+// driven to its next checkpointable boundary, re-queued as resumable,
+// and continues — to a byte-identical result — once a slot frees.
+type Priority string
+
+// The scheduling classes, as serialized on the wire and in the journal.
+const (
+	// PriorityInteractive: latency-sensitive work (figure re-emits,
+	// notebook cells). Dispatched first; may preempt bulk jobs.
+	PriorityInteractive Priority = "interactive"
+	// PriorityBulk: throughput work (full evaluation-matrix sweeps).
+	// The default; preemptible by interactive jobs.
+	PriorityBulk Priority = "bulk"
+)
+
+// ParsePriority validates a wire priority string. The empty string is
+// the documented alias for the bulk default.
+func ParsePriority(s string) (Priority, error) {
+	switch Priority(s) {
+	case "", PriorityBulk:
+		return PriorityBulk, nil
+	case PriorityInteractive:
+		return PriorityInteractive, nil
+	}
+	return "", fmt.Errorf("muontrap: unknown priority %q (want %q or %q)", s, PriorityInteractive, PriorityBulk)
+}
+
 // Catalog is the experiment service's identifier-discovery payload
 // (GET /v1/catalog): everything a client needs to construct a valid
 // sweep without compiling the simulator's registries in. Both the
@@ -87,6 +119,15 @@ type Job struct {
 	// from zero with the resumed attempt.
 	Done  int `json:"done"`
 	Total int `json:"total"`
+	// Priority is the job's scheduling class ("interactive" or "bulk",
+	// defaulting to bulk). It never enters the cache key: priority
+	// affects when a result is computed, not what it is.
+	Priority Priority `json:"priority,omitempty"`
+	// Tenant names the API key the job was submitted under (the tenant
+	// name, never the key itself), when the daemon runs with tenant auth
+	// enabled. Quota accounting and cancel/resume ownership checks are
+	// keyed on it.
+	Tenant string `json:"tenant,omitempty"`
 	// Error carries the failure message when State is "failed".
 	Error string `json:"error,omitempty"`
 	// SubmittedAt and FinishedAt are RFC 3339 wall-clock timestamps (the
