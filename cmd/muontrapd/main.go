@@ -10,6 +10,19 @@
 //	muontrapd -addr :7077 -checkpoint-every 5000000 -auto-resume
 //	muontrapd -cache /shared/muontrap -workers 8 -max-jobs 2
 //	muontrapd -tenants tenants.json -max-queue 64 -drain-timeout 30s
+//	muontrapd -coordinator -addr :7070 -checkpoint-every 5000000
+//	muontrapd -join http://coord:7070 -advertise http://me:7077 -checkpoint-every 5000000
+//
+// With -coordinator, the process serves no simulations itself: it shards
+// each submitted sweep across the workers that -join it (same /v1/jobs
+// API, so clients need not care which kind of process they talk to),
+// re-dispatches cells from dead workers using their mirrored mid-run
+// checkpoints, and steals cells from stragglers (-steal-after). A worker
+// given -join registers with the coordinator, heartbeats, and mirrors
+// its mid-run checkpoints into the coordinator's content store so any
+// other machine can pick up its interrupted cells. The identity flags
+// (-scale, -max-cycles, -warmup, -checkpoint-every) must match across
+// the coordinator and every worker.
 //
 // With -tenants (a JSON array of {name, key, max_queued, max_running}),
 // the daemon requires an API key on every endpoint except /v1/healthz
@@ -41,6 +54,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/checkpoint"
+	"repro/internal/fleet"
 	"repro/internal/service"
 )
 
@@ -60,6 +75,14 @@ func main() {
 		tenantsFile  = flag.String("tenants", "", "JSON tenants file enabling API-key auth and per-tenant quotas (empty = open daemon)")
 		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint attached to shed (429/503) responses")
 		drainTimeout = flag.Duration("drain-timeout", time.Minute, "bound on graceful-shutdown job drain; on expiry still-running jobs are journaled interrupted and abandoned (0 = wait forever)")
+
+		coordinator = flag.Bool("coordinator", false, "run as a fleet coordinator: shard submitted sweeps across joined workers instead of simulating locally")
+		hbTimeout   = flag.Duration("heartbeat-timeout", 5*time.Second, "coordinator: mark a worker dead after this long without a heartbeat")
+		stealAfter  = flag.Duration("steal-after", 0, "coordinator: speculatively re-dispatch a cell stuck on one worker for this long (0 = no stealing)")
+		perWorker   = flag.Int("per-worker", 1, "coordinator: concurrently dispatched cells per worker")
+		join        = flag.String("join", "", "worker: coordinator base URL to register with (e.g. http://coord:7070)")
+		advertise   = flag.String("advertise", "", "worker: base URL the coordinator reaches this daemon at (required with -join)")
+		hbInterval  = flag.Duration("heartbeat-interval", time.Second, "worker: heartbeat cadence")
 	)
 	flag.Parse()
 	if *ckptEvery < 0 {
@@ -87,6 +110,44 @@ func main() {
 		fatal(errors.New("-auto-resume needs a cache directory (-cache) holding the journal and checkpoints"))
 	}
 
+	if *coordinator {
+		if *join != "" {
+			fatal(errors.New("-coordinator and -join are mutually exclusive: a process shards sweeps or runs them, not both"))
+		}
+		runCoordinator(*addr, fleet.Config{
+			Dir:              dir,
+			Scale:            *scale,
+			MaxCycles:        *maxCycles,
+			Warmup:           *warmup,
+			CheckpointEvery:  *ckptEvery,
+			HeartbeatTimeout: *hbTimeout,
+			StealAfter:       *stealAfter,
+			PerWorker:        *perWorker,
+		})
+		return
+	}
+
+	// A fleet worker mirrors its mid-run checkpoints into the
+	// coordinator's content store so any other machine can resume its
+	// interrupted cells; the local half (when a cache directory exists)
+	// keeps single-machine restart-resume working too.
+	var snapStore checkpoint.ContentStore
+	if *join != "" {
+		if *advertise == "" {
+			fatal(errors.New("-join needs -advertise: the base URL the coordinator reaches this daemon at"))
+		}
+		remote := checkpoint.NewHTTPStore(strings.TrimRight(*join, "/")+fleet.StorePath, nil)
+		if dir != "" {
+			local, err := checkpoint.NewStore(filepath.Join(dir, "snapshots"))
+			if err != nil {
+				fatal(err)
+			}
+			snapStore = &checkpoint.Mirror{Local: local, Remote: remote}
+		} else {
+			snapStore = remote
+		}
+	}
+
 	srv, err := service.New(service.Config{
 		Dir:             dir,
 		Workers:         *workers,
@@ -98,6 +159,7 @@ func main() {
 		MaxCycles:       *maxCycles,
 		Warmup:          *warmup,
 		CheckpointEvery: *ckptEvery,
+		SnapStore:       snapStore,
 	})
 	if err != nil {
 		fatal(err)
@@ -119,6 +181,40 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Register with the coordinator once we are (about to be) listening.
+	// Registration is retried until it lands: the coordinator may come up
+	// after its workers, and a worker that outlives a coordinator restart
+	// re-registers from inside the agent's heartbeat loop.
+	if *join != "" {
+		name, _ := os.Hostname()
+		if name == "" {
+			name = "worker"
+		}
+		go func() {
+			for {
+				agent, err := fleet.StartAgent(fleet.AgentConfig{
+					Coordinator: *join,
+					Name:        name,
+					BaseURL:     *advertise,
+					Interval:    *hbInterval,
+				})
+				if err == nil {
+					fmt.Printf("muontrapd: joined fleet at %s as %s\n", *join, agent.WorkerID())
+					<-ctx.Done()
+					agent.Close()
+					return
+				}
+				fmt.Fprintf(os.Stderr, "muontrapd: %v (retrying)\n", err)
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(time.Second):
+				}
+			}
+		}()
+	}
+
 	shutdownDone := make(chan struct{})
 	go func() {
 		defer close(shutdownDone)
@@ -157,6 +253,38 @@ func main() {
 	// ListenAndServe returns ErrServerClosed as soon as Shutdown begins;
 	// wait for the connection drain and job unwind to finish rather than
 	// exiting from under them (which would be a kill, not a shutdown).
+	<-shutdownDone
+}
+
+// runCoordinator serves the fleet coordinator until interrupted. Its
+// shutdown needs no job drain: the shard-map journal is written at every
+// merge, so killing the process at any instant leaves a resumable map —
+// coordinator crash-resume is a first-class path, not an afterthought.
+func runCoordinator(addr string, cfg fleet.Config) {
+	co, err := fleet.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: co}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+		co.Close()
+	}()
+	fmt.Printf("muontrapd: coordinating fleet on %s", addr)
+	if cfg.Dir != "" {
+		fmt.Printf(" (state %s)", cfg.Dir)
+	}
+	fmt.Println()
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
 	<-shutdownDone
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/checkpoint"
 	"repro/internal/defense"
 	"repro/internal/event"
 	"repro/internal/sim"
@@ -45,6 +46,12 @@ type Options struct {
 	// (or warmup-only) state. A resumed run is bit-identical to an
 	// uninterrupted run at the same cadence.
 	Resume bool
+	// SnapshotStore, when non-nil, overrides the default CacheDir-local
+	// mid-run checkpoint store. Fleet workers install a checkpoint.Mirror
+	// here (local disk + the coordinator's HTTP store) so an interrupted
+	// cell's latest checkpoint is fetchable from any other machine. The
+	// keying is unchanged — only where the bytes live.
+	SnapshotStore checkpoint.ContentStore
 
 	// ckptSpy, when non-nil (tests only), observes the n-th mid-run
 	// checkpoint after it is persisted; returning an error aborts the run,

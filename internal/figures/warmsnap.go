@@ -139,17 +139,25 @@ func forkOrRun(ctx context.Context, spec workload.Spec, opt Options, sys *sim.Sy
 	key.warmup = opt.WarmupInsts
 	key.snapHash = snapHash
 	key.every = opt.ckptEvery()
-	var st *checkpoint.Store
+	var st checkpoint.ContentStore
 	var mkey string
-	if key.every > 0 && opt.CacheDir != "" {
-		st, err = checkpoint.NewStore(filepath.Join(opt.CacheDir, "snapshots"))
-		if err != nil {
-			// The run can proceed, but crash-resume durability is gone —
-			// that failure must be loud, not discovered after a crash.
-			warnf("%s: mid-run checkpoints will NOT be persisted (snapshot store: %v)", spec.Name, err)
-			st = nil
+	if key.every > 0 {
+		switch {
+		case opt.SnapshotStore != nil:
+			st = opt.SnapshotStore
+		case opt.CacheDir != "":
+			ls, err := checkpoint.NewStore(filepath.Join(opt.CacheDir, "snapshots"))
+			if err != nil {
+				// The run can proceed, but crash-resume durability is gone —
+				// that failure must be loud, not discovered after a crash.
+				warnf("%s: mid-run checkpoints will NOT be persisted (snapshot store: %v)", spec.Name, err)
+			} else {
+				st = ls
+			}
 		}
-		mkey = midrunKey(key)
+		if st != nil {
+			mkey = midrunKey(key)
+		}
 	}
 	resumed := false
 	prevHash := "" // this chain's on-disk checkpoint, pruned when superseded

@@ -1,0 +1,222 @@
+package fleet_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/figures"
+	"repro/internal/fleet"
+	"repro/muontrap"
+)
+
+// apiCall issues one raw HTTP request against the coordinator and
+// decodes the JSON body (when there is one) into out.
+func (f *testFleet) apiCall(method, path string, body string, out any) int {
+	f.t.Helper()
+	var rd *bytes.Reader
+	if body != "" {
+		rd = bytes.NewReader([]byte(body))
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, f.hs.URL+path, rd)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			f.t.Fatalf("%s %s: decoding response: %v", method, path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// wantAPIError asserts a request fails with the given HTTP status and
+// wire error code — the same envelope the single daemon speaks, so
+// client-side error mapping keeps working against a coordinator.
+func (f *testFleet) wantAPIError(method, path, body string, status int, code string) {
+	f.t.Helper()
+	var e struct {
+		Code  string `json:"code"`
+		Error string `json:"error"`
+	}
+	if got := f.apiCall(method, path, body, &e); got != status {
+		f.t.Fatalf("%s %s: status %d, want %d", method, path, got, status)
+	}
+	if e.Code != code {
+		f.t.Fatalf("%s %s: error code %q, want %q", method, path, e.Code, code)
+	}
+}
+
+// TestCoordinatorAPISurface walks the coordinator's public HTTP surface
+// deterministically: validation errors carry the daemon's wire codes,
+// cancel/resume follow the job state machine (with idempotent cancel
+// and 409s in wrong states), and the catalog, health, worker-registry
+// and result-by-key endpoints answer. Jobs are submitted into a fleet
+// with NO workers so every pre-completion transition is race-free; a
+// worker joins only when the test wants the job to finish.
+func TestCoordinatorAPISurface(t *testing.T) {
+	defer figures.ResetRunCache()
+	f := newTestFleet(t, 0, fleet.Config{})
+
+	// --- submission validation: the four error families -------------
+	f.wantAPIError("POST", "/v1/jobs", `{not json`, http.StatusBadRequest, "bad_request")
+	f.wantAPIError("POST", "/v1/jobs", `{"sweep":{"workloads":["nope"],"schemes":["muontrap"]}}`,
+		http.StatusBadRequest, "unknown_workload")
+	f.wantAPIError("POST", "/v1/jobs", `{"sweep":{"workloads":["swaptions"],"schemes":["nope"]}}`,
+		http.StatusBadRequest, "unknown_scheme")
+	f.wantAPIError("POST", "/v1/jobs", `{"sweep":{"workloads":[],"schemes":["muontrap"]}}`,
+		http.StatusBadRequest, "bad_request")
+	f.wantAPIError("POST", "/v1/jobs", `{"sweep":{"workloads":["swaptions"]}}`,
+		http.StatusBadRequest, "bad_request")
+
+	// --- unknown resources -------------------------------------------
+	f.wantAPIError("GET", "/v1/jobs/job-bogus", "", http.StatusNotFound, "unknown_job")
+	f.wantAPIError("GET", "/v1/jobs/job-bogus/result", "", http.StatusNotFound, "unknown_job")
+	f.wantAPIError("GET", "/v1/jobs/job-bogus/stream", "", http.StatusNotFound, "unknown_job")
+	f.wantAPIError("DELETE", "/v1/jobs/job-bogus", "", http.StatusNotFound, "unknown_job")
+	f.wantAPIError("POST", "/v1/jobs/job-bogus/resume", "", http.StatusNotFound, "unknown_job")
+	f.wantAPIError("GET", "/v1/results/"+strings.Repeat("0", 64), "", http.StatusNotFound, "unknown_result")
+
+	// --- control plane: malformed bodies and unknown workers ---------
+	f.wantAPIError("POST", "/fleet/v1/register", `{"name":3}`, http.StatusBadRequest, "bad_request")
+	f.wantAPIError("POST", "/fleet/v1/heartbeat", `{`, http.StatusBadRequest, "bad_request")
+	f.wantAPIError("POST", "/fleet/v1/heartbeat", `{"worker_id":"w-bogus"}`, http.StatusNotFound, "unknown_worker")
+
+	// --- catalog and health ------------------------------------------
+	var cat muontrap.Catalog
+	if got := f.apiCall("GET", "/v1/catalog", "", &cat); got != http.StatusOK {
+		t.Fatalf("catalog: status %d", got)
+	}
+	if len(cat.Workloads) == 0 || len(cat.Schemes) == 0 {
+		t.Fatalf("catalog is empty: %+v", cat)
+	}
+	var health struct {
+		Status  string `json:"status"`
+		Workers int    `json:"workers"`
+	}
+	if got := f.apiCall("GET", "/v1/healthz", "", &health); got != http.StatusOK || health.Status != "ok" {
+		t.Fatalf("healthz: status %d, body %+v", got, health)
+	}
+
+	// --- a scale-less sweep resolves against the coordinator's default
+	// scale for its cache key; with no workers it stays queued, so the
+	// cancel path is deterministic.
+	var job1 muontrap.Job
+	if got := f.apiCall("POST", "/v1/jobs",
+		`{"sweep":{"workloads":["swaptions"],"schemes":["muontrap"]}}`, &job1); got != http.StatusAccepted {
+		t.Fatalf("scale-less submit: status %d", got)
+	}
+	if job1.State != muontrap.JobQueued || job1.Total != 1 {
+		t.Fatalf("scale-less job: %+v", job1)
+	}
+	// Result before done is a 409, not a 404: the job exists.
+	f.wantAPIError("GET", "/v1/jobs/"+job1.ID+"/result", "", http.StatusConflict, "conflict")
+	var cancelled muontrap.Job
+	if got := f.apiCall("DELETE", "/v1/jobs/"+job1.ID, "", &cancelled); got != http.StatusAccepted {
+		t.Fatalf("cancel: status %d", got)
+	}
+	if cancelled.State != muontrap.JobCancelled {
+		t.Fatalf("cancel left job %s", cancelled.State)
+	}
+	// Cancel is idempotent.
+	if got := f.apiCall("DELETE", "/v1/jobs/"+job1.ID, "", &cancelled); got != http.StatusAccepted {
+		t.Fatalf("re-cancel: status %d", got)
+	}
+	// Resume re-queues it; with no workers it just sits there, so a
+	// second cancel exercises the running/queued branch again.
+	var resumed muontrap.Job
+	if got := f.apiCall("POST", "/v1/jobs/"+job1.ID+"/resume", "", &resumed); got != http.StatusAccepted {
+		t.Fatalf("resume: status %d", got)
+	}
+	if resumed.State != muontrap.JobQueued {
+		t.Fatalf("resume left job %s", resumed.State)
+	}
+	if got := f.apiCall("DELETE", "/v1/jobs/"+job1.ID, "", &cancelled); got != http.StatusAccepted {
+		t.Fatalf("cancel after resume: status %d", got)
+	}
+
+	// --- a real single-cell job, completed once a worker joins -------
+	sw := muontrap.Sweep{
+		Workloads: []muontrap.Workload{"swaptions"},
+		Schemes:   []muontrap.Scheme{"muontrap"},
+		Scales:    []float64{0.02},
+	}
+	job2, err := f.client.Submit(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.addWorker()
+	f.waitWorkers(1)
+	final, err := f.client.Stream(context.Background(), job2.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != muontrap.JobDone {
+		t.Fatalf("job ended %s (%s), want done", final.State, final.Error)
+	}
+	res, err := f.client.Result(context.Background(), job2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 1 {
+		t.Fatalf("result has %d runs, want 1", len(res.Runs))
+	}
+
+	// The job list holds both jobs in submission order.
+	var list struct {
+		Jobs []muontrap.Job `json:"jobs"`
+	}
+	if got := f.apiCall("GET", "/v1/jobs", "", &list); got != http.StatusOK {
+		t.Fatalf("list: status %d", got)
+	}
+	if len(list.Jobs) != 2 || list.Jobs[0].ID != job1.ID || list.Jobs[1].ID != job2.ID {
+		t.Fatalf("job list wrong: %+v", list.Jobs)
+	}
+
+	// Result by cache key answers from the coordinator's result store.
+	var byKey muontrap.SweepResult
+	if got := f.apiCall("GET", "/v1/results/"+final.CacheKey, "", &byKey); got != http.StatusOK {
+		t.Fatalf("result by key: status %d", got)
+	}
+	if len(byKey.Runs) != 1 {
+		t.Fatalf("result by key has %d runs, want 1", len(byKey.Runs))
+	}
+
+	// Terminal-state guards: a done job can be neither cancelled nor
+	// resumed.
+	f.wantAPIError("DELETE", "/v1/jobs/"+job2.ID, "", http.StatusConflict, "conflict")
+	f.wantAPIError("POST", "/v1/jobs/"+job2.ID+"/resume", "", http.StatusConflict, "conflict")
+
+	// The worker registry reports the one live worker, and its agent
+	// never needed to re-register.
+	var workers struct {
+		Workers []struct {
+			Alive bool `json:"alive"`
+		} `json:"workers"`
+	}
+	if got := f.apiCall("GET", "/fleet/v1/workers", "", &workers); got != http.StatusOK {
+		t.Fatalf("workers: status %d", got)
+	}
+	alive := 0
+	for _, w := range workers.Workers {
+		if w.Alive {
+			alive++
+		}
+	}
+	if alive != 1 {
+		t.Fatalf("%d workers alive, want 1", alive)
+	}
+	if n := f.workers[0].agent.Reregistrations(); n != 0 {
+		t.Fatalf("healthy agent re-registered %d times", n)
+	}
+}

@@ -1,0 +1,1034 @@
+package fleet
+
+import (
+	"context"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/figures"
+	"repro/muontrap"
+	"repro/muontrap/client"
+)
+
+// Config sizes a fleet coordinator. Scale, MaxCycles, Warmup and
+// CheckpointEvery are the run-identity flags and MUST match every
+// worker's configuration: workers key results and checkpoints by them,
+// so a mismatched fleet would compute under one identity and journal
+// under another.
+type Config struct {
+	// Dir is the coordinator's state root: the job journal under
+	// Dir/fleet/jobs, completed sweep results under Dir/fleet/sweeps, and
+	// the shared checkpoint content store under Dir/fleet/store. Empty
+	// disables persistence (and with it coordinator-restart resume and
+	// checkpoint migration — workers have nowhere shared to mirror to).
+	Dir string
+	// Scale, MaxCycles, Warmup, CheckpointEvery mirror the corresponding
+	// worker daemon flags (0 = library default). They enter every cell's
+	// cache key exactly as internal/service computes it.
+	Scale           float64
+	MaxCycles       int
+	Warmup          int
+	CheckpointEvery int
+	// HeartbeatTimeout marks a worker dead when no heartbeat arrives
+	// within it (0 = 5s). Dead workers' in-flight cells re-dispatch with
+	// checkpoint-resume enabled.
+	HeartbeatTimeout time.Duration
+	// StealAfter enables straggler stealing: a cell in flight on exactly
+	// one worker for longer than this is speculatively dispatched to a
+	// second, idle worker; the first completion wins the merge. Zero
+	// disables stealing.
+	StealAfter time.Duration
+	// PerWorker caps concurrently dispatched cells per worker (0 = 1,
+	// matching a default worker's one-sweep-at-a-time runner pool).
+	PerWorker int
+	// PollInterval is the cadence at which attempt goroutines poll their
+	// worker's job status (0 = 250ms).
+	PollInterval time.Duration
+	// Tick bounds how long scheduling work (dead-worker sweeps, steals)
+	// can sit waiting when no completion wakes the scheduler (0 = 100ms).
+	Tick time.Duration
+	// WorkerRetries is the retry budget of the coordinator's per-worker
+	// HTTP clients (0 = 2).
+	WorkerRetries int
+	// WorkerFailLimit marks a worker dead after this many consecutive
+	// failed attempts against it (0 = 3) — the fast-path death signal for
+	// a worker whose process died but whose heartbeat entry has not yet
+	// timed out, and for one whose agent outlived its daemon.
+	WorkerFailLimit int
+}
+
+// Stats is the coordinator's observability surface (GET /v1/healthz).
+type Stats struct {
+	Workers      int    `json:"workers"`       // registered and alive
+	DeadWorkers  uint64 `json:"dead_workers"`  // marked dead over the coordinator's life
+	Jobs         int    `json:"jobs"`          // jobs known, all states
+	CellsPending int    `json:"cells_pending"` // cells not yet merged
+	Dispatched   uint64 `json:"dispatched"`    // attempts started
+	Migrations   uint64 `json:"migrations"`    // cells re-queued after a worker failure
+	Steals       uint64 `json:"steals"`        // speculative straggler dispatches
+	Duplicates   uint64 `json:"duplicates"`    // completions discarded at merge (first writer won)
+}
+
+// worker is one registered fleet member.
+type worker struct {
+	id       string
+	name     string
+	base     string
+	client   *client.Client
+	lastSeen time.Time
+	dead     bool
+	inflight int
+	fails    int // consecutive failed attempts; reset on success
+}
+
+// attempt is one dispatch of one cell to one worker.
+type attempt struct {
+	w        *worker
+	c        *cell
+	resume   bool
+	ctx      context.Context
+	cancel   context.CancelFunc
+	remoteID string // worker-side job ID, once known
+	closed   bool   // guarded by Coordinator.mu; true once settled
+	started  time.Time
+}
+
+// cell is one resolved (workload, scheme, scale) unit of a sweep: the
+// unit of dispatch, migration, stealing and merge.
+type cell struct {
+	job      *fleetJob
+	key      string         // content cache key — the merge identity
+	sweep    muontrap.Sweep // the single-cell sub-sweep workers run
+	indexes  []int          // declaration positions this cell fills
+	resume   bool           // next dispatch passes resume (migration path)
+	done     bool
+	attempts map[*attempt]struct{} // open attempts
+}
+
+// fleetJob is one submitted sweep and its shard map.
+type fleetJob struct {
+	rec      muontrap.Job
+	cells    []*cell
+	results  []*muontrap.RunResult // per declaration index
+	incompat string                // journal replayed under mismatched flags; never scheduled
+
+	// SSE state: frames holds every published progress frame (bounded by
+	// Total, which is small); subs are poke channels of live streams.
+	frames []streamFrame
+	subs   map[chan struct{}]struct{}
+}
+
+type streamFrame struct {
+	id   uint64
+	name string
+	data []byte
+}
+
+// Coordinator shards sweeps across registered workers. It implements
+// http.Handler: the public /v1/jobs surface (wire-compatible with a
+// single muontrapd, so muontrap/client drives both identically) plus the
+// /fleet/v1/* control plane (register, heartbeat, workers, and the
+// shared checkpoint content store).
+type Coordinator struct {
+	cfg   Config
+	mux   *http.ServeMux
+	store *checkpoint.Store // shared checkpoint store (nil when Dir == "")
+
+	ctx  context.Context
+	stop context.CancelFunc
+	wg   sync.WaitGroup
+	wake chan struct{}
+
+	mu      sync.Mutex
+	workers map[string]*worker
+	jobs    map[string]*fleetJob
+	order   []string
+	stats   Stats
+}
+
+// New builds a Coordinator and, when cfg.Dir is set, opens the shared
+// checkpoint store and replays the job journal: done cells stay done,
+// pending cells of unfinished jobs re-enter the dispatch pool with
+// checkpoint-resume enabled.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 5 * time.Second
+	}
+	if cfg.PerWorker <= 0 {
+		cfg.PerWorker = 1
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 250 * time.Millisecond
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = 100 * time.Millisecond
+	}
+	if cfg.WorkerRetries <= 0 {
+		cfg.WorkerRetries = 2
+	}
+	if cfg.WorkerFailLimit <= 0 {
+		cfg.WorkerFailLimit = 3
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	co := &Coordinator{
+		cfg:     cfg,
+		ctx:     ctx,
+		stop:    stop,
+		wake:    make(chan struct{}, 1),
+		workers: make(map[string]*worker),
+		jobs:    make(map[string]*fleetJob),
+	}
+	if cfg.Dir != "" {
+		st, err := checkpoint.NewStore(filepath.Join(cfg.Dir, "fleet", "store"))
+		if err != nil {
+			stop()
+			return nil, fmt.Errorf("fleet: checkpoint store: %w", err)
+		}
+		co.store = st
+	}
+	co.routes()
+	if err := co.loadJournal(); err != nil {
+		stop()
+		return nil, err
+	}
+	co.wg.Add(1)
+	go co.loop()
+	return co, nil
+}
+
+// StorePath returns the URL path prefix the shared checkpoint store is
+// served under; workers point their checkpoint.HTTPStore at
+// coordinatorBase + StorePath.
+const StorePath = "/fleet/v1/store"
+
+// Close stops the scheduler and every attempt poller and waits for them.
+// Like a worker daemon's kill, it journals nothing extra: the shard map
+// on disk already records exactly which cells finished, which is all a
+// restarted coordinator needs.
+func (co *Coordinator) Close() {
+	co.stop()
+	co.mu.Lock()
+	for _, j := range co.jobs {
+		for _, c := range j.cells {
+			for a := range c.attempts {
+				a.cancel()
+			}
+		}
+	}
+	co.mu.Unlock()
+	co.wg.Wait()
+}
+
+// Stats snapshots the coordinator's counters.
+func (co *Coordinator) Stats() Stats {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	st := co.stats
+	for _, w := range co.workers {
+		if !w.dead {
+			st.Workers++
+		}
+	}
+	st.Jobs = len(co.jobs)
+	for _, j := range co.jobs {
+		for _, c := range j.cells {
+			if !c.done && !j.rec.State.Terminal() {
+				st.CellsPending++
+			}
+		}
+	}
+	return st
+}
+
+// kick wakes the scheduler without blocking.
+func (co *Coordinator) kick() {
+	select {
+	case co.wake <- struct{}{}:
+	default:
+	}
+}
+
+// loop is the scheduler: a single goroutine that reacts to completions
+// (kick) and to time (tick: heartbeat expiry, straggler age).
+func (co *Coordinator) loop() {
+	defer co.wg.Done()
+	t := time.NewTicker(co.cfg.Tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-co.ctx.Done():
+			return
+		case <-co.wake:
+		case <-t.C:
+		}
+		co.schedule()
+	}
+}
+
+// schedule is one scheduler pass: expire dead workers, dispatch pending
+// cells, steal from stragglers.
+func (co *Coordinator) schedule() {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	now := time.Now()
+	for _, w := range co.workers {
+		if !w.dead && now.Sub(w.lastSeen) > co.cfg.HeartbeatTimeout {
+			co.markWorkerDeadLocked(w)
+		}
+	}
+	co.dispatchLocked(now)
+	co.stealLocked(now)
+}
+
+// markWorkerDeadLocked retires a worker: its open attempts are settled
+// and their unfinished cells re-enter the pool with resume enabled, so
+// the next dispatch continues from the dead machine's last mirrored
+// checkpoint. Callers hold co.mu.
+func (co *Coordinator) markWorkerDeadLocked(w *worker) {
+	if w.dead {
+		return
+	}
+	w.dead = true
+	co.stats.DeadWorkers++
+	for _, j := range co.jobs {
+		for _, c := range j.cells {
+			for a := range c.attempts {
+				if a.w == w {
+					co.closeAttemptLocked(a)
+					co.requeueCellLocked(c)
+				}
+			}
+		}
+	}
+}
+
+// closeAttemptLocked settles an attempt: removed from its cell, its
+// worker's slot freed, its poller cancelled. Idempotent. Callers hold
+// co.mu.
+func (co *Coordinator) closeAttemptLocked(a *attempt) {
+	if a.closed {
+		return
+	}
+	a.closed = true
+	delete(a.c.attempts, a)
+	a.w.inflight--
+	a.cancel()
+}
+
+// requeueCellLocked returns an unfinished cell with no open attempts to
+// the dispatch pool, flagged to resume from its latest mirrored
+// checkpoint. Callers hold co.mu.
+func (co *Coordinator) requeueCellLocked(c *cell) {
+	if c.done || len(c.attempts) > 0 || c.job.rec.State.Terminal() {
+		return
+	}
+	c.resume = true
+	co.stats.Migrations++
+}
+
+// schedulable reports whether a job's cells may be dispatched.
+func (j *fleetJob) schedulable() bool {
+	return !j.rec.State.Terminal() && j.incompat == ""
+}
+
+// dispatchLocked hands every pending cell to the least-loaded alive
+// worker with capacity, interactive jobs first. Callers hold co.mu.
+func (co *Coordinator) dispatchLocked(now time.Time) {
+	for _, class := range []muontrap.Priority{muontrap.PriorityInteractive, muontrap.PriorityBulk} {
+		for _, id := range co.order {
+			j := co.jobs[id]
+			if !j.schedulable() || j.rec.Priority != class {
+				continue
+			}
+			for _, c := range j.cells {
+				if c.done || len(c.attempts) > 0 {
+					continue
+				}
+				w := co.pickWorkerLocked(nil)
+				if w == nil {
+					return // no capacity anywhere; later cells need none either
+				}
+				co.startAttemptLocked(c, w, now)
+			}
+		}
+	}
+}
+
+// stealLocked speculatively re-dispatches straggling cells: one open
+// attempt, older than StealAfter, with an idle worker available that is
+// not the one already running it. First completion wins the merge.
+// Callers hold co.mu.
+func (co *Coordinator) stealLocked(now time.Time) {
+	if co.cfg.StealAfter <= 0 {
+		return
+	}
+	for _, id := range co.order {
+		j := co.jobs[id]
+		if !j.schedulable() {
+			continue
+		}
+		for _, c := range j.cells {
+			if c.done || len(c.attempts) != 1 {
+				continue
+			}
+			var cur *attempt
+			for a := range c.attempts {
+				cur = a
+			}
+			if now.Sub(cur.started) < co.cfg.StealAfter {
+				continue
+			}
+			w := co.pickWorkerLocked(cur.w)
+			if w == nil || w.inflight > 0 {
+				continue // steal only onto an idle machine
+			}
+			co.stats.Steals++
+			co.startAttemptLocked(c, w, now)
+		}
+	}
+}
+
+// pickWorkerLocked returns the alive worker with the most free capacity
+// (ties broken by id for determinism), excluding not. Nil when no alive
+// worker has capacity. Callers hold co.mu.
+func (co *Coordinator) pickWorkerLocked(not *worker) *worker {
+	var best *worker
+	for _, w := range co.workers {
+		if w.dead || w == not || w.inflight >= co.cfg.PerWorker {
+			continue
+		}
+		if best == nil || w.inflight < best.inflight || (w.inflight == best.inflight && w.id < best.id) {
+			best = w
+		}
+	}
+	return best
+}
+
+// startAttemptLocked dispatches one cell to one worker. Callers hold
+// co.mu.
+func (co *Coordinator) startAttemptLocked(c *cell, w *worker, now time.Time) {
+	ctx, cancel := context.WithCancel(co.ctx)
+	a := &attempt{
+		w: w, c: c, resume: c.resume,
+		ctx: ctx, cancel: cancel, started: now,
+	}
+	c.attempts[a] = struct{}{}
+	w.inflight++
+	co.stats.Dispatched++
+	if c.job.rec.State == muontrap.JobQueued {
+		c.job.rec.State = muontrap.JobRunning
+	}
+	co.wg.Add(1)
+	go co.runAttempt(a)
+}
+
+// runAttempt drives one dispatch to its outcome: submit the single-cell
+// sweep to the worker (with resume when the cell migrated), poll the
+// remote job to a terminal state, fetch the result, and settle.
+func (co *Coordinator) runAttempt(a *attempt) {
+	defer co.wg.Done()
+	defer a.cancel()
+	var opts []client.SubmitOption
+	if a.resume {
+		opts = append(opts, client.WithResume())
+	}
+	if a.c.job.rec.Priority == muontrap.PriorityInteractive {
+		opts = append(opts, client.WithPriority(muontrap.PriorityInteractive))
+	}
+	job, err := a.w.client.Submit(a.ctx, a.c.sweep, opts...)
+	if err != nil {
+		co.attemptFailed(a, err)
+		return
+	}
+	co.mu.Lock()
+	a.remoteID = job.ID
+	co.mu.Unlock()
+	for !job.State.Terminal() {
+		select {
+		case <-a.ctx.Done():
+			co.attemptFailed(a, a.ctx.Err())
+			return
+		case <-time.After(co.cfg.PollInterval):
+		}
+		job, err = a.w.client.Job(a.ctx, job.ID)
+		if err != nil {
+			co.attemptFailed(a, err)
+			return
+		}
+	}
+	switch job.State {
+	case muontrap.JobDone:
+		res, err := a.w.client.Result(a.ctx, job.ID)
+		if err != nil {
+			co.attemptFailed(a, err)
+			return
+		}
+		co.attemptDone(a, res)
+	case muontrap.JobFailed:
+		co.attemptJobFailed(a, job.Error)
+	default:
+		// Cancelled or interrupted on the worker (restart, preemption by
+		// local traffic): not an outcome — re-dispatch resumable.
+		co.attemptFailed(a, fmt.Errorf("worker job %s ended %s", job.ID, job.State))
+	}
+}
+
+// attemptFailed settles a failed attempt: the cell re-enters the pool
+// resumable, and a worker accumulating consecutive failures is marked
+// dead without waiting out its heartbeat — the fast path for a machine
+// that died with its TCP port, or whose agent outlived its daemon.
+func (co *Coordinator) attemptFailed(a *attempt, err error) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if a.closed {
+		return // settled elsewhere (duplicate cancel, dead-worker sweep)
+	}
+	co.closeAttemptLocked(a)
+	if errors.Is(err, context.Canceled) && co.ctx.Err() != nil {
+		return // coordinator shutting down; leave the shard map as-is
+	}
+	a.w.fails++
+	if a.w.fails >= co.cfg.WorkerFailLimit {
+		co.markWorkerDeadLocked(a.w)
+	}
+	co.requeueCellLocked(a.c)
+	co.kick()
+}
+
+// attemptDone settles a successful attempt: the first completion of a
+// cell merges, any later one is discarded with a counter — the merge is
+// idempotent by cache key, so a steal winner and the original finishing
+// both can never corrupt the table.
+func (co *Coordinator) attemptDone(a *attempt, res *muontrap.SweepResult) {
+	co.mu.Lock()
+	c := a.c
+	if !a.closed {
+		co.closeAttemptLocked(a)
+		a.w.fails = 0
+	}
+	if c.done || c.job.rec.State.Terminal() {
+		// First writer already won this cell's merge (the check runs even
+		// for attempts the winner closed moments ago — a straggler's
+		// completion can race the winner's sibling-cancel): the duplicate
+		// is counted and discarded, never merged twice.
+		co.stats.Duplicates++
+		co.mu.Unlock()
+		co.kick()
+		return
+	}
+	if res == nil || len(res.Runs) != 1 {
+		// Cells are single-cell sweeps by construction.
+		n := 0
+		if res != nil {
+			n = len(res.Runs)
+		}
+		co.mu.Unlock()
+		co.failJob(c.job, fmt.Sprintf("fleet: worker %s returned %d runs for a single-cell sweep", a.w.id, n))
+		return
+	}
+	co.mergeCellLocked(c, res.Runs[0])
+	// A slower sibling attempt (straggler being stolen from) is now moot:
+	// stop polling it and best-effort cancel the remote job.
+	for sib := range c.attempts {
+		co.closeAttemptLocked(sib)
+		co.cancelRemote(sib)
+	}
+	j := c.job
+	co.mu.Unlock()
+	co.persist(j)
+	co.kick()
+}
+
+// mergeCellLocked records a cell's first completion: its run fills every
+// declaration index the cell covers, a progress frame is published per
+// index, and a job whose last cell just landed is finalized. Callers
+// hold co.mu.
+func (co *Coordinator) mergeCellLocked(c *cell, run muontrap.RunResult) {
+	c.done = true
+	j := c.job
+	for _, idx := range c.indexes {
+		r := run
+		j.results[idx] = &r
+	}
+	j.rec.Done = 0
+	for _, r := range j.results {
+		if r != nil {
+			j.rec.Done++
+		}
+	}
+	for range c.indexes {
+		// Frame ids are sequential in completion order — cells land in
+		// whatever order machines finish them — and the retained window is
+		// the whole job (bounded by Total, which is small), so any
+		// Last-Event-ID cursor replays exactly the missed tail.
+		id := uint64(len(j.frames)) + 1
+		data, err := json.Marshal(muontrap.Progress{Done: int(id), Total: j.rec.Total, Run: run})
+		if err == nil {
+			j.frames = append(j.frames, streamFrame{id: id, name: "progress", data: data})
+		}
+	}
+	if j.rec.Done == j.rec.Total {
+		j.rec.State = muontrap.JobDone
+		j.rec.FinishedAt = time.Now().UTC().Format(time.RFC3339)
+		co.storeResult(j.rec.CacheKey, j.assembleLocked())
+	}
+	j.pokeLocked()
+}
+
+// assembleLocked builds the declaration-ordered SweepResult from the
+// merged cells. Callers hold co.mu and have verified every index is
+// filled.
+func (j *fleetJob) assembleLocked() *muontrap.SweepResult {
+	out := &muontrap.SweepResult{Runs: make([]muontrap.RunResult, len(j.results))}
+	for i, r := range j.results {
+		if r != nil {
+			out.Runs[i] = *r
+		}
+	}
+	return out
+}
+
+// pokeLocked wakes every stream subscriber. Callers hold co.mu.
+func (j *fleetJob) pokeLocked() {
+	for ch := range j.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// attemptJobFailed fails the whole fleet job: a worker ran the cell and
+// the sweep itself errored (not the worker), so every other machine
+// would fail it identically.
+func (co *Coordinator) attemptJobFailed(a *attempt, msg string) {
+	co.mu.Lock()
+	if a.closed {
+		co.mu.Unlock()
+		return
+	}
+	co.closeAttemptLocked(a)
+	a.w.fails = 0
+	j := a.c.job
+	co.mu.Unlock()
+	co.failJob(j, msg)
+}
+
+// failJob transitions a job to failed and settles its open attempts.
+func (co *Coordinator) failJob(j *fleetJob, msg string) {
+	co.mu.Lock()
+	if j.rec.State.Terminal() {
+		co.mu.Unlock()
+		return
+	}
+	j.rec.State = muontrap.JobFailed
+	j.rec.Error = msg
+	j.rec.FinishedAt = time.Now().UTC().Format(time.RFC3339)
+	for _, c := range j.cells {
+		for a := range c.attempts {
+			co.closeAttemptLocked(a)
+			co.cancelRemote(a)
+		}
+	}
+	j.pokeLocked()
+	co.mu.Unlock()
+	co.persist(j)
+}
+
+// cancelRemote best-effort cancels an attempt's worker-side job so a
+// stolen-from straggler stops burning cycles on a moot cell. Callers
+// hold co.mu (only immutable attempt fields are read in the goroutine).
+func (co *Coordinator) cancelRemote(a *attempt) {
+	id := a.remoteID
+	if id == "" {
+		return
+	}
+	w := a.w
+	co.wg.Add(1)
+	go func() {
+		defer co.wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_, _ = w.client.Cancel(ctx, id)
+	}()
+}
+
+// ---- submission and the public job API ------------------------------
+
+// submit validates a sweep, shards it into cells, and registers the job.
+// resume pre-flags every cell to dispatch with checkpoint-resume.
+func (co *Coordinator) submit(sw muontrap.Sweep, prio muontrap.Priority, resume bool) (muontrap.Job, bool, error) {
+	if err := validateSweep(sw); err != nil {
+		return muontrap.Job{}, false, err
+	}
+	prio, err := muontrap.ParsePriority(string(prio))
+	if err != nil {
+		return muontrap.Job{}, false, err
+	}
+	key := co.sweepKey(sw)
+	total := len(sw.Workloads) * len(sw.Schemes) * len(co.effectiveScales(sw))
+	rec := muontrap.Job{
+		ID:          newJobID(),
+		State:       muontrap.JobQueued,
+		Sweep:       sw,
+		CacheKey:    key,
+		Priority:    prio,
+		Total:       total,
+		SubmittedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	j := co.newJob(rec)
+
+	if res, ok := co.loadResult(key); ok && len(res.Runs) == total {
+		// Born done from the coordinator's content-keyed result store.
+		j.rec.State = muontrap.JobDone
+		j.rec.Done = total
+		j.rec.FinishedAt = j.rec.SubmittedAt
+		for i := range res.Runs {
+			r := res.Runs[i]
+			j.results[i] = &r
+		}
+		for _, c := range j.cells {
+			c.done = true
+		}
+		co.mu.Lock()
+		co.registerLocked(j)
+		co.mu.Unlock()
+		co.persist(j)
+		return j.rec, true, nil
+	}
+	if resume {
+		for _, c := range j.cells {
+			c.resume = true
+		}
+	}
+	co.mu.Lock()
+	co.registerLocked(j)
+	rec = j.rec
+	co.mu.Unlock()
+	co.persist(j)
+	co.kick()
+	return rec, false, nil
+}
+
+// newJob shards a validated sweep into cells, deduplicating repeated
+// declarations by cache key (they share one dispatch and one merge).
+func (co *Coordinator) newJob(rec muontrap.Job) *fleetJob {
+	j := &fleetJob{
+		rec:     rec,
+		results: make([]*muontrap.RunResult, rec.Total),
+		subs:    make(map[chan struct{}]struct{}),
+	}
+	byKey := make(map[string]*cell)
+	scales := co.effectiveScales(rec.Sweep)
+	declared := len(rec.Sweep.Scales) > 0
+	idx := 0
+	for _, w := range rec.Sweep.Workloads {
+		for _, s := range rec.Sweep.Schemes {
+			for _, scale := range scales {
+				sub := muontrap.Sweep{
+					Workloads: []muontrap.Workload{w},
+					Schemes:   []muontrap.Scheme{s},
+					MaxCycles: rec.Sweep.MaxCycles,
+				}
+				if declared {
+					sub.Scales = []float64{scale}
+				}
+				key := co.sweepKey(sub)
+				c := byKey[key]
+				if c == nil {
+					c = &cell{job: j, key: key, sweep: sub, attempts: make(map[*attempt]struct{})}
+					byKey[key] = c
+					j.cells = append(j.cells, c)
+				}
+				c.indexes = append(c.indexes, idx)
+				idx++
+			}
+		}
+	}
+	return j
+}
+
+// registerLocked adds a job to the table in submission order. Callers
+// hold co.mu.
+func (co *Coordinator) registerLocked(j *fleetJob) {
+	co.jobs[j.rec.ID] = j
+	co.order = append(co.order, j.rec.ID)
+}
+
+// cancelJob aborts a queued or running fleet job: open attempts are
+// settled and their remote jobs cancelled.
+func (co *Coordinator) cancelJob(id string) (muontrap.Job, error) {
+	co.mu.Lock()
+	j, ok := co.jobs[id]
+	if !ok {
+		co.mu.Unlock()
+		return muontrap.Job{}, fmt.Errorf("%w %q", muontrap.ErrUnknownJob, id)
+	}
+	switch j.rec.State {
+	case muontrap.JobQueued, muontrap.JobRunning:
+		j.rec.State = muontrap.JobCancelled
+		j.rec.FinishedAt = time.Now().UTC().Format(time.RFC3339)
+		for _, c := range j.cells {
+			for a := range c.attempts {
+				co.closeAttemptLocked(a)
+				co.cancelRemote(a)
+			}
+		}
+		j.pokeLocked()
+	case muontrap.JobCancelled: // idempotent
+	default:
+		state := j.rec.State
+		co.mu.Unlock()
+		return muontrap.Job{}, &conflictError{fmt.Sprintf("job %s is %s and cannot be cancelled", id, state)}
+	}
+	rec := j.rec
+	co.mu.Unlock()
+	co.persist(j)
+	return rec, nil
+}
+
+// resumeJob re-enters a cancelled/failed/interrupted job's unfinished
+// cells into the dispatch pool with checkpoint-resume.
+func (co *Coordinator) resumeJob(id string) (muontrap.Job, error) {
+	co.mu.Lock()
+	j, ok := co.jobs[id]
+	if !ok {
+		co.mu.Unlock()
+		return muontrap.Job{}, fmt.Errorf("%w %q", muontrap.ErrUnknownJob, id)
+	}
+	switch j.rec.State {
+	case muontrap.JobCancelled, muontrap.JobFailed, muontrap.JobInterrupted:
+	default:
+		state := j.rec.State
+		co.mu.Unlock()
+		return muontrap.Job{}, &conflictError{fmt.Sprintf(
+			"job %s is %s; only interrupted, cancelled or failed jobs can be resumed", id, state)}
+	}
+	if j.incompat != "" {
+		msg := j.incompat
+		co.mu.Unlock()
+		return muontrap.Job{}, &conflictError{msg}
+	}
+	j.rec.State = muontrap.JobQueued
+	j.rec.Error = ""
+	j.rec.FinishedAt = ""
+	for _, c := range j.cells {
+		if !c.done {
+			c.resume = true
+		}
+	}
+	rec := j.rec
+	co.mu.Unlock()
+	co.persist(j)
+	co.kick()
+	return rec, nil
+}
+
+// ---- worker registry ------------------------------------------------
+
+// register admits (or re-admits) a worker. A previous registration at
+// the same base URL is retired first — its in-flight cells re-queue —
+// so a restarted worker process never leaves a zombie entry holding
+// dispatch capacity.
+func (co *Coordinator) register(req RegisterRequest) RegisterResponse {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	for _, w := range co.workers {
+		if w.base == req.BaseURL && !w.dead {
+			co.markWorkerDeadLocked(w)
+			co.stats.DeadWorkers-- // replaced, not lost
+		}
+	}
+	w := &worker{
+		id:       newWorkerID(),
+		name:     req.Name,
+		base:     req.BaseURL,
+		client:   client.New(req.BaseURL, client.WithRetries(co.cfg.WorkerRetries)),
+		lastSeen: time.Now(),
+	}
+	co.workers[w.id] = w
+	co.kick()
+	return RegisterResponse{WorkerID: w.id}
+}
+
+// heartbeat refreshes a worker's liveness; false means the coordinator
+// does not know (or has retired) the worker and it must re-register.
+func (co *Coordinator) heartbeat(req HeartbeatRequest) bool {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	w, ok := co.workers[req.WorkerID]
+	if !ok || w.dead {
+		return false
+	}
+	w.lastSeen = time.Now()
+	return true
+}
+
+// Workers snapshots the registry, sorted by id.
+func (co *Coordinator) Workers() []WorkerStatus {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	out := make([]WorkerStatus, 0, len(co.workers))
+	for _, w := range co.workers {
+		out = append(out, WorkerStatus{
+			ID: w.id, Name: w.name, BaseURL: w.base,
+			Alive: !w.dead, Inflight: w.inflight,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// ---- keys, validation, ids ------------------------------------------
+
+// validateSweep mirrors the single-daemon submission validation.
+func validateSweep(sw muontrap.Sweep) error {
+	if len(sw.Workloads) == 0 {
+		return fmt.Errorf("sweep declares no workloads")
+	}
+	if len(sw.Schemes) == 0 {
+		return fmt.Errorf("sweep declares no schemes")
+	}
+	for _, w := range sw.Workloads {
+		if _, err := muontrap.ParseWorkload(string(w)); err != nil {
+			return err
+		}
+	}
+	for _, sch := range sw.Schemes {
+		if sch == "" {
+			continue
+		}
+		if _, err := muontrap.ParseScheme(string(sch)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// effectiveScales resolves a sweep's scales exactly as a worker daemon
+// at the same Scale flag will.
+func (co *Coordinator) effectiveScales(sw muontrap.Sweep) []float64 {
+	if len(sw.Scales) > 0 {
+		return sw.Scales
+	}
+	scale := co.cfg.Scale
+	if scale <= 0 {
+		scale = figures.DefaultOptions().Scale
+	}
+	return []float64{scale}
+}
+
+// sweepKey is the content key of a sweep's result under this fleet's
+// identity flags — the same canonical string internal/service hashes, so
+// a fleet of identically-configured daemons and the coordinator agree on
+// what "the same experiment" means.
+func (co *Coordinator) sweepKey(sw muontrap.Sweep) string {
+	maxCycles := sw.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = co.cfg.MaxCycles
+	}
+	if maxCycles <= 0 {
+		maxCycles = figures.DefaultOptions().MaxCycles
+	}
+	scales := make([]string, 0, len(sw.Scales))
+	for _, sc := range co.effectiveScales(sw) {
+		scales = append(scales, strconv.FormatFloat(sc, 'g', -1, 64))
+	}
+	wl := make([]string, len(sw.Workloads))
+	for i, w := range sw.Workloads {
+		wl[i] = string(w)
+	}
+	sch := make([]string, len(sw.Schemes))
+	for i, x := range sw.Schemes {
+		if x == "" {
+			x = muontrap.SchemeInsecure
+		}
+		sch[i] = string(x)
+	}
+	canon := fmt.Sprintf("sweep|v%d|bin=%s|wl=%s|sch=%s|scales=%s|max=%d|warm=%d|every=%d",
+		journalVersion, figures.BinFingerprint(),
+		strings.Join(wl, ","), strings.Join(sch, ","), strings.Join(scales, ","),
+		maxCycles, co.cfg.Warmup, co.cfg.CheckpointEvery)
+	sum := sha256.Sum256([]byte(canon))
+	return hex.EncodeToString(sum[:])
+}
+
+// conflictError marks a request naming a real resource in the wrong
+// state (HTTP 409).
+type conflictError struct{ msg string }
+
+func (e *conflictError) Error() string { return e.msg }
+
+// newJobID returns a fresh random job identifier (same shape as a
+// worker daemon's).
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("job-t%x", time.Now().UnixNano())
+	}
+	return "job-" + hex.EncodeToString(b[:])
+}
+
+// newWorkerID returns a fresh random worker identifier.
+func newWorkerID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("w-t%x", time.Now().UnixNano())
+	}
+	return "w-" + hex.EncodeToString(b[:])
+}
+
+// ---- result store ---------------------------------------------------
+
+func (co *Coordinator) resultStorePath(key string) string {
+	return filepath.Join(co.cfg.Dir, "fleet", "sweeps", key+".json")
+}
+
+// storeResult persists a completed sweep under its cache key.
+func (co *Coordinator) storeResult(key string, res *muontrap.SweepResult) {
+	if co.cfg.Dir == "" || res == nil {
+		return
+	}
+	b, err := json.MarshalIndent(res, "", "\t")
+	if err != nil {
+		return
+	}
+	path := co.resultStorePath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "fleet: result store unavailable: %v\n", err)
+		return
+	}
+	if err := checkpoint.WriteAtomic(path, b); err != nil {
+		fmt.Fprintf(os.Stderr, "fleet: storing result %s failed: %v\n", key, err)
+	}
+}
+
+// loadResult fetches a stored sweep result by cache key; any failure is
+// a miss.
+func (co *Coordinator) loadResult(key string) (*muontrap.SweepResult, bool) {
+	if co.cfg.Dir == "" || !validCacheKey(key) {
+		return nil, false
+	}
+	b, err := os.ReadFile(co.resultStorePath(key))
+	if err != nil {
+		return nil, false
+	}
+	var res muontrap.SweepResult
+	if err := json.Unmarshal(b, &res); err != nil {
+		return nil, false
+	}
+	return &res, true
+}

@@ -1,0 +1,94 @@
+package fleet_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/muontrap"
+)
+
+// FuzzWireDecode hammers the fleet's strict wire decoders — worker
+// registration, heartbeat, and the journaled cell-assignment record —
+// with arbitrary bytes. The contract mirrors the snapshot decoder's
+// FuzzDecode: hostile input must either decode cleanly or return an
+// error (never panic, never silently zero-fill), and anything that
+// decodes must survive a canonical round-trip — re-encoding and
+// re-decoding yields the identical message. The round-trip property is
+// what lets the coordinator journal what it decoded and trust the
+// replay.
+func FuzzWireDecode(f *testing.F) {
+	seed := func(v any) {
+		b, err := json.Marshal(v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	seed(fleet.RegisterRequest{Name: "worker-1", BaseURL: "http://10.0.0.2:7077"})
+	seed(fleet.HeartbeatRequest{WorkerID: "w-0011223344"})
+	run := muontrap.RunResult{
+		Workload: "swaptions", Scheme: "muontrap", Scale: 0.02,
+		Result: muontrap.Result{Cycles: 123456, Instructions: 654321, Counters: map[string]uint64{"l2.misses": 7}},
+	}
+	seed(fleet.CellRecord{
+		Key: "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+		Sweep: muontrap.Sweep{
+			Workloads: []muontrap.Workload{"swaptions"},
+			Schemes:   []muontrap.Scheme{"muontrap"},
+			Scales:    []float64{0.02},
+		},
+		Indexes: []int{0, 3},
+		Done:    true,
+		Result:  &run,
+	})
+	seed(fleet.CellRecord{
+		Key: "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff",
+		Sweep: muontrap.Sweep{
+			Workloads: []muontrap.Workload{"blackscholes"},
+			Schemes:   []muontrap.Scheme{"stt-future"},
+		},
+		Indexes: []int{11},
+	})
+	// Hostile shapes: wrong types, unknown fields, trailing garbage,
+	// truncations, invariant violations.
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"name": 3, "base_url": true}`))
+	f.Add([]byte(`{"name":"x","base_url":"http://h","extra":1}`))
+	f.Add([]byte(`{"worker_id":"w"}{"worker_id":"v"}`))
+	f.Add([]byte(`{"key":"AAAA","indexes":[0],"done":false}`))
+	f.Add([]byte(`{"key":"` + string(bytes.Repeat([]byte("a"), 64)) + `","indexes":[-1],"done":false}`))
+	f.Add([]byte(`{"key":"` + string(bytes.Repeat([]byte("a"), 64)) + `","indexes":[0],"done":true}`))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if req, err := fleet.DecodeRegisterRequest(b); err == nil {
+			roundTrip(t, "register", req, func(bb []byte) (any, error) { return fleet.DecodeRegisterRequest(bb) })
+		}
+		if req, err := fleet.DecodeHeartbeatRequest(b); err == nil {
+			roundTrip(t, "heartbeat", req, func(bb []byte) (any, error) { return fleet.DecodeHeartbeatRequest(bb) })
+		}
+		if rec, err := fleet.DecodeCellRecord(b); err == nil {
+			roundTrip(t, "cell record", rec, func(bb []byte) (any, error) { return fleet.DecodeCellRecord(bb) })
+		}
+	})
+}
+
+// roundTrip asserts the canonical-form property: encode(decoded) must
+// decode back to the identical message.
+func roundTrip(t *testing.T, what string, v any, decode func([]byte) (any, error)) {
+	t.Helper()
+	enc, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("%s: re-encoding a decoded message failed: %v", what, err)
+	}
+	again, err := decode(enc)
+	if err != nil {
+		t.Fatalf("%s: canonical re-encoding no longer decodes: %v\n%s", what, err, enc)
+	}
+	if !reflect.DeepEqual(v, again) {
+		t.Fatalf("%s: round-trip changed the message:\nfirst:  %#v\nsecond: %#v", what, v, again)
+	}
+}

@@ -1,0 +1,122 @@
+package fleet_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/figures"
+	"repro/internal/fleet"
+	"repro/muontrap"
+	"repro/muontrap/client"
+)
+
+// TestCoordinatorRestartResumesShardMap pins coordinator crash-resume:
+// a coordinator killed mid-sweep (closed without any terminal state,
+// what SIGKILL leaves behind) and restarted over the same directory must
+// replay its shard-map journal — completed cells keep their merged
+// results and are NEVER re-dispatched, pending cells re-enter the pool
+// with checkpoint-resume — and the finished table must still be
+// byte-identical to the single-machine reference.
+func TestCoordinatorRestartResumesShardMap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure-scale simulation")
+	}
+	defer figures.ResetRunCache()
+	sw := fig4Sweep()
+	ref := reference(t, sw)
+
+	coDir := t.TempDir()
+	f := newTestFleet(t, 2, fleet.Config{Dir: coDir})
+	job, err := f.client.Submit(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the fleet merge a few cells, then kill the coordinator.
+	deadline := time.Now().Add(2 * time.Minute)
+	var doneBefore int
+	for {
+		j, err := f.client.Job(context.Background(), job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State == muontrap.JobDone {
+			t.Fatal("fleet finished the whole sweep before the kill point; slow the sweep down")
+		}
+		doneBefore = j.Done
+		if doneBefore >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d cells merged before the kill deadline", doneBefore)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	f.hs.Close()
+	f.co.Close() // like a kill: no terminal state journaled, attempts abandoned
+
+	// Restart over the same directory. The workers re-join the new
+	// coordinator (in production the agent re-registers through its 404
+	// path; the new httptest URL forces explicit re-join here).
+	co2, err := fleet.New(fleet.Config{Dir: coDir, CheckpointEvery: cadence, HeartbeatTimeout: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs2 := httptest.NewServer(co2)
+	t.Cleanup(func() {
+		hs2.Close()
+		co2.Close()
+	})
+	c2 := client.New(hs2.URL)
+
+	restarted, err := c2.Job(context.Background(), job.ID)
+	if err != nil {
+		t.Fatalf("restarted coordinator lost job %s from its journal: %v", job.ID, err)
+	}
+	doneAtLoad := restarted.Done
+	if doneAtLoad < doneBefore {
+		t.Fatalf("journal replayed %d done cells, but %d were observed merged before the kill", doneAtLoad, doneBefore)
+	}
+	if restarted.State.Terminal() {
+		t.Fatalf("restarted job is %s, want a schedulable state", restarted.State)
+	}
+
+	for _, w := range f.workers {
+		agent, err := fleet.StartAgent(fleet.AgentConfig{
+			Coordinator: hs2.URL,
+			Name:        w.name,
+			BaseURL:     w.hs.URL,
+			Interval:    100 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(agent.Close)
+	}
+
+	final, err := c2.Stream(context.Background(), job.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != muontrap.JobDone {
+		t.Fatalf("resumed job ended %s (%s), want done", final.State, final.Error)
+	}
+	got, err := c2.Result(context.Background(), job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(marshal(t, got)) != string(marshal(t, ref)) {
+		t.Fatalf("post-restart table differs from reference:\ngot: %s\nref: %s",
+			marshal(t, got), marshal(t, ref))
+	}
+
+	// The replay gate: the second coordinator dispatched exactly the
+	// cells the journal recorded as unfinished — a completed cell is
+	// never re-run.
+	if dispatched := co2.Stats().Dispatched; dispatched != uint64(job.Total-doneAtLoad) {
+		t.Fatalf("restarted coordinator dispatched %d cells, want %d (total %d − %d journaled done)",
+			dispatched, job.Total-doneAtLoad, job.Total, doneAtLoad)
+	}
+}

@@ -1,0 +1,158 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/url"
+
+	"repro/muontrap"
+)
+
+// The fleet wire messages: worker registration and heartbeat (worker →
+// coordinator), the worker status listing (coordinator → observer), and
+// the cell-assignment record the coordinator journals per shard. Every
+// inbound message is decoded strictly — unknown fields and malformed
+// values are errors, never silently-zeroed surprises — through the
+// Decode* helpers, which the fuzz suite holds to a canonical round-trip
+// property: whatever decodes must re-encode and re-decode to itself.
+
+// RegisterRequest announces a worker to the coordinator
+// (POST /fleet/v1/register). BaseURL is the address the coordinator
+// dials the worker's /v1/jobs surface at, so it must be reachable from
+// the coordinator, not merely from the worker itself.
+type RegisterRequest struct {
+	Name    string `json:"name"`
+	BaseURL string `json:"base_url"`
+}
+
+// RegisterResponse carries the coordinator-assigned worker identity the
+// worker heartbeats under.
+type RegisterResponse struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// HeartbeatRequest keeps a registered worker alive
+// (POST /fleet/v1/heartbeat). A worker the coordinator no longer knows —
+// it was marked dead, or the coordinator restarted — is answered 404,
+// the signal to re-register.
+type HeartbeatRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// WorkerStatus is one row of the coordinator's worker listing
+// (GET /fleet/v1/workers).
+type WorkerStatus struct {
+	ID       string `json:"id"`
+	Name     string `json:"name"`
+	BaseURL  string `json:"base_url"`
+	Alive    bool   `json:"alive"`
+	Inflight int    `json:"inflight"`
+}
+
+// CellRecord is one shard-map entry of the coordinator's job journal:
+// one resolved cell of a sweep, the declaration indexes it fills
+// (duplicate declarations share a cell), and — once the cell has
+// finished somewhere — its merged result. The journal is what lets a
+// restarted coordinator resume a sweep without re-running done cells.
+type CellRecord struct {
+	// Key is the cell's content cache key (64 hex digits), the merge
+	// identity under which exactly one completion wins.
+	Key string `json:"key"`
+	// Sweep is the single-cell sub-sweep dispatched for this record.
+	Sweep muontrap.Sweep `json:"sweep"`
+	// Indexes are the declaration-order positions this cell fills in the
+	// merged SweepResult.
+	Indexes []int `json:"indexes"`
+	// Done marks a merged cell; Result is its run, present iff Done.
+	Done   bool                `json:"done"`
+	Result *muontrap.RunResult `json:"result,omitempty"`
+}
+
+// decodeStrict unmarshals one wire message rejecting unknown fields and
+// trailing garbage.
+func decodeStrict(b []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("fleet: trailing data after message")
+	}
+	return nil
+}
+
+// validBaseURL reports whether s is an absolute http(s) URL the
+// coordinator could dial.
+func validBaseURL(s string) bool {
+	u, err := url.Parse(s)
+	return err == nil && (u.Scheme == "http" || u.Scheme == "https") && u.Host != ""
+}
+
+// DecodeRegisterRequest strictly decodes and validates a registration.
+func DecodeRegisterRequest(b []byte) (RegisterRequest, error) {
+	var req RegisterRequest
+	if err := decodeStrict(b, &req); err != nil {
+		return RegisterRequest{}, fmt.Errorf("fleet: register request: %w", err)
+	}
+	if req.Name == "" {
+		return RegisterRequest{}, fmt.Errorf("fleet: register request: empty worker name")
+	}
+	if !validBaseURL(req.BaseURL) {
+		return RegisterRequest{}, fmt.Errorf("fleet: register request: base_url %q is not an absolute http(s) URL", req.BaseURL)
+	}
+	return req, nil
+}
+
+// DecodeHeartbeatRequest strictly decodes and validates a heartbeat.
+func DecodeHeartbeatRequest(b []byte) (HeartbeatRequest, error) {
+	var req HeartbeatRequest
+	if err := decodeStrict(b, &req); err != nil {
+		return HeartbeatRequest{}, fmt.Errorf("fleet: heartbeat request: %w", err)
+	}
+	if req.WorkerID == "" {
+		return HeartbeatRequest{}, fmt.Errorf("fleet: heartbeat request: empty worker_id")
+	}
+	return req, nil
+}
+
+// DecodeCellRecord strictly decodes and validates one journaled
+// cell-assignment record.
+func DecodeCellRecord(b []byte) (CellRecord, error) {
+	var rec CellRecord
+	if err := decodeStrict(b, &rec); err != nil {
+		return CellRecord{}, fmt.Errorf("fleet: cell record: %w", err)
+	}
+	if !validCacheKey(rec.Key) {
+		return CellRecord{}, fmt.Errorf("fleet: cell record: key %q is not a 64-hex cache key", rec.Key)
+	}
+	if len(rec.Indexes) == 0 {
+		return CellRecord{}, fmt.Errorf("fleet: cell record: no declaration indexes")
+	}
+	for _, i := range rec.Indexes {
+		if i < 0 {
+			return CellRecord{}, fmt.Errorf("fleet: cell record: negative declaration index %d", i)
+		}
+	}
+	if rec.Done != (rec.Result != nil) {
+		return CellRecord{}, fmt.Errorf("fleet: cell record: done=%v with result present=%v", rec.Done, rec.Result != nil)
+	}
+	return rec, nil
+}
+
+// validCacheKey reports whether key has the canonical cache-key shape:
+// exactly 64 lowercase hex digits (the same validation internal/service
+// applies before building any path from a key).
+func validCacheKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

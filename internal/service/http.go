@@ -187,6 +187,13 @@ type submitRequest struct {
 	// Priority is the scheduling class: "interactive", "bulk", or empty
 	// for the bulk default.
 	Priority string `json:"priority,omitempty"`
+	// Resume starts the job with checkpoint-resume enabled: if a mid-run
+	// checkpoint matching a cell's exact identity is reachable through
+	// the daemon's snapshot store, the run continues from it instead of
+	// starting cold. The fleet coordinator sets this when re-dispatching
+	// an interrupted cell to a new worker; with no matching checkpoint it
+	// is a silent cold start.
+	Resume bool `json:"resume,omitempty"`
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -197,7 +204,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("decoding submit request: %w", err))
 		return
 	}
-	rec, cached, err := s.submit(req.Sweep, muontrap.Priority(req.Priority), requestTenant(r))
+	rec, cached, err := s.submit(req.Sweep, muontrap.Priority(req.Priority), requestTenant(r), req.Resume)
 	if err != nil {
 		writeError(w, err)
 		return

@@ -78,6 +78,13 @@ type Config struct {
 	// identity, so it must match across restarts — the journal records
 	// it and Resume refuses a mismatch.
 	CheckpointEvery int
+	// SnapStore, when non-nil, overrides where mid-run checkpoints are
+	// persisted (muontrap.WithSnapshotStore). Fleet workers install a
+	// checkpoint.Mirror here — local disk plus the coordinator's HTTP
+	// store — so another machine can resume this daemon's interrupted
+	// cells from their latest checkpoint. Nil keeps checkpoints in the
+	// Dir-local store, exactly the single-machine behavior.
+	SnapStore checkpoint.ContentStore
 }
 
 // defaultStreamHistory is the per-job SSE ring capacity when
@@ -338,8 +345,11 @@ func prioIndex(p muontrap.Priority) int {
 // submit validates a sweep, assigns it a job ID and cache key, and either
 // completes it instantly from the stored result, or admits it against the
 // queue bound and the tenant's quota and schedules it. The bool reports
-// whether the result was served from the content cache.
-func (s *Server) submit(sw muontrap.Sweep, prio muontrap.Priority, tn *tenant) (muontrap.Job, bool, error) {
+// whether the result was served from the content cache. resume starts the
+// first attempt with checkpoint-resume enabled — the fleet coordinator
+// sets it when re-dispatching a cell another machine already checkpointed;
+// with no matching checkpoint it is a silent cold start.
+func (s *Server) submit(sw muontrap.Sweep, prio muontrap.Priority, tn *tenant, resume bool) (muontrap.Job, bool, error) {
 	if err := validateSweep(sw); err != nil {
 		return muontrap.Job{}, false, err
 	}
@@ -363,6 +373,7 @@ func (s *Server) submit(sw muontrap.Sweep, prio muontrap.Priority, tn *tenant) (
 	}
 	j := s.newJob(rec)
 	j.tenant = tn
+	j.resume = resume
 
 	// A stored result for this exact matrix + options + binary means the
 	// job is already done: content keys make resubmission free, and a
@@ -542,6 +553,7 @@ func (s *Server) startLocked(j *job) {
 			muontrap.WithScale(s.cfg.Scale),
 			muontrap.WithMaxCycles(s.cfg.MaxCycles),
 			muontrap.WithResume(resume),
+			muontrap.WithSnapshotStore(s.cfg.SnapStore),
 			muontrap.WithProgress(j.publishProgress),
 		)
 		res, err := r.Sweep(ctx, sw)

@@ -1,0 +1,204 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/muontrap"
+)
+
+// TestBackoffDelayBounds pins the retry backoff policy as a pure
+// function: full-jitter exponential — every delay drawn from
+// [ceiling/2, ceiling) where the ceiling doubles per attempt from
+// backoffBase and saturates at backoffCap — with a positive server
+// Retry-After hint authoritative over all of it.
+func TestBackoffDelayBounds(t *testing.T) {
+	cases := []struct {
+		name    string
+		attempt int
+		hint    time.Duration
+		// jitter outcome bounds when no hint applies: the delay must lie
+		// in [lo, hi) across the whole jitter range.
+		lo, hi time.Duration
+	}{
+		{name: "attempt 0", attempt: 0, lo: 50 * time.Millisecond, hi: 100 * time.Millisecond},
+		{name: "attempt 1 doubles", attempt: 1, lo: 100 * time.Millisecond, hi: 200 * time.Millisecond},
+		{name: "attempt 2 doubles again", attempt: 2, lo: 200 * time.Millisecond, hi: 400 * time.Millisecond},
+		{name: "attempt 5 last uncapped ceiling", attempt: 5, lo: 1600 * time.Millisecond, hi: 3200 * time.Millisecond},
+		{name: "attempt 6 hits the 5s cap", attempt: 6, lo: 2500 * time.Millisecond, hi: 5 * time.Second},
+		{name: "attempt 7 stays capped", attempt: 7, lo: 2500 * time.Millisecond, hi: 5 * time.Second},
+		{name: "attempt 40 shift is clamped, no overflow", attempt: 40, lo: 2500 * time.Millisecond, hi: 5 * time.Second},
+		{name: "hint wins verbatim", attempt: 0, hint: 7 * time.Second, lo: 7 * time.Second, hi: 7*time.Second + 1},
+		{name: "hint beats the cap", attempt: 9, hint: time.Minute, lo: time.Minute, hi: time.Minute + 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Probe the jitter range at its edges and middle: zero jitter
+			// must yield the lower bound, maximal jitter must stay under
+			// the ceiling.
+			jitters := []func(time.Duration) time.Duration{
+				func(time.Duration) time.Duration { return 0 },
+				func(half time.Duration) time.Duration { return half / 2 },
+				func(half time.Duration) time.Duration { return half - 1 },
+			}
+			for i, jitter := range jitters {
+				d := backoffDelay(tc.attempt, tc.hint, jitter)
+				if d < tc.lo || d >= tc.hi {
+					t.Fatalf("jitter probe %d: delay %v outside [%v, %v)", i, d, tc.lo, tc.hi)
+				}
+			}
+			if tc.hint == 0 {
+				// Zero jitter hits the half-ceiling floor exactly.
+				if d := backoffDelay(tc.attempt, 0, func(time.Duration) time.Duration { return 0 }); d != tc.lo {
+					t.Fatalf("zero-jitter delay %v, want exactly %v", d, tc.lo)
+				}
+			}
+		})
+	}
+}
+
+// fakeClock substitutes sleepFn, recording every requested delay and
+// sleeping none of them.
+type fakeClock struct {
+	delays []time.Duration
+}
+
+func (fc *fakeClock) install(t *testing.T) {
+	t.Helper()
+	prev := sleepFn
+	sleepFn = func(ctx context.Context, d time.Duration) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		fc.delays = append(fc.delays, d)
+		return nil
+	}
+	t.Cleanup(func() { sleepFn = prev })
+}
+
+// TestRetryAfterPrecedenceEndToEnd drives a real retrying request
+// against a shedding daemon under a fake clock: the first two responses
+// are 429 with Retry-After hints, and the recorded sleeps must be the
+// hints verbatim — never the exponential guess — followed by success on
+// the third attempt.
+func TestRetryAfterPrecedenceEndToEnd(t *testing.T) {
+	fc := &fakeClock{}
+	fc.install(t)
+	var calls atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "3")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_, _ = w.Write([]byte(`{"code":"over_quota","error":"shed"}`))
+		case 2:
+			w.Header().Set("Retry-After", "9")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte(`{"code":"overloaded","error":"shed"}`))
+		default:
+			_, _ = w.Write([]byte(`{"jobs":[]}`))
+		}
+	}))
+	defer hs.Close()
+
+	c := New(hs.URL, WithRetries(4))
+	if _, err := c.Jobs(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("request attempted %d times, want 3", got)
+	}
+	want := []time.Duration{3 * time.Second, 9 * time.Second}
+	if len(fc.delays) != len(want) {
+		t.Fatalf("recorded %d sleeps (%v), want %d", len(fc.delays), fc.delays, len(want))
+	}
+	for i := range want {
+		if fc.delays[i] != want[i] {
+			t.Fatalf("sleep %d was %v, want the Retry-After hint %v verbatim", i, fc.delays[i], want[i])
+		}
+	}
+}
+
+// TestBackoffUsedWithoutHint is the complementary e2e leg: a shedding
+// response with NO Retry-After must fall back to the full-jitter
+// exponential schedule — each recorded sleep inside the [ceiling/2,
+// ceiling) window of its attempt.
+func TestBackoffUsedWithoutHint(t *testing.T) {
+	fc := &fakeClock{}
+	fc.install(t)
+	var calls atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 3 {
+			w.WriteHeader(http.StatusInternalServerError)
+			_, _ = w.Write([]byte(`boom`))
+			return
+		}
+		_, _ = w.Write([]byte(`{"jobs":[]}`))
+	}))
+	defer hs.Close()
+
+	c := New(hs.URL, WithRetries(5))
+	if _, err := c.Jobs(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(fc.delays) != 3 {
+		t.Fatalf("recorded %d sleeps (%v), want 3", len(fc.delays), fc.delays)
+	}
+	windows := []struct{ lo, hi time.Duration }{
+		{50 * time.Millisecond, 100 * time.Millisecond},
+		{100 * time.Millisecond, 200 * time.Millisecond},
+		{200 * time.Millisecond, 400 * time.Millisecond},
+	}
+	for i, w := range windows {
+		if fc.delays[i] < w.lo || fc.delays[i] >= w.hi {
+			t.Fatalf("attempt %d slept %v, outside the full-jitter window [%v, %v)", i, fc.delays[i], w.lo, w.hi)
+		}
+	}
+}
+
+// TestNonIdempotentSubmitNotReplayedOnTransportError pins the replay
+// guard the retry budget must respect: a transport error (connection
+// drop, not an HTTP status) on a non-idempotent request surfaces
+// immediately — replaying could double a side effect the daemon may
+// already have applied. Submit is the documented exception (submission
+// is idempotent by cache key), so it DOES replay.
+func TestNonIdempotentSubmitNotReplayedOnTransportError(t *testing.T) {
+	fc := &fakeClock{}
+	fc.install(t)
+	var calls atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			t.Error("no hijacker")
+			return
+		}
+		if n == 1 {
+			conn, _, _ := hj.Hijack()
+			conn.Close() // transport error: connection dies mid-response
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		_, _ = w.Write([]byte(`{"id":"job-1","state":"queued"}`))
+	}))
+	defer hs.Close()
+
+	c := New(hs.URL, WithRetries(3))
+	job, err := c.Submit(context.Background(), muontrap.Sweep{
+		Workloads: []muontrap.Workload{"swaptions"},
+		Schemes:   []muontrap.Scheme{"muontrap"},
+	})
+	if err != nil {
+		t.Fatalf("idempotent-by-cache-key Submit should have replayed the dropped connection: %v", err)
+	}
+	if job.ID != "job-1" {
+		t.Fatalf("job %q, want job-1", job.ID)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("submit attempted %d times, want 2 (one drop, one replay)", got)
+	}
+}

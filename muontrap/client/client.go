@@ -122,19 +122,36 @@ func retryableStatus(status int) bool {
 	return status == http.StatusTooManyRequests || status >= 500
 }
 
-// backoff sleeps before retry attempt (0-based), honoring the server's
-// Retry-After hint when present and otherwise backing off exponentially
-// (base 100ms, cap 5s) with full jitter so a shed fleet of clients does
-// not return in lockstep. Cancelled contexts cut the sleep short.
-func backoff(ctx context.Context, attempt int, hint time.Duration) error {
-	d := hint
-	if d <= 0 {
-		max := 100 * time.Millisecond * (1 << min(attempt, 10))
-		if max > 5*time.Second {
-			max = 5 * time.Second
-		}
-		d = max/2 + rand.N(max/2)
+// Backoff policy constants: exponential from backoffBase, capped at
+// backoffCap, full-jitter (delay drawn from [ceiling/2, ceiling)).
+const (
+	backoffBase = 100 * time.Millisecond
+	backoffCap  = 5 * time.Second
+)
+
+// backoffDelay computes the sleep before retry attempt (0-based). A
+// positive server Retry-After hint is authoritative and used verbatim —
+// the daemon knows its own load better than any client-side guess.
+// Otherwise the delay is full-jitter exponential: the ceiling doubles
+// per attempt from backoffBase up to backoffCap, and the delay is drawn
+// uniformly from [ceiling/2, ceiling) so a shed fleet of clients does
+// not return in lockstep. jitter maps a half-ceiling to a random value
+// in [0, half); tests pass a deterministic one.
+func backoffDelay(attempt int, hint time.Duration, jitter func(time.Duration) time.Duration) time.Duration {
+	if hint > 0 {
+		return hint
 	}
+	ceiling := backoffBase * (1 << min(attempt, 10))
+	if ceiling > backoffCap {
+		ceiling = backoffCap
+	}
+	return ceiling/2 + jitter(ceiling/2)
+}
+
+// sleepFn waits out one backoff delay, honoring context cancellation.
+// Var so tests can substitute a fake clock that records delays instead
+// of sleeping them.
+var sleepFn = func(ctx context.Context, d time.Duration) error {
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
@@ -143,6 +160,12 @@ func backoff(ctx context.Context, attempt int, hint time.Duration) error {
 	case <-t.C:
 		return nil
 	}
+}
+
+// backoff sleeps before retry attempt (0-based), per backoffDelay.
+// Cancelled contexts cut the sleep short.
+func backoff(ctx context.Context, attempt int, hint time.Duration) error {
+	return sleepFn(ctx, backoffDelay(attempt, hint, rand.N[time.Duration]))
 }
 
 // retryAfterOf extracts the Retry-After hint from an error, if any.
@@ -256,6 +279,7 @@ func decodeError(resp *http.Response) error {
 type submitRequest struct {
 	Sweep    muontrap.Sweep `json:"sweep"`
 	Priority string         `json:"priority,omitempty"`
+	Resume   bool           `json:"resume,omitempty"`
 }
 
 // SubmitOption customizes one submission.
@@ -266,6 +290,16 @@ type SubmitOption func(*submitRequest)
 // runner slot is busy; the default (and the empty string) is bulk.
 func WithPriority(p muontrap.Priority) SubmitOption {
 	return func(r *submitRequest) { r.Priority = string(p) }
+}
+
+// WithResume starts the submitted job with checkpoint-resume enabled:
+// any cell whose exact identity has a reachable mid-run checkpoint in
+// the daemon's snapshot store continues from it instead of starting
+// cold. The fleet coordinator submits re-dispatched cells this way so a
+// new worker picks up where a dead one left off; with no matching
+// checkpoint it is a silent cold start, so the option is always safe.
+func WithResume() SubmitOption {
+	return func(r *submitRequest) { r.Resume = true }
 }
 
 // Submit sends a sweep and returns the accepted job. A daemon holding a

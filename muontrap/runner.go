@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/checkpoint"
 	"repro/internal/defense"
 	"repro/internal/figures"
 	"repro/internal/stats"
@@ -24,6 +25,7 @@ type Runner struct {
 	ckptEvery int
 	resume    bool
 	progress  func(Progress)
+	snapStore checkpoint.ContentStore
 }
 
 // RunnerOption configures a Runner at construction.
@@ -62,6 +64,16 @@ func WithCheckpointEvery(n int) RunnerOption { return func(r *Runner) { r.ckptEv
 // interrupted invocation used; with no matching checkpoint on disk it
 // silently falls back to a cold start.
 func WithResume(resume bool) RunnerOption { return func(r *Runner) { r.resume = resume } }
+
+// WithSnapshotStore overrides where mid-run checkpoints live: st replaces
+// the default CacheDir-local content-addressed store. Fleet workers pass
+// a checkpoint.Mirror (local disk plus a network store) so an interrupted
+// cell's latest checkpoint can be fetched by any other machine; the
+// checkpoint keying — and therefore which runs can resume from which
+// checkpoints — is unchanged. Nil (the default) keeps checkpoints local.
+func WithSnapshotStore(st checkpoint.ContentStore) RunnerOption {
+	return func(r *Runner) { r.snapStore = st }
+}
 
 // WithProgress streams sweep progress: fn is called once per completed
 // Sweep cell, serialized, from worker goroutines. Completion order is
@@ -110,6 +122,7 @@ func (r *Runner) options(scale float64, maxCycles int) figures.Options {
 		CacheDir:        r.cacheDir,
 		CheckpointEvery: r.ckptEvery,
 		Resume:          r.resume,
+		SnapshotStore:   r.snapStore,
 	}
 }
 
