@@ -57,6 +57,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/fleet"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -75,6 +76,9 @@ func main() {
 		tenantsFile  = flag.String("tenants", "", "JSON tenants file enabling API-key auth and per-tenant quotas (empty = open daemon)")
 		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint attached to shed (429/503) responses")
 		drainTimeout = flag.Duration("drain-timeout", time.Minute, "bound on graceful-shutdown job drain; on expiry still-running jobs are journaled interrupted and abandoned (0 = wait forever)")
+
+		metricsOn = flag.Bool("metrics", false, "expose Prometheus metrics at /metrics and enable job/cell tracing and sim profiling")
+		traceDir  = flag.String("trace-dir", "", `job/cell trace JSONL directory (default "<cache>/telemetry" with -metrics; "off" keeps the in-memory ring only)`)
 
 		coordinator = flag.Bool("coordinator", false, "run as a fleet coordinator: shard submitted sweeps across joined workers instead of simulating locally")
 		hbTimeout   = flag.Duration("heartbeat-timeout", 5*time.Second, "coordinator: mark a worker dead after this long without a heartbeat")
@@ -110,6 +114,30 @@ func main() {
 		fatal(errors.New("-auto-resume needs a cache directory (-cache) holding the journal and checkpoints"))
 	}
 
+	// Telemetry is strictly opt-in: without -metrics (or -trace-dir) the
+	// daemon runs the exact pre-telemetry code paths — no registry, no
+	// tracer, no sim profiling hooks installed.
+	var reg *telemetry.Registry
+	var tracer *telemetry.Tracer
+	if *metricsOn || *traceDir != "" {
+		if *metricsOn {
+			reg = telemetry.NewRegistry()
+			telemetry.EnableSimProfiling(reg)
+		}
+		td := *traceDir
+		if td == "" && dir != "" {
+			td = filepath.Join(dir, "telemetry")
+		}
+		if td == "off" {
+			td = "" // ring-buffer tracing only, no JSONL file
+		}
+		var err error
+		if tracer, err = telemetry.NewTracer(td); err != nil {
+			fatal(err)
+		}
+		defer tracer.Close()
+	}
+
 	if *coordinator {
 		if *join != "" {
 			fatal(errors.New("-coordinator and -join are mutually exclusive: a process shards sweeps or runs them, not both"))
@@ -123,6 +151,8 @@ func main() {
 			HeartbeatTimeout: *hbTimeout,
 			StealAfter:       *stealAfter,
 			PerWorker:        *perWorker,
+			Metrics:          reg,
+			Tracer:           tracer,
 		})
 		return
 	}
@@ -160,6 +190,8 @@ func main() {
 		Warmup:          *warmup,
 		CheckpointEvery: *ckptEvery,
 		SnapStore:       snapStore,
+		Metrics:         reg,
+		Tracer:          tracer,
 	})
 	if err != nil {
 		fatal(err)
@@ -181,6 +213,24 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// SIGHUP hot-reloads the tenants table: keys rotate and quotas change
+	// without dropping running jobs or open streams. A reload that fails to
+	// parse or validate keeps the old table — a typo in tenants.json must
+	// never fail open (or closed) a live daemon.
+	if *tenantsFile != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				if err := srv.ReloadTenantsFile(*tenantsFile); err != nil {
+					fmt.Fprintf(os.Stderr, "muontrapd: SIGHUP tenant reload failed, keeping previous table: %v\n", err)
+				} else {
+					fmt.Printf("muontrapd: SIGHUP reloaded tenants from %s\n", *tenantsFile)
+				}
+			}
+		}()
+	}
 
 	// Register with the coordinator once we are (about to be) listening.
 	// Registration is retried until it lands: the coordinator may come up

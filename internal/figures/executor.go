@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/defense"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -153,7 +155,14 @@ func (e *Executor) runJob(ctx context.Context, j Job) (sim.RunResult, error) {
 	key.warmup = j.Opt.WarmupInsts
 	key.snapHash = snapHash
 	key.every = j.Opt.ckptEvery()
-	return cachedRun(ctx, j.Opt, key, run)
+	cellStart := time.Now()
+	res, err := cachedRun(ctx, j.Opt, key, run)
+	if err == nil {
+		// Cell wall time includes cache lookups and any singleflight wait:
+		// it is what a caller of the executor actually experiences per cell.
+		telemetry.ActiveSimProfiler().RecordCellSeconds(time.Since(cellStart).Seconds())
+	}
+	return res, err
 }
 
 // ctxErr reports whether err is a context cancellation/deadline error —

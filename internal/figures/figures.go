@@ -4,14 +4,26 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/defense"
 	"repro/internal/event"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
+
+// schemeLabel is the metric label value for a run's defense scheme. Scheme
+// names are non-empty everywhere schemes are built, but a label value must
+// never be empty, so the zero value gets a stable placeholder.
+func schemeLabel(name string) string {
+	if name == "" {
+		return "unnamed"
+	}
+	return name
+}
 
 // Options controls experiment size.
 type Options struct {
@@ -122,6 +134,7 @@ var (
 // goroutines waiting on someone else's in-flight run stop waiting as soon
 // as their own ctx is cancelled.
 func cachedRun(ctx context.Context, opt Options, key runKey, run func(context.Context) (sim.RunResult, error)) (sim.RunResult, error) {
+	prof := telemetry.ActiveSimProfiler() // nil when profiling is off; all methods no-op
 	for {
 		runCacheMu.Lock()
 		e := runCache[key]
@@ -129,15 +142,22 @@ func cachedRun(ctx context.Context, opt Options, key runKey, run func(context.Co
 			e = &runEntry{ready: make(chan struct{})}
 			runCache[key] = e
 			runCacheMu.Unlock()
+			prof.RecordCacheEvent(telemetry.CacheMemory, false)
 
 			if opt.CacheDir != "" {
 				if res, ok := diskGet(opt.CacheDir, key); ok {
+					prof.RecordCacheEvent(telemetry.CacheDisk, true)
 					e.res = res
 					close(e.ready)
 					return e.res, nil
 				}
+				prof.RecordCacheEvent(telemetry.CacheDisk, false)
 			}
+			simStart := time.Now()
 			e.res, e.err = run(ctx)
+			if e.err == nil {
+				prof.RecordRun(schemeLabel(key.scheme), uint64(e.res.Cycles), e.res.Committed, time.Since(simStart))
+			}
 			if e.err == nil && opt.CacheDir != "" {
 				diskPut(opt.CacheDir, key, e.res)
 			}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/defense"
 	"repro/internal/event"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -222,6 +223,12 @@ func forkOrRun(ctx context.Context, spec workload.Spec, opt Options, sys *sim.Sy
 			}
 			return nil
 		}
+	}
+	if p := telemetry.ActiveSimProfiler(); p != nil {
+		// Observation-only: samples the event-queue depth at checkpoint
+		// drain boundaries. Never installed when profiling is off, so
+		// golden/determinism runs execute the exact pre-telemetry path.
+		sys.OnCheckpointSample = p.RecordQueueDepth
 	}
 	res, err := sys.RunUntilHaltCkpt(ctx, opt.MaxCycles, event.Cycle(key.every), sink)
 	if err == nil && st != nil && prevHash != "" {

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/figures"
+	"repro/internal/telemetry"
 	"repro/muontrap"
 	"repro/muontrap/client"
 )
@@ -68,18 +69,32 @@ type Config struct {
 	// a worker whose process died but whose heartbeat entry has not yet
 	// timed out, and for one whose agent outlived its daemon.
 	WorkerFailLimit int
+	// Metrics, when non-nil, registers the fleet's metric series on it
+	// and mounts the registry at GET /metrics.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, receives a structured span per cell
+	// lifecycle edge (submit, queue, dispatch, steal, requeue, merge,
+	// duplicate, worker_dead, done, failed).
+	Tracer *telemetry.Tracer
 }
 
-// Stats is the coordinator's observability surface (GET /v1/healthz).
+// Stats is the coordinator's observability surface: the /v1/healthz
+// payload, and the source the /metrics worker/scheduler families read
+// at scrape time — both views come from this one snapshot.
 type Stats struct {
-	Workers      int    `json:"workers"`       // registered and alive
-	DeadWorkers  uint64 `json:"dead_workers"`  // marked dead over the coordinator's life
-	Jobs         int    `json:"jobs"`          // jobs known, all states
-	CellsPending int    `json:"cells_pending"` // cells not yet merged
-	Dispatched   uint64 `json:"dispatched"`    // attempts started
-	Migrations   uint64 `json:"migrations"`    // cells re-queued after a worker failure
-	Steals       uint64 `json:"steals"`        // speculative straggler dispatches
-	Duplicates   uint64 `json:"duplicates"`    // completions discarded at merge (first writer won)
+	Workers int `json:"workers"` // registered and alive
+	// SuspectWorkers counts alive workers whose last heartbeat is older
+	// than half the timeout — still served, but next in line to be
+	// declared dead if silence continues.
+	SuspectWorkers int    `json:"suspect_workers"`
+	DeadWorkersNow int    `json:"dead_workers_now"` // currently registered and dead
+	DeadWorkers    uint64 `json:"dead_workers"`     // marked dead over the coordinator's life
+	Jobs           int    `json:"jobs"`             // jobs known, all states
+	CellsPending   int    `json:"cells_pending"`    // cells not yet merged
+	Dispatched     uint64 `json:"dispatched"`       // attempts started
+	Migrations     uint64 `json:"migrations"`       // cells re-queued after a worker failure
+	Steals         uint64 `json:"steals"`           // speculative straggler dispatches
+	Duplicates     uint64 `json:"duplicates"`       // completions discarded at merge (first writer won)
 }
 
 // worker is one registered fleet member.
@@ -146,6 +161,8 @@ type Coordinator struct {
 	cfg   Config
 	mux   *http.ServeMux
 	store *checkpoint.Store // shared checkpoint store (nil when Dir == "")
+	met   *fleetMetrics     // nil = metrics off
+	trace *telemetry.Tracer // nil = tracing off
 
 	ctx  context.Context
 	stop context.CancelFunc
@@ -185,11 +202,15 @@ func New(cfg Config) (*Coordinator, error) {
 	ctx, stop := context.WithCancel(context.Background())
 	co := &Coordinator{
 		cfg:     cfg,
+		trace:   cfg.Tracer,
 		ctx:     ctx,
 		stop:    stop,
 		wake:    make(chan struct{}, 1),
 		workers: make(map[string]*worker),
 		jobs:    make(map[string]*fleetJob),
+	}
+	if cfg.Metrics != nil {
+		co.met = newFleetMetrics(cfg.Metrics, co)
 	}
 	if cfg.Dir != "" {
 		st, err := checkpoint.NewStore(filepath.Join(cfg.Dir, "fleet", "store"))
@@ -237,9 +258,15 @@ func (co *Coordinator) Stats() Stats {
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	st := co.stats
+	now := time.Now()
 	for _, w := range co.workers {
-		if !w.dead {
-			st.Workers++
+		if w.dead {
+			st.DeadWorkersNow++
+			continue
+		}
+		st.Workers++
+		if now.Sub(w.lastSeen) > co.cfg.HeartbeatTimeout/2 {
+			st.SuspectWorkers++
 		}
 	}
 	st.Jobs = len(co.jobs)
@@ -303,6 +330,7 @@ func (co *Coordinator) markWorkerDeadLocked(w *worker) {
 	}
 	w.dead = true
 	co.stats.DeadWorkers++
+	co.span(telemetry.Span{Event: "worker_dead", Worker: w.id, Detail: w.name})
 	for _, j := range co.jobs {
 		for _, c := range j.cells {
 			for a := range c.attempts {
@@ -337,6 +365,10 @@ func (co *Coordinator) requeueCellLocked(c *cell) {
 	}
 	c.resume = true
 	co.stats.Migrations++
+	co.span(telemetry.Span{
+		Event: "requeue", Job: c.job.rec.ID, Cell: cellLabel(c),
+		Detail: "re-queued resumable after worker failure",
+	})
 }
 
 // schedulable reports whether a job's cells may be dispatched.
@@ -396,6 +428,11 @@ func (co *Coordinator) stealLocked(now time.Time) {
 				continue // steal only onto an idle machine
 			}
 			co.stats.Steals++
+			co.span(telemetry.Span{
+				Event: "steal", Job: j.rec.ID, Cell: cellLabel(c), Worker: w.id,
+				Seconds: now.Sub(cur.started).Seconds(),
+				Detail:  "straggling on " + cur.w.id,
+			})
 			co.startAttemptLocked(c, w, now)
 		}
 	}
@@ -428,6 +465,14 @@ func (co *Coordinator) startAttemptLocked(c *cell, w *worker, now time.Time) {
 	c.attempts[a] = struct{}{}
 	w.inflight++
 	co.stats.Dispatched++
+	detail := ""
+	if a.resume {
+		detail = "resume"
+	}
+	co.span(telemetry.Span{
+		Event: "dispatch", Job: c.job.rec.ID, Cell: cellLabel(c),
+		Worker: w.id, Detail: detail,
+	})
 	if c.job.rec.State == muontrap.JobQueued {
 		c.job.rec.State = muontrap.JobRunning
 	}
@@ -500,6 +545,7 @@ func (co *Coordinator) attemptFailed(a *attempt, err error) {
 	if errors.Is(err, context.Canceled) && co.ctx.Err() != nil {
 		return // coordinator shutting down; leave the shard map as-is
 	}
+	co.met.observeAttempt(a.started, false)
 	a.w.fails++
 	if a.w.fails >= co.cfg.WorkerFailLimit {
 		co.markWorkerDeadLocked(a.w)
@@ -518,6 +564,7 @@ func (co *Coordinator) attemptDone(a *attempt, res *muontrap.SweepResult) {
 	if !a.closed {
 		co.closeAttemptLocked(a)
 		a.w.fails = 0
+		co.met.observeAttempt(a.started, true)
 	}
 	if c.done || c.job.rec.State.Terminal() {
 		// First writer already won this cell's merge (the check runs even
@@ -525,6 +572,10 @@ func (co *Coordinator) attemptDone(a *attempt, res *muontrap.SweepResult) {
 		// completion can race the winner's sibling-cancel): the duplicate
 		// is counted and discarded, never merged twice.
 		co.stats.Duplicates++
+		co.span(telemetry.Span{
+			Event: "duplicate", Job: c.job.rec.ID, Cell: cellLabel(c), Worker: a.w.id,
+			Detail: "completion discarded; first writer already merged",
+		})
 		co.mu.Unlock()
 		co.kick()
 		return
@@ -539,6 +590,10 @@ func (co *Coordinator) attemptDone(a *attempt, res *muontrap.SweepResult) {
 		co.failJob(c.job, fmt.Sprintf("fleet: worker %s returned %d runs for a single-cell sweep", a.w.id, n))
 		return
 	}
+	co.span(telemetry.Span{
+		Event: "merge", Job: c.job.rec.ID, Cell: cellLabel(c), Worker: a.w.id,
+		Seconds: time.Since(a.started).Seconds(),
+	})
 	co.mergeCellLocked(c, res.Runs[0])
 	// A slower sibling attempt (straggler being stolen from) is now moot:
 	// stop polling it and best-effort cancel the remote job.
@@ -584,6 +639,7 @@ func (co *Coordinator) mergeCellLocked(c *cell, run muontrap.RunResult) {
 		j.rec.State = muontrap.JobDone
 		j.rec.FinishedAt = time.Now().UTC().Format(time.RFC3339)
 		co.storeResult(j.rec.CacheKey, j.assembleLocked())
+		co.span(telemetry.Span{Event: "done", Job: j.rec.ID})
 	}
 	j.pokeLocked()
 }
@@ -644,6 +700,7 @@ func (co *Coordinator) failJob(j *fleetJob, msg string) {
 		}
 	}
 	j.pokeLocked()
+	co.span(telemetry.Span{Event: "failed", Job: j.rec.ID, Detail: msg})
 	co.mu.Unlock()
 	co.persist(j)
 }
@@ -718,6 +775,8 @@ func (co *Coordinator) submit(sw muontrap.Sweep, prio muontrap.Priority, resume 
 	co.registerLocked(j)
 	rec = j.rec
 	co.mu.Unlock()
+	co.span(telemetry.Span{Event: "submit", Job: rec.ID, Detail: string(prio)})
+	co.span(telemetry.Span{Event: "queue", Job: rec.ID})
 	co.persist(j)
 	co.kick()
 	return rec, false, nil

@@ -86,6 +86,9 @@ func (co *Coordinator) routes() {
 	if co.store != nil {
 		mux.Handle(StorePath+"/", http.StripPrefix(StorePath, checkpoint.StoreHandler(co.store)))
 	}
+	if co.cfg.Metrics != nil {
+		mux.Handle("GET /metrics", co.cfg.Metrics)
+	}
 	co.mux = mux
 }
 

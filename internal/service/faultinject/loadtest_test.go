@@ -5,11 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -18,6 +21,7 @@ import (
 	"repro/internal/figures"
 	"repro/internal/service"
 	"repro/internal/service/faultinject"
+	"repro/internal/telemetry"
 	"repro/muontrap"
 	"repro/muontrap/client"
 )
@@ -124,6 +128,69 @@ func waitJobState(t *testing.T, c *client.Client, id string, want muontrap.JobSt
 	}
 }
 
+// histogramBuckets extracts the cumulative (le, count) pairs of one
+// tenant-labelled histogram from a text exposition, in le order.
+func histogramBuckets(body, family, tenant string) (les []float64, counts []uint64) {
+	prefix := family + `_bucket{le="`
+	suffix := `",tenant="` + tenant + `"}`
+	for _, l := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(l, prefix) {
+			continue
+		}
+		rest := strings.TrimPrefix(l, prefix)
+		i := strings.Index(rest, suffix)
+		if i < 0 {
+			continue
+		}
+		leStr, nStr := rest[:i], strings.TrimSpace(rest[i+len(suffix):])
+		le := math.Inf(1)
+		if leStr != "+Inf" {
+			var err error
+			if le, err = strconv.ParseFloat(leStr, 64); err != nil {
+				continue
+			}
+		}
+		n, err := strconv.ParseUint(nStr, 10, 64)
+		if err != nil {
+			continue
+		}
+		les = append(les, le)
+		counts = append(counts, n)
+	}
+	return les, counts
+}
+
+// histogramCount returns the histogram's total observation count (its
+// +Inf bucket), 0 when the series is absent.
+func histogramCount(body, family, tenant string) uint64 {
+	les, counts := histogramBuckets(body, family, tenant)
+	for i, le := range les {
+		if math.IsInf(le, 1) {
+			return counts[i]
+		}
+	}
+	return 0
+}
+
+// histogramP99 computes the p99 upper bound from exported cumulative
+// buckets: the smallest le whose cumulative count covers 99% of
+// observations.
+func histogramP99(t *testing.T, body, family, tenant string) float64 {
+	t.Helper()
+	les, counts := histogramBuckets(body, family, tenant)
+	total := histogramCount(body, family, tenant)
+	if total == 0 {
+		t.Fatalf("histogram %s{tenant=%q} absent or empty in scrape", family, tenant)
+	}
+	rank := uint64(math.Ceil(0.99 * float64(total)))
+	for i, le := range les {
+		if counts[i] >= rank {
+			return le
+		}
+	}
+	return math.Inf(1)
+}
+
 func hasRef(snapDir string) bool {
 	ents, err := os.ReadDir(snapDir)
 	if err != nil {
@@ -149,6 +216,7 @@ func TestLoadSmokeUnderFaults(t *testing.T) {
 		MaxQueue:        128,
 		CheckpointEvery: cadence,
 		RetryAfter:      time.Second,
+		Metrics:         telemetry.NewRegistry(),
 		Tenants: []service.Tenant{
 			{Name: "alice", Key: "sk-alice"},                              // unlimited: the bulk fleet
 			{Name: "bob", Key: "sk-bob", MaxQueued: 1, MaxRunning: 1},     // tight quotas: the noisy neighbor
@@ -267,6 +335,40 @@ func TestLoadSmokeUnderFaults(t *testing.T) {
 	// through it.
 	if p99 := lats[(len(lats)*99)/100]; p99 > 30*time.Second {
 		t.Fatalf("p99 submit latency %v under fault-injected load", p99)
+	}
+
+	// ---- mid-run observability: with the daemon still under fault-
+	// injected load, a live /metrics scrape (through the same faulty front
+	// door, so it is retried like everything else) must export alice's job
+	// latency histogram, and the p99 it implies must be bounded — the same
+	// tripwire as the submit-latency pin, read from the daemon's own
+	// telemetry instead of the clients' stopwatches.
+	var exposition string
+	eventually(t, "scrape /metrics mid-run", func() error {
+		resp, err := http.Get(hs.URL + "/metrics")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET /metrics status %d", resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		exposition = string(b)
+		return nil
+	})
+	if got := histogramCount(exposition, "muontrap_service_job_seconds", "alice"); got < uint64(n) {
+		t.Fatalf("job latency histogram exports %d alice observations mid-run, want >= %d:\n%s",
+			got, n, exposition)
+	}
+	if p99 := histogramP99(t, exposition, "muontrap_service_job_seconds", "alice"); p99 > 120 {
+		t.Fatalf("exported p99 job latency %.3gs under fault-injected load, want <= 120s", p99)
+	}
+	if !strings.Contains(exposition, "muontrap_service_jobs_submitted_total") {
+		t.Fatal("scrape missing the submission counter family")
 	}
 
 	// ---- per-tenant quota shedding: bob (max 1 queued, 1 running)
@@ -435,6 +537,10 @@ func TestLoadSmokeUnderFaults(t *testing.T) {
 	sw.Swap(faultinject.Down)
 	srv.Close() // the kill: running jobs stay journaled as running
 	figures.ResetRunCache()
+	// The restarted daemon is a new process in spirit: it gets a fresh
+	// registry (re-registering the same names on the old one panics, by
+	// design — that is the duplicate lint).
+	cfg.Metrics = telemetry.NewRegistry()
 	srv2, err := service.New(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -91,6 +91,12 @@ func (s *Server) routes() {
 	mux.HandleFunc("GET /v1/results/{key}", s.auth(s.handleResultByKey))
 	mux.HandleFunc("GET /v1/catalog", s.auth(s.handleCatalog))
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	if s.cfg.Metrics != nil {
+		// Like healthz, the scrape endpoint is an operational probe:
+		// never authenticated, and it names no tenant data beyond the
+		// tenant label on latency series.
+		mux.Handle("GET /metrics", s.cfg.Metrics)
+	}
 	s.mux = mux
 }
 
@@ -112,15 +118,19 @@ func requestKey(r *http.Request) string {
 	return r.Header.Get("X-API-Key")
 }
 
-// auth gates a handler behind tenant authentication. On an open daemon
-// (no tenants configured) it is the identity function — the historical
-// no-auth behavior, with zero per-request overhead.
+// auth gates a handler behind tenant authentication. The table is
+// loaded per request (one atomic load) rather than captured at route
+// time, so a SIGHUP tenant reload takes effect on the very next
+// request. On an open daemon (nil table) the request passes through —
+// the historical no-auth behavior.
 func (s *Server) auth(h http.HandlerFunc) http.HandlerFunc {
-	if s.tenants == nil {
-		return h
-	}
 	return func(w http.ResponseWriter, r *http.Request) {
-		tn := s.tenants.authenticate(requestKey(r))
+		tbl := s.tenants.Load()
+		if tbl == nil {
+			h(w, r)
+			return
+		}
+		tn := tbl.authenticate(requestKey(r))
 		if tn == nil {
 			writeJSON(w, http.StatusUnauthorized, apiError{
 				Code:  "unauthorized",
@@ -143,7 +153,8 @@ func requestTenant(r *http.Request) *tenant {
 // configured, a job may only be acted on by the tenant that submitted
 // it.
 func (s *Server) authorizeJob(r *http.Request, id string) error {
-	if s.tenants == nil {
+	tbl := s.tenants.Load()
+	if tbl == nil {
 		return nil
 	}
 	j, err := s.lookup(id)
@@ -151,7 +162,7 @@ func (s *Server) authorizeJob(r *http.Request, id string) error {
 		return err
 	}
 	snap := j.snapshot()
-	if !s.tenants.canCancel(requestTenant(r), snap.Tenant) {
+	if !tbl.canCancel(requestTenant(r), snap.Tenant) {
 		return &forbiddenError{fmt.Sprintf("job %s belongs to tenant %s", id, snap.Tenant)}
 	}
 	return nil
@@ -396,7 +407,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 
 	sub := j.attach()
-	defer j.detach(sub)
+	s.met.sseAttach()
+	defer func() {
+		j.detach(sub)
+		s.met.sseDetach()
+	}()
 
 	if !writeSSE(write, "job", j.snapshot()) {
 		return

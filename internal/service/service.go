@@ -14,10 +14,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/figures"
+	"repro/internal/telemetry"
 	"repro/muontrap"
 )
 
@@ -85,6 +87,15 @@ type Config struct {
 	// cells from their latest checkpoint. Nil keeps checkpoints in the
 	// Dir-local store, exactly the single-machine behavior.
 	SnapStore checkpoint.ContentStore
+	// Metrics, when non-nil, registers the service's metric series on it
+	// and mounts the registry at GET /metrics (unauthenticated, like
+	// /v1/healthz — both are operational probes). Nil disables metrics
+	// at zero per-request cost.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, receives a structured span per job lifecycle
+	// edge (submit, queue, dispatch, preempt, requeue, resume, done,
+	// failed, cancelled, interrupted). Nil disables tracing.
+	Tracer *telemetry.Tracer
 }
 
 // defaultStreamHistory is the per-job SSE ring capacity when
@@ -123,8 +134,11 @@ type job struct {
 	incompat string
 	// tenant is the submitting tenant's live quota state (nil on an open
 	// daemon, or when a journaled job's tenant is no longer configured).
-	// The pointer is immutable; its counters are guarded by Server.mu.
+	// The pointer and its counters are guarded by Server.mu: a SIGHUP
+	// tenant reload rebinds every job to the new table's entries.
 	tenant *tenant
+	// born is the admission instant (monotonic), for latency metrics.
+	born time.Time
 
 	cancel    context.CancelFunc
 	cancelled bool // DELETE requested (distinguishes user cancel from server death)
@@ -150,9 +164,15 @@ type job struct {
 // a killed daemon's jobs are resumable, and serves completed results by
 // job ID or content cache key. It implements http.Handler.
 type Server struct {
-	cfg     Config
-	mux     *http.ServeMux
-	tenants *tenantTable // nil = open mode
+	cfg Config
+	mux *http.ServeMux
+	// tenants holds the live tenant table (nil = open mode). It is an
+	// atomic pointer because SIGHUP hot-reload swaps it while request
+	// handlers authenticate against it lock-free; the table's quota
+	// counters are still guarded by mu.
+	tenants atomic.Pointer[tenantTable]
+	met     *serviceMetrics   // nil = metrics off
+	trace   *telemetry.Tracer // nil = tracing off
 
 	ctx  context.Context // cancelled by Close; job contexts derive from it
 	stop context.CancelFunc
@@ -189,11 +209,15 @@ func New(cfg Config) (*Server, error) {
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:     cfg,
-		tenants: tbl,
 		ctx:     ctx,
 		stop:    stop,
+		trace:   cfg.Tracer,
 		jobs:    make(map[string]*job),
 		running: make(map[*job]struct{}),
+	}
+	s.tenants.Store(tbl)
+	if cfg.Metrics != nil {
+		s.met = newServiceMetrics(cfg.Metrics, s)
 	}
 	s.routes()
 	if err := s.loadJournal(); err != nil {
@@ -207,9 +231,10 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) newJob(rec muontrap.Job) *job {
 	return &job{
 		rec:    rec,
+		born:   time.Now(),
 		ring:   newEventRing(s.cfg.StreamHistory),
 		subs:   make(map[*subscriber]struct{}),
-		tenant: s.tenants.owner(rec.Tenant),
+		tenant: s.tenants.Load().owner(rec.Tenant),
 	}
 }
 
@@ -287,8 +312,8 @@ func (s *Server) Stats() Stats {
 		ShedOverQuota:    s.shedQuota,
 		ShedOverCapacity: s.shedCapacity,
 	}
-	if s.tenants != nil {
-		st.Tenants = len(s.tenants.byName)
+	if tbl := s.tenants.Load(); tbl != nil {
+		st.Tenants = len(tbl.byName)
 	}
 	return st
 }
@@ -387,6 +412,10 @@ func (s *Server) submit(sw muontrap.Sweep, prio muontrap.Priority, tn *tenant, r
 		s.registerLocked(j)
 		s.mu.Unlock()
 		s.persist(j)
+		s.met.jobSubmitted(true)
+		s.met.observeJobSeconds(rec.Tenant, sinceSeconds(j.born))
+		s.span("submit", j, 0, "cache-hit")
+		s.span("done", j, sinceSeconds(j.born), "served from result store")
 		return j.snapshot(), true, nil
 	}
 
@@ -400,9 +429,12 @@ func (s *Server) submit(sw muontrap.Sweep, prio muontrap.Priority, tn *tenant, r
 	}
 	s.registerLocked(j)
 	s.pending[prioIndex(prio)] = append(s.pending[prioIndex(prio)], j)
+	s.span("submit", j, 0, string(prio))
+	s.span("queue", j, 0, "")
 	s.dispatchLocked()
 	s.mu.Unlock()
 	s.persist(j)
+	s.met.jobSubmitted(false)
 	return j.snapshot(), false, nil
 }
 
@@ -513,6 +545,8 @@ func (s *Server) preemptLocked() {
 			j.preempt = true
 			j.cancel()
 			need--
+			s.met.jobPreempted()
+			s.spanLocked("preempt", j, 0, "unwinding to checkpoint for interactive work")
 		}
 		j.mu.Unlock()
 	}
@@ -533,6 +567,7 @@ func (s *Server) startLocked(j *job) {
 	}
 	resume := j.resume
 	sw := j.rec.Sweep
+	s.spanLocked("dispatch", j, 0, "")
 	j.mu.Unlock()
 
 	s.wg.Add(1)
@@ -626,6 +661,7 @@ func (s *Server) finish(j *job, res *muontrap.SweepResult, err error) {
 		j.rec.Done = 0
 		j.ring.clear()
 		class := prioIndex(j.rec.Priority)
+		s.spanLocked("requeue", j, 0, "preempted attempt re-queued resumable")
 		j.mu.Unlock()
 		s.persist(j)
 		s.mu.Lock()
@@ -661,11 +697,16 @@ func (s *Server) finish(j *job, res *muontrap.SweepResult, err error) {
 	}
 	j.rec.FinishedAt = time.Now().UTC().Format(time.RFC3339)
 	state := j.rec.State
+	detail := j.rec.Error
+	elapsed := sinceSeconds(j.born)
+	tenantName := j.rec.Tenant
 	for sub := range j.subs {
 		sub.poke()
 	}
 	key := j.rec.CacheKey
+	s.spanLocked(string(state), j, elapsed, detail)
 	j.mu.Unlock()
+	s.met.observeJobSeconds(tenantName, elapsed)
 
 	if state == muontrap.JobDone {
 		if s.storeResult(key, res) {
@@ -711,10 +752,12 @@ func (s *Server) cancelJob(id string) (muontrap.Job, error) {
 				sub.poke()
 			}
 			rec := j.rec
+			s.spanLocked("cancelled", j, sinceSeconds(j.born), "cancelled while queued")
 			j.mu.Unlock()
 			s.dispatchLocked() // a preemption may now be unnecessary; harmless otherwise
 			s.mu.Unlock()
 			s.persist(j)
+			s.met.observeJobSeconds(rec.Tenant, sinceSeconds(j.born))
 			return rec, nil
 		}
 		// Dispatched but not yet running: flag + cancel, the attempt
@@ -799,6 +842,8 @@ func (s *Server) ResumeJob(id string) (muontrap.Job, error) {
 	j.ring.clear() // the resumed attempt streams its own full sequence
 	rec := j.rec
 	class := prioIndex(j.rec.Priority)
+	s.spanLocked("resume", j, 0, "")
+	s.spanLocked("queue", j, 0, "")
 	j.mu.Unlock()
 	if j.tenant != nil {
 		j.tenant.queued++
@@ -807,6 +852,7 @@ func (s *Server) ResumeJob(id string) (muontrap.Job, error) {
 	s.dispatchLocked()
 	s.mu.Unlock()
 	s.persist(j)
+	s.met.jobResumed()
 	return rec, nil
 }
 

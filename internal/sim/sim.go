@@ -103,6 +103,14 @@ type System struct {
 	// snapshot so interrupted and uninterrupted runs report the same
 	// total).
 	CheckpointsTaken uint64
+
+	// OnCheckpointSample, when non-nil, observes the scheduler's pending
+	// event count each time RunUntilHaltCkpt reaches a checkpoint
+	// boundary — immediately before the drain, so the sample reflects
+	// live queue pressure. It is a pure observation hook: it must not
+	// touch simulated state, and when nil (the default, and always the
+	// case in golden/determinism tests) the cycle loop is unchanged.
+	OnCheckpointSample func(pending int)
 }
 
 // New builds a machine.
@@ -381,6 +389,9 @@ func (s *System) RunUntilHaltCkpt(ctx context.Context, maxCycles int, every even
 			break
 		}
 		if every > 0 && s.Sched.Now() >= next {
+			if s.OnCheckpointSample != nil {
+				s.OnCheckpointSample(s.Sched.Pending())
+			}
 			s.CheckpointsTaken++
 			if sink == nil {
 				// Timing-only mode: drain exactly as a checkpointing run

@@ -1,0 +1,18 @@
+// Package telemetry is the observability layer: an allocation-free
+// metrics core (atomic counters, gauges, and fixed-bucket histograms,
+// all pre-registered), a Prometheus text-format exposition handler,
+// structured job/cell lifecycle tracing to a bounded ring and a JSONL
+// file, and opt-in simulator profiling hooks (per-scheme sim-insts/s,
+// cycles-per-host-second, event-queue depth at drain points).
+//
+// Metric updates are single atomic operations on pre-registered
+// storage, so instrumenting the daemon's admission path or the figure
+// executor costs nanoseconds and never allocates. The simulator's
+// cycle loop is never touched: profiling observes run completions,
+// checkpoint drain boundaries, and cache lookups, all outside the
+// loop, keeping golden determinism tests and the 0-alloc regression
+// tests byte-identical whether profiling is on or off.
+//
+// See docs/OBSERVABILITY.md for the metric catalog, the trace record
+// schema, and a scrape walkthrough.
+package telemetry

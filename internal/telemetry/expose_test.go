@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// scrape renders a registry through its real HTTP handler.
+func scrape(r *Registry) (body, contentType string) {
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	return rec.Body.String(), rec.Header().Get("Content-Type")
+}
+
+// TestGoldenScrape pins the full exposition byte-for-byte: family
+// ordering (sorted by name), series ordering (sorted by label
+// signature), HELP/TYPE lines, cumulative histogram buckets with +Inf,
+// and integer-vs-float value formatting. Any change to the wire format
+// must update this golden deliberately.
+func TestGoldenScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("app_ops_total", "Operations served.")
+	c.Add(42)
+	g := r.Gauge("app_depth", "Queue depth.", L("queue", "bulk"))
+	g.Set(3)
+	r.GaugeFunc("app_depth", "Queue depth.", func() float64 { return 1.5 }, L("queue", "interactive"))
+	r.CounterFunc("app_shed_total", "Shed requests.", func() float64 { return 7 }, L("reason", "quota"))
+	h := r.Histogram("app_seconds", "Request latency.", []float64{0.25, 0.5, 1}, L("tenant", "acme"))
+	for _, v := range []float64{0.1, 0.3, 0.3, 0.9, 2} {
+		h.Observe(v)
+	}
+
+	want := strings.Join([]string{
+		`# HELP app_depth Queue depth.`,
+		`# TYPE app_depth gauge`,
+		`app_depth{queue="bulk"} 3`,
+		`app_depth{queue="interactive"} 1.5`,
+		`# HELP app_ops_total Operations served.`,
+		`# TYPE app_ops_total counter`,
+		`app_ops_total 42`,
+		`# HELP app_seconds Request latency.`,
+		`# TYPE app_seconds histogram`,
+		`app_seconds_bucket{le="0.25",tenant="acme"} 1`,
+		`app_seconds_bucket{le="0.5",tenant="acme"} 3`,
+		`app_seconds_bucket{le="1",tenant="acme"} 4`,
+		`app_seconds_bucket{le="+Inf",tenant="acme"} 5`,
+		`app_seconds_sum{tenant="acme"} 3.6`,
+		`app_seconds_count{tenant="acme"} 5`,
+		`# HELP app_shed_total Shed requests.`,
+		`# TYPE app_shed_total counter`,
+		`app_shed_total{reason="quota"} 7`,
+		``,
+	}, "\n")
+	body, ct := scrape(r)
+	if ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if body != want {
+		t.Errorf("scrape mismatch:\n--- got ---\n%s\n--- want ---\n%s", body, want)
+	}
+
+	// A second scrape of an untouched registry is byte-identical.
+	if again, _ := scrape(r); again != body {
+		t.Error("scrape is not deterministic across calls")
+	}
+}
+
+func TestExpositionEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("esc_gauge", "line one\nline \\two", func() float64 { return 1 },
+		L("path", `C:\dir "x"`+"\n"))
+	body, _ := scrape(r)
+	if !strings.Contains(body, `# HELP esc_gauge line one\nline \\two`) {
+		t.Errorf("help not escaped:\n%s", body)
+	}
+	if !strings.Contains(body, `esc_gauge{path="C:\\dir \"x\"\n"} 1`) {
+		t.Errorf("label value not escaped:\n%s", body)
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		3:       "3",
+		-4:      "-4",
+		1.5:     "1.5",
+		0.001:   "0.001",
+		1e21:    "1e+21",
+		-2.25:   "-2.25",
+		1 << 40: "1099511627776",
+	}
+	for in, want := range cases {
+		if got := formatValue(in); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

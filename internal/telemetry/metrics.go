@@ -1,0 +1,300 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// The metrics core. Design constraints, in order:
+//
+//   - Updating a metric from the simulation or request hot path must
+//     never allocate, lock, or branch on configuration: Counter, Gauge
+//     and Histogram updates are single atomic operations on
+//     pre-registered storage.
+//   - Everything is pre-registered at construction time. Registration
+//     validates names eagerly (the "metric-name lint" is enforced here,
+//     not by an external linter) and panics on an invalid or duplicate
+//     series — a programming error a unit test catches, never a runtime
+//     condition.
+//   - Exposition is Prometheus text format 0.0.4, deterministic: series
+//     sorted by family name then label signature, so a /metrics scrape
+//     of a fixed registry is byte-stable and golden-testable.
+
+// validMetricName is the Prometheus metric-name grammar.
+var validMetricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// validLabelName is the Prometheus label-name grammar (no colons).
+var validLabelName = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+// Label is one key="value" pair attached to a series at registration.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// metricKind is the exposition TYPE of a family.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// series is one registered time series: a family name, its sorted label
+// signature, and a read function (or histogram state) consulted at
+// scrape time.
+type series struct {
+	labels []Label // sorted by key
+	sig    string  // rendered label signature, for ordering and dup detection
+
+	// Exactly one of these is set.
+	read func() float64 // counter/gauge value at scrape time
+	hist *Histogram
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []*series
+}
+
+// Registry holds pre-registered metrics and renders them in Prometheus
+// text exposition format. The zero value is not usable; call
+// NewRegistry. Registration is mutex-guarded (startup only); updates on
+// the returned Counter/Gauge/Histogram handles are lock-free; scrapes
+// take the registration mutex only to snapshot the (append-only) family
+// list.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string // registration order; sorted at scrape
+}
+
+// NewRegistry builds an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register validates and stores one series, panicking on an invalid
+// name/label or an exact duplicate (same name and label signature) —
+// all registration happens at daemon construction, so a panic here is a
+// unit-testable programming error, never load-dependent.
+func (r *Registry) register(name, help string, kind metricKind, labels []Label, s *series) {
+	if !validMetricName.MatchString(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	labels = append([]Label(nil), labels...)
+	sort.Slice(labels, func(a, b int) bool { return labels[a].Key < labels[b].Key })
+	for i, l := range labels {
+		if !validLabelName.MatchString(l.Key) || strings.HasPrefix(l.Key, "__") {
+			panic(fmt.Sprintf("telemetry: metric %q: invalid label name %q", name, l.Key))
+		}
+		if i > 0 && labels[i-1].Key == l.Key {
+			panic(fmt.Sprintf("telemetry: metric %q: duplicate label %q", name, l.Key))
+		}
+		if l.Key == "le" && kind == kindHistogram {
+			panic(fmt.Sprintf("telemetry: metric %q: label \"le\" is reserved on histograms", name))
+		}
+	}
+	s.labels = labels
+	s.sig = renderLabels(labels)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind}
+		r.families[name] = f
+		r.names = append(r.names, name)
+	} else {
+		if f.kind != kind {
+			panic(fmt.Sprintf("telemetry: metric %q registered as both %s and %s", name, f.kind, kind))
+		}
+		for _, existing := range f.series {
+			if existing.sig == s.sig {
+				panic(fmt.Sprintf("telemetry: duplicate metric %s%s", name, s.sig))
+			}
+		}
+	}
+	f.series = append(f.series, s)
+}
+
+// Counter is a monotonically increasing value. All methods are
+// allocation-free and safe for concurrent use.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Counter registers a new counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.register(name, help, kindCounter, labels, &series{read: func() float64 { return float64(c.v.Load()) }})
+	return c
+}
+
+// CounterFunc registers a counter whose value is read at scrape time —
+// for subsystems (scheduler stats, client retry totals) that already
+// maintain their own monotonic counters; the metric and any other view
+// of it (e.g. /v1/healthz) are then sourced from the same variable by
+// construction. fn must be safe for concurrent use and monotonic.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, kindCounter, labels, &series{read: fn})
+}
+
+// Gauge is a value that can go up and down. All methods are
+// allocation-free and safe for concurrent use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the current value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Gauge registers a new gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, kindGauge, labels, &series{read: func() float64 { return float64(g.v.Load()) }})
+	return g
+}
+
+// GaugeFunc registers a gauge read at scrape time, for values that
+// already live elsewhere (queue depths, worker counts, disk usage).
+// fn must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, kindGauge, labels, &series{read: fn})
+}
+
+// Histogram is a fixed-bucket histogram. Bounds are upper-inclusive
+// ("le", Prometheus semantics) and immutable after registration; an
+// implicit +Inf bucket catches everything beyond the last bound.
+// Observe is allocation-free and lock-free: one atomic add on the
+// bucket, one CAS loop on the float sum.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64   // math.Float64bits of the running sum
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) from the bucket counts,
+// Prometheus histogram_quantile-style: linear interpolation within the
+// containing bucket, the last bound for observations in +Inf. NaN when
+// the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, b := range h.bounds {
+		c := h.counts[i].Load()
+		if float64(cum)+float64(c) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			if c == 0 {
+				return b
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return lower + (b-lower)*frac
+		}
+		cum += c
+		_ = b
+	}
+	if len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Histogram registers a new histogram series with the given upper
+// bounds, which must be sorted strictly ascending and non-empty.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("telemetry: histogram %q needs at least one bucket bound", name))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %q bounds not strictly ascending", name))
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	r.register(name, help, kindHistogram, labels, &series{hist: h})
+	return h
+}
+
+// ExpBuckets returns n upper bounds growing exponentially from start by
+// factor — the standard latency-bucket shape. start must be positive and
+// factor > 1.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic("telemetry: ExpBuckets needs start > 0, factor > 1, n > 0")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DefBuckets is the default latency bucket layout, in seconds: 1ms to
+// ~8.7 minutes in ×2 steps — wide enough that a sweep cell (seconds to
+// minutes) and an HTTP admission decision (sub-millisecond) both land in
+// a resolving bucket.
+func DefBuckets() []float64 { return ExpBuckets(0.001, 2, 20) }

@@ -1,0 +1,201 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	g := r.Gauge("test_depth", "depth")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the upper-inclusive ("le") bucket
+// semantics: a value equal to a bound lands in that bound's bucket, one
+// beyond the last bound lands in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "latency", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 4, 5} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 2, 1, 1} // (≤1)=2, (1,2]=2, (2,4]=1, +Inf=1
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if got := h.Count(); got != 6 {
+		t.Errorf("Count = %d, want 6", got)
+	}
+	if got := h.Sum(); got != 14 {
+		t.Errorf("Sum = %g, want 14", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_q_seconds", "latency", []float64{1, 2, 4, 8})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("quantile of empty histogram should be NaN")
+	}
+	// 10 observations in (1,2]: the median interpolates inside that bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	if got := h.Quantile(0.5); got != 1.5 {
+		t.Errorf("p50 = %g, want 1.5 (midpoint of (1,2])", got)
+	}
+	if got := h.Quantile(1); got != 2 {
+		t.Errorf("p100 = %g, want 2 (upper bound)", got)
+	}
+	// An observation beyond every bound reports the last finite bound —
+	// the histogram cannot resolve further (Prometheus convention).
+	h.Observe(100)
+	if got := h.Quantile(0.999); got != 8 {
+		t.Errorf("p99.9 with +Inf tail = %g, want last bound 8", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.001, 2, 4)
+	want := []float64{0.001, 0.002, 0.004, 0.008}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-12 {
+			t.Errorf("bucket %d = %g, want %g", i, b[i], want[i])
+		}
+	}
+	if n := len(DefBuckets()); n != 20 {
+		t.Errorf("DefBuckets has %d bounds, want 20", n)
+	}
+	mustPanic(t, "ExpBuckets start<=0", func() { ExpBuckets(0, 2, 4) })
+	mustPanic(t, "ExpBuckets factor<=1", func() { ExpBuckets(1, 1, 4) })
+	mustPanic(t, "ExpBuckets n<=0", func() { ExpBuckets(1, 2, 0) })
+}
+
+// TestNameLint is the metric-name lint: registration panics on anything
+// that would produce an invalid or ambiguous exposition, so a daemon
+// with a bad metric name cannot construct at all — and this test (run
+// in CI) is the enforcement.
+func TestNameLint(t *testing.T) {
+	mustPanic(t, "invalid metric name", func() {
+		NewRegistry().Counter("bad-name", "")
+	})
+	mustPanic(t, "empty metric name", func() {
+		NewRegistry().Counter("", "")
+	})
+	mustPanic(t, "invalid label name", func() {
+		NewRegistry().Counter("ok_total", "", L("bad-label", "x"))
+	})
+	mustPanic(t, "reserved __ label prefix", func() {
+		NewRegistry().Counter("ok_total", "", L("__meta", "x"))
+	})
+	mustPanic(t, "duplicate label", func() {
+		NewRegistry().Counter("ok_total", "", L("a", "x"), L("a", "y"))
+	})
+	mustPanic(t, "le label on histogram", func() {
+		NewRegistry().Histogram("ok_seconds", "", []float64{1}, L("le", "x"))
+	})
+	mustPanic(t, "duplicate series", func() {
+		r := NewRegistry()
+		r.Counter("dup_total", "", L("a", "x"))
+		r.Counter("dup_total", "", L("a", "x"))
+	})
+	mustPanic(t, "kind mismatch", func() {
+		r := NewRegistry()
+		r.Counter("mixed", "")
+		r.Gauge("mixed", "", L("a", "x"))
+	})
+	mustPanic(t, "empty histogram bounds", func() {
+		NewRegistry().Histogram("h_seconds", "", nil)
+	})
+	mustPanic(t, "non-ascending histogram bounds", func() {
+		NewRegistry().Histogram("h_seconds", "", []float64{1, 1})
+	})
+
+	// Same family, different label values: legal, not a duplicate.
+	r := NewRegistry()
+	r.Counter("ok_total", "", L("a", "x"))
+	r.Counter("ok_total", "", L("a", "y"))
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+// TestZeroAllocUpdates is the hot-path contract: metric updates must
+// not allocate. The sim and request paths call these at high frequency.
+func TestZeroAllocUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_ops_total", "")
+	g := r.Gauge("alloc_depth", "")
+	h := r.Histogram("alloc_seconds", "", DefBuckets())
+	for name, fn := range map[string]func(){
+		"Counter.Inc":       func() { c.Inc() },
+		"Counter.Add":       func() { c.Add(3) },
+		"Gauge.Set":         func() { g.Set(9) },
+		"Gauge.Add":         func() { g.Add(-1) },
+		"Histogram.Observe": func() { h.Observe(0.017) },
+	} {
+		if allocs := testing.AllocsPerRun(1000, fn); allocs != 0 {
+			t.Errorf("%s allocates %v per op, want 0", name, allocs)
+		}
+	}
+}
+
+// TestConcurrentRegistry hammers updates, lazy registration, and scrapes
+// from many goroutines; run under -race this is the registry's
+// thread-safety proof.
+func TestConcurrentRegistry(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_ops_total", "")
+	h := r.Histogram("conc_seconds", "", []float64{0.1, 1, 10})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j%20) / 2)
+				if j%100 == 0 {
+					// Lazy registration racing updates and scrapes.
+					r.Counter("conc_lazy_total", "", L("g", string(rune('a'+i))), L("j", string(rune('a'+j/100))))
+				}
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			scrape(r)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}

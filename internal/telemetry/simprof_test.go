@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSimProfilerRecords(t *testing.T) {
+	r := NewRegistry()
+	p := EnableSimProfiling(r)
+	t.Cleanup(DisableSimProfiling)
+	if ActiveSimProfiler() != p {
+		t.Fatal("EnableSimProfiling did not install the profiler globally")
+	}
+
+	// One run: 2e6 cycles, 1e6 insts in 2s of host time → 5e5 insts/s.
+	p.RecordRun("muontrap", 2_000_000, 1_000_000, 2*time.Second)
+	p.RecordRun("insecure", 1_000_000, 1_000_000, time.Second)
+	p.RecordQueueDepth(17)
+	p.RecordCellSeconds(0.5)
+	p.RecordCacheEvent(CacheMemory, false)
+	p.RecordCacheEvent(CacheDisk, true)
+
+	if got := p.totalInsts.Value(); got != 2_000_000 {
+		t.Errorf("insts total = %d, want 2000000", got)
+	}
+	if got := p.totalCycles.Value(); got != 3_000_000 {
+		t.Errorf("cycles total = %d, want 3000000", got)
+	}
+	s := p.forScheme("muontrap")
+	if got := s.instsPerSec.Count(); got != 1 {
+		t.Errorf("muontrap insts/s observations = %d, want 1", got)
+	}
+	if got := s.instsPerSec.Sum(); got != 5e5 {
+		t.Errorf("muontrap insts/s = %g, want 5e5", got)
+	}
+
+	body, _ := scrape(r)
+	for _, want := range []string{
+		`muontrap_sim_insts_per_second_count{scheme="muontrap"} 1`,
+		`muontrap_sim_insts_per_second_count{scheme="insecure"} 1`,
+		`muontrap_sim_cycles_per_host_second_count{scheme="muontrap"} 1`,
+		`muontrap_sim_event_queue_depth_count 1`,
+		`muontrap_sim_cell_seconds_count 1`,
+		`muontrap_sim_cache_misses_total{layer="memory"} 1`,
+		`muontrap_sim_cache_hits_total{layer="disk"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q:\n%s", want, body)
+		}
+	}
+
+	// A zero-duration run is discarded, not divided by.
+	p.RecordRun("muontrap", 1, 1, 0)
+	if got := s.instsPerSec.Count(); got != 1 {
+		t.Errorf("zero-duration run was recorded (count %d)", got)
+	}
+
+	DisableSimProfiling()
+	if ActiveSimProfiler() != nil {
+		t.Error("DisableSimProfiling left a profiler installed")
+	}
+}
+
+// TestNilSimProfiler is the off-by-default contract: every record
+// method must be a no-op on the nil profiler ActiveSimProfiler returns
+// when profiling was never enabled.
+func TestNilSimProfiler(t *testing.T) {
+	var p *SimProfiler
+	p.RecordRun("s", 1, 1, time.Second)
+	p.RecordQueueDepth(1)
+	p.RecordCellSeconds(1)
+	p.RecordCacheEvent(CacheMemory, true)
+}
+
+func TestCacheLayerString(t *testing.T) {
+	if CacheMemory.String() != "memory" || CacheDisk.String() != "disk" {
+		t.Errorf("layer names: %q %q", CacheMemory, CacheDisk)
+	}
+}

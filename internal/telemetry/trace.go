@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Span is one job/cell lifecycle event. Spans are point records, not
+// interval pairs: the chain submit→queue→dispatch→checkpoint→preempt→
+// …→done for one job ID reconstructs the interval structure, and each
+// record carries the wall-time cost of the step it closes in Seconds
+// where meaningful (e.g. a "done" span carries total job wall time).
+type Span struct {
+	// TS is the wall-clock emission time, RFC3339Nano.
+	TS time.Time `json:"ts"`
+	// Event names the lifecycle edge: submit, queue, dispatch, start,
+	// progress, checkpoint, preempt, requeue, steal, redispatch, merge,
+	// done, failed, cancelled, interrupted, resume.
+	Event string `json:"event"`
+	// Job is the job ID (service) or sweep fabric job ID (fleet).
+	Job string `json:"job,omitempty"`
+	// Cell identifies a sweep cell (workload/scheme) within the job.
+	Cell string `json:"cell,omitempty"`
+	// Tenant is the owning tenant, when known.
+	Tenant string `json:"tenant,omitempty"`
+	// Worker is the fleet worker involved, when any.
+	Worker string `json:"worker,omitempty"`
+	// Seconds is the wall-time cost this span closes, when meaningful.
+	Seconds float64 `json:"seconds,omitempty"`
+	// Detail is free-form context (error text, scheme name, bucket).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Tracer records lifecycle spans into a bounded in-memory ring and,
+// when constructed with a directory, appends them as JSONL to
+// <dir>/trace.jsonl. A nil *Tracer is valid and drops everything, so
+// call sites never branch on whether tracing is enabled.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []Span
+	next int
+	full bool
+	f    *os.File
+	enc  *json.Encoder
+
+	dropped Counter // file-write failures; exported via Registry if wired
+}
+
+// ringCapacity bounds in-memory span history. At ~200 bytes a span this
+// is ~800 KiB — enough to hold the full chain for hundreds of jobs.
+const ringCapacity = 4096
+
+// NewTracer builds a tracer. dir may be empty for ring-only tracing;
+// otherwise it is created (with a `telemetry` basename convention left
+// to the caller) and spans are appended to dir/trace.jsonl.
+func NewTracer(dir string) (*Tracer, error) {
+	t := &Tracer{ring: make([]Span, ringCapacity)}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("telemetry: trace dir: %w", err)
+		}
+		f, err := os.OpenFile(filepath.Join(dir, "trace.jsonl"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: trace file: %w", err)
+		}
+		t.f = f
+		t.enc = json.NewEncoder(f)
+	}
+	return t, nil
+}
+
+// Emit records one span, stamping TS if unset. Safe for concurrent use;
+// a nil receiver is a no-op.
+func (t *Tracer) Emit(s Span) {
+	if t == nil {
+		return
+	}
+	if s.TS.IsZero() {
+		s.TS = time.Now()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ring[t.next] = s
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	if t.enc != nil {
+		if err := t.enc.Encode(&s); err != nil {
+			t.dropped.Inc()
+		}
+	}
+}
+
+// Recent returns up to n most-recent spans, oldest first.
+func (t *Tracer) Recent(n int) []Span {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	size := t.next
+	if t.full {
+		size = len(t.ring)
+	}
+	if n > size {
+		n = size
+	}
+	out := make([]Span, n)
+	for i := 0; i < n; i++ {
+		idx := (t.next - n + i + len(t.ring)) % len(t.ring)
+		out[i] = t.ring[idx]
+	}
+	return out
+}
+
+// Dropped reports how many spans failed to reach the trace file.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Value()
+}
+
+// Close flushes and closes the trace file, if any. The tracer remains
+// usable as ring-only afterwards.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.f == nil {
+		return nil
+	}
+	err := t.f.Close()
+	t.f = nil
+	t.enc = nil
+	return err
+}

@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestTracerRingAndJSONL(t *testing.T) {
+	dir := t.TempDir()
+	tr, err := NewTracer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []string{"submit", "queue", "dispatch", "done"}
+	for _, e := range events {
+		tr.Emit(Span{Event: e, Job: "j1", Tenant: "acme"})
+	}
+	rec := tr.Recent(10)
+	if len(rec) != len(events) {
+		t.Fatalf("Recent returned %d spans, want %d", len(rec), len(events))
+	}
+	for i, e := range events {
+		if rec[i].Event != e {
+			t.Errorf("span %d = %q, want %q (oldest-first order)", i, rec[i].Event, e)
+		}
+		if rec[i].TS.IsZero() {
+			t.Errorf("span %d has no timestamp", i)
+		}
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The JSONL file holds one decodable span per line, in order.
+	f, err := os.Open(filepath.Join(dir, "trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var lines []Span
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var s Span
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, s)
+	}
+	if len(lines) != len(events) {
+		t.Fatalf("file has %d spans, want %d", len(lines), len(events))
+	}
+	for i, e := range events {
+		if lines[i].Event != e || lines[i].Job != "j1" || lines[i].Tenant != "acme" {
+			t.Errorf("file span %d = %+v, want event %q job j1 tenant acme", i, lines[i], e)
+		}
+	}
+	if tr.Dropped() != 0 {
+		t.Errorf("Dropped = %d, want 0", tr.Dropped())
+	}
+
+	// A new tracer on the same dir appends rather than truncating.
+	tr2, err := NewTracer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2.Emit(Span{Event: "resume"})
+	tr2.Close()
+	b, err := os.ReadFile(filepath.Join(dir, "trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countLines(b); got != len(events)+1 {
+		t.Errorf("after append file has %d lines, want %d", got, len(events)+1)
+	}
+}
+
+func countLines(b []byte) int {
+	n := 0
+	for _, c := range b {
+		if c == '\n' {
+			n++
+		}
+	}
+	return n
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr, err := NewTracer("") // ring-only
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := ringCapacity + 10
+	for i := 0; i < total; i++ {
+		tr.Emit(Span{Event: "e", Seconds: float64(i)})
+	}
+	rec := tr.Recent(3)
+	if len(rec) != 3 {
+		t.Fatalf("Recent(3) returned %d", len(rec))
+	}
+	for i, want := range []float64{float64(total - 3), float64(total - 2), float64(total - 1)} {
+		if rec[i].Seconds != want {
+			t.Errorf("wrapped span %d carries %g, want %g", i, rec[i].Seconds, want)
+		}
+	}
+	if full := tr.Recent(2 * ringCapacity); len(full) != ringCapacity {
+		t.Errorf("Recent over capacity returned %d, want %d", len(full), ringCapacity)
+	}
+}
+
+func TestTracerPreservesExplicitTimestamp(t *testing.T) {
+	tr, _ := NewTracer("")
+	ts := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	tr.Emit(Span{Event: "e", TS: ts})
+	if got := tr.Recent(1)[0].TS; !got.Equal(ts) {
+		t.Errorf("explicit TS overwritten: %v", got)
+	}
+}
+
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Span{Event: "e"}) // must not panic
+	if got := tr.Recent(5); got != nil {
+		t.Errorf("nil tracer Recent = %v", got)
+	}
+	if tr.Dropped() != 0 {
+		t.Error("nil tracer Dropped != 0")
+	}
+	if err := tr.Close(); err != nil {
+		t.Errorf("nil tracer Close = %v", err)
+	}
+}

@@ -37,6 +37,7 @@ type Client struct {
 	progress func(muontrap.Progress)
 	apiKey   string
 	retries  int
+	met      *Metrics // nil without WithMetrics: every record is a no-op
 }
 
 // Option configures a Client at construction.
@@ -162,10 +163,13 @@ var sleepFn = func(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// backoff sleeps before retry attempt (0-based), per backoffDelay.
-// Cancelled contexts cut the sleep short.
-func backoff(ctx context.Context, attempt int, hint time.Duration) error {
-	return sleepFn(ctx, backoffDelay(attempt, hint, rand.N[time.Duration]))
+// backoff sleeps before retry attempt (0-based), per backoffDelay,
+// recording the retry and its delay in the client's metrics. Cancelled
+// contexts cut the sleep short.
+func (c *Client) backoff(ctx context.Context, attempt int, hint time.Duration) error {
+	d := backoffDelay(attempt, hint, rand.N[time.Duration])
+	c.met.recordBackoff(d)
+	return sleepFn(ctx, d)
 }
 
 // retryAfterOf extracts the Retry-After hint from an error, if any.
@@ -214,7 +218,7 @@ func (c *Client) doRetry(ctx context.Context, method, path string, in, out any, 
 			// side effect; surface the ambiguity instead.
 			return err
 		}
-		if err := backoff(ctx, attempt, retryAfterOf(err)); err != nil {
+		if err := c.backoff(ctx, attempt, retryAfterOf(err)); err != nil {
 			return err
 		}
 	}
@@ -407,9 +411,10 @@ func (c *Client) Stream(ctx context.Context, id string, onProgress func(muontrap
 		if errors.As(err, &apiErr) && !retryableStatus(apiErr.Status) {
 			return muontrap.Job{}, err
 		}
-		if err := backoff(ctx, attempt, retryAfterOf(err)); err != nil {
+		if err := c.backoff(ctx, attempt, retryAfterOf(err)); err != nil {
 			return muontrap.Job{}, err
 		}
+		c.met.recordStreamReconnect()
 	}
 }
 

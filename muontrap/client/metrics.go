@@ -1,0 +1,72 @@
+package client
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Metrics aggregates a Client's resilience counters: how many attempts
+// were retried, how long the client spent in backoff sleeps, and how
+// many times a progress stream reconnected. All counters are cumulative
+// over the Metrics value's lifetime and safe to read while the client
+// is in flight; one Metrics value may be shared by several Clients to
+// aggregate across them.
+//
+// The zero Metrics is ready to use. A nil *Metrics is a valid no-op
+// sink, so instrumented code never branches on configuration.
+type Metrics struct {
+	retries          atomic.Uint64
+	backoffNanos     atomic.Int64
+	streamReconnects atomic.Uint64
+}
+
+// Retries returns the number of request attempts that were retried
+// (each backoff sleep before a replay counts once, across both JSON
+// round trips and stream reconnects).
+func (m *Metrics) Retries() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.retries.Load()
+}
+
+// BackoffTotal returns the cumulative time spent (or scheduled — the
+// delay is recorded before the sleep, so a context-cancelled sleep
+// still counts) in backoff between attempts.
+func (m *Metrics) BackoffTotal() time.Duration {
+	if m == nil {
+		return 0
+	}
+	return time.Duration(m.backoffNanos.Load())
+}
+
+// StreamReconnects returns how many times Stream re-established a
+// dropped SSE connection (the initial connection is not a reconnect).
+func (m *Metrics) StreamReconnects() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.streamReconnects.Load()
+}
+
+// recordBackoff counts one retry and its backoff delay.
+func (m *Metrics) recordBackoff(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.retries.Add(1)
+	m.backoffNanos.Add(int64(d))
+}
+
+// recordStreamReconnect counts one SSE reconnect.
+func (m *Metrics) recordStreamReconnect() {
+	if m == nil {
+		return
+	}
+	m.streamReconnects.Add(1)
+}
+
+// WithMetrics attaches a counter sink to the client. The same *Metrics
+// may be passed to several clients; counters then aggregate across
+// them. Without this option the client keeps no counters.
+func WithMetrics(m *Metrics) Option { return func(c *Client) { c.met = m } }

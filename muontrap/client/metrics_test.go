@@ -1,0 +1,101 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMetricsCountRetriesAndBackoff drives a retrying request against a
+// shedding daemon: the shared Metrics sink must count each retry and
+// accumulate the backoff the client was scheduled to sleep (here the
+// Retry-After hints verbatim, under the fake clock).
+func TestMetricsCountRetriesAndBackoff(t *testing.T) {
+	fc := &fakeClock{}
+	fc.install(t)
+	var calls atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_, _ = w.Write([]byte(`{"code":"over_quota","error":"shed"}`))
+			return
+		}
+		_, _ = w.Write([]byte(`{"jobs":[]}`))
+	}))
+	defer hs.Close()
+
+	m := &Metrics{}
+	c := New(hs.URL, WithRetries(4), WithMetrics(m))
+	if _, err := c.Jobs(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Retries(); got != 2 {
+		t.Errorf("Retries = %d, want 2", got)
+	}
+	if got := m.BackoffTotal(); got != 4*time.Second {
+		t.Errorf("BackoffTotal = %v, want 4s (two 2s hints)", got)
+	}
+	if got := m.StreamReconnects(); got != 0 {
+		t.Errorf("StreamReconnects = %d, want 0 (no stream involved)", got)
+	}
+}
+
+// TestMetricsCountStreamReconnects breaks an SSE stream once mid-feed;
+// the reconnect (with Last-Event-ID) must be counted, alongside its
+// retry and backoff.
+func TestMetricsCountStreamReconnects(t *testing.T) {
+	fc := &fakeClock{}
+	fc.install(t)
+	var calls atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		if calls.Add(1) == 1 {
+			// One progress frame, then the connection dies.
+			fmt.Fprint(w, "id: 1\nevent: progress\ndata: {\"done\":1,\"total\":2}\n\n")
+			w.(http.Flusher).Flush()
+			conn, _, _ := w.(http.Hijacker).Hijack()
+			conn.Close()
+			return
+		}
+		if got := r.Header.Get("Last-Event-ID"); got != "1" {
+			t.Errorf("reconnect Last-Event-ID = %q, want 1", got)
+		}
+		fmt.Fprint(w, "id: 2\nevent: done\ndata: {\"id\":\"job-1\",\"state\":\"done\"}\n\n")
+	}))
+	defer hs.Close()
+
+	m := &Metrics{}
+	c := New(hs.URL, WithRetries(3), WithMetrics(m))
+	job, err := c.Stream(context.Background(), "job-1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID != "job-1" {
+		t.Fatalf("terminal job %q, want job-1", job.ID)
+	}
+	if got := m.StreamReconnects(); got != 1 {
+		t.Errorf("StreamReconnects = %d, want 1", got)
+	}
+	if got := m.Retries(); got != 1 {
+		t.Errorf("Retries = %d, want 1", got)
+	}
+	if m.BackoffTotal() <= 0 {
+		t.Error("BackoffTotal = 0, want the reconnect's backoff recorded")
+	}
+}
+
+// TestNilMetricsSink pins the no-op contract: an un-configured client
+// (nil sink) must record nothing and never panic.
+func TestNilMetricsSink(t *testing.T) {
+	var m *Metrics
+	m.recordBackoff(time.Second)
+	m.recordStreamReconnect()
+	if m.Retries() != 0 || m.BackoffTotal() != 0 || m.StreamReconnects() != 0 {
+		t.Error("nil Metrics reported non-zero counters")
+	}
+}
