@@ -1,0 +1,171 @@
+// Command benchrecord measures the barrier-parallel in-run core
+// scheduler against the sequential one and records the result as a
+// committed JSON artifact (BENCH_parallel_cores.json at the repo root),
+// so wall-time claims in PERF.md are reproducible: re-run the command on
+// any machine and diff the output.
+//
+// For each (workload, worker-count) cell it times fresh uncached
+// figures.RunOne invocations, cross-checks that every parallel run is
+// bit-identical to the sequential golden of the same cell (the tool
+// refuses to record numbers for a broken scheduler), and reports
+// simulated instructions per host second plus the parallel:sequential
+// wall-time speedup.
+//
+// Usage:
+//
+//	benchrecord                                  # Parsec × muontrap, workers 1,2,4
+//	benchrecord -workloads canneal,ferret -workers 1,4 -repeats 3
+//	benchrecord -o BENCH_parallel_cores.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/defense"
+	"repro/internal/figures"
+	"repro/internal/workload"
+)
+
+// Row is one measured (workload, scheme, workers) cell.
+type Row struct {
+	Workload    string  `json:"workload"`
+	Scheme      string  `json:"scheme"`
+	Workers     int     `json:"workers"`
+	Cycles      uint64  `json:"cycles"`
+	Insts       uint64  `json:"insts"`
+	WallSecs    float64 `json:"wall_secs"`
+	InstsPerSec float64 `json:"insts_per_sec"`
+	// Speedup is the sequential cell's wall time divided by this cell's
+	// (1.0 for the sequential cell itself).
+	Speedup float64 `json:"speedup"`
+}
+
+// Report is the committed artifact.
+type Report struct {
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	NumCPU     int     `json:"num_cpu"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Scale      float64 `json:"scale"`
+	Repeats    int     `json:"repeats"`
+	Note       string  `json:"note"`
+	Rows       []Row   `json:"rows"`
+}
+
+func main() {
+	var (
+		workloads = flag.String("workloads", "blackscholes,canneal,ferret,streamcluster", "comma-separated workload names")
+		scheme    = flag.String("scheme", "muontrap", "defense scheme")
+		workers   = flag.String("workers", "1,2,4", "comma-separated in-run core worker counts (must start with 1)")
+		scale     = flag.Float64("scale", 0.15, "workload scale factor")
+		repeats   = flag.Int("repeats", 3, "timed repetitions per cell (best wall time kept)")
+		out       = flag.String("o", "", "write JSON report to this file (default stdout)")
+	)
+	flag.Parse()
+
+	sch, err := defense.ByName(*scheme)
+	if err != nil {
+		fatal(err)
+	}
+	var counts []int
+	for _, f := range strings.Split(*workers, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			fatal(fmt.Errorf("bad -workers entry %q", f))
+		}
+		counts = append(counts, n)
+	}
+	if counts[0] != 1 {
+		fatal(fmt.Errorf("-workers must start with 1 (the sequential golden)"))
+	}
+
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      *scale,
+		Repeats:    *repeats,
+		Note: "Best of -repeats fresh uncached runs per cell; parallel cells " +
+			"verified bit-identical to the sequential golden before recording. " +
+			"Speedup is sequential_wall/this_wall; on hosts with fewer CPUs than " +
+			"workers the barrier scheduler degrades to cooperative yielding and " +
+			"speedup ~1 is the expected ceiling.",
+	}
+
+	opt := figures.DefaultOptions()
+	opt.Scale = *scale
+	for _, name := range strings.Split(*workloads, ",") {
+		spec, ok := workload.ByName(strings.TrimSpace(name))
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q", name))
+		}
+		var seqWall float64
+		var goldenCycles, goldenInsts uint64
+		var goldenCounters map[string]uint64
+		for _, w := range counts {
+			o := opt
+			o.CoreParallelism = w
+			row := Row{Workload: spec.Name, Scheme: sch.Name, Workers: w}
+			for r := 0; r < *repeats; r++ {
+				start := time.Now()
+				res, err := figures.RunOne(context.Background(), spec, sch, o)
+				wall := time.Since(start).Seconds()
+				if err != nil {
+					fatal(fmt.Errorf("%s workers=%d: %w", spec.Name, w, err))
+				}
+				if goldenCounters == nil {
+					goldenCycles, goldenInsts = uint64(res.Cycles), res.Committed
+					goldenCounters = res.Counters
+				} else if uint64(res.Cycles) != goldenCycles || res.Committed != goldenInsts ||
+					!reflect.DeepEqual(res.Counters, goldenCounters) {
+					fatal(fmt.Errorf("%s workers=%d repeat %d: result differs from sequential golden — refusing to record",
+						spec.Name, w, r))
+				}
+				if r == 0 || wall < row.WallSecs {
+					row.WallSecs = wall
+				}
+			}
+			row.Cycles, row.Insts = goldenCycles, goldenInsts
+			row.InstsPerSec = float64(row.Insts) / row.WallSecs
+			if w == 1 {
+				seqWall = row.WallSecs
+				row.Speedup = 1
+			} else {
+				row.Speedup = seqWall / row.WallSecs
+			}
+			rep.Rows = append(rep.Rows, row)
+			fmt.Fprintf(os.Stderr, "%-14s %s workers=%d: %.3fs, %.0f insts/s, speedup %.2fx\n",
+				row.Workload, row.Scheme, row.Workers, row.WallSecs, row.InstsPerSec, row.Speedup)
+		}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchrecord:", err)
+	os.Exit(1)
+}

@@ -51,6 +51,13 @@ type Core struct {
 	drainsInFlight int
 	drainDone      func() // prebuilt StoreDrain completion (allocated once)
 
+	// Deferred shared-state operations (see deferred.go). While deferring
+	// is set — the parallel scheduler's tick phase — every wrapper appends
+	// to oplog instead of touching the scheduler/hierarchy/physical
+	// memory; ReplayShared applies the log at the cycle barrier.
+	deferring bool
+	oplog     []sharedOp
+
 	seq              uint64
 	fetchPC          uint64
 	fetchStall       bool     // barrier/syscall/halt fetched: stop until it commits
@@ -271,12 +278,12 @@ func (c *Core) commit() {
 				c.exposeLoad(d, false)
 			}
 			if !d.forwarded {
-				c.port.CommitLoad(d.pc, mem.VAddr(d.effAddr), d.paddr)
+				c.commitLoadOp(d.pc, mem.VAddr(d.effAddr), d.paddr)
 			}
 			// Promote the page's translation from the filter TLB to the
 			// main TLB: the commit makes it non-speculative regardless of
 			// whether this particular instruction performed the walk.
-			c.port.CommitTranslation(mem.VAddr(d.effAddr), false)
+			c.commitTranslation(mem.VAddr(d.effAddr), false)
 			c.removeFromLQ(d)
 		case isa.ClassStore:
 			if c.storeBuf.len() >= c.cfg.StoreBufferSize {
@@ -291,7 +298,7 @@ func (c *Core) commit() {
 			d.src2 = nil
 			d.v2Ready = true
 			c.storeBuf.push(d)
-			c.port.CommitTranslation(mem.VAddr(d.effAddr), false)
+			c.commitTranslation(mem.VAddr(d.effAddr), false)
 			c.removeFromSQ(d)
 		case isa.ClassAmo:
 			c.removeFromSQ(d)
@@ -307,7 +314,7 @@ func (c *Core) commit() {
 			c.Barriers++
 			c.fetchStall = false
 		case isa.ClassFlush:
-			c.port.FlushDomain()
+			c.flushDomainOp()
 		case isa.ClassHalt:
 			c.halted = true
 			c.haltedBad = d.synthetic
@@ -316,8 +323,8 @@ func (c *Core) commit() {
 			c.freeInst(d)
 			return
 		}
-		c.port.CommitIfetch(c.instPaddr(d.pc))
-		c.port.CommitTranslation(mem.VAddr(d.pc), true)
+		c.commitIfetch(c.instPaddr(d.pc))
+		c.commitTranslation(mem.VAddr(d.pc), true)
 		c.rob.popFront()
 		c.Committed++
 
@@ -392,8 +399,8 @@ func (c *Core) drainStores() {
 		// cache/coherence timing completes asynchronously). Otherwise a
 		// load could observe a stale value in the window where the store
 		// is neither forwardable nor yet in memory.
-		c.phys.Write64(d.paddr, d.v2)
-		c.port.StoreDrain(d.pc, mem.VAddr(d.effAddr), d.paddr, c.drainDone)
+		c.physWrite64(d.paddr, d.v2)
+		c.storeDrain(d.pc, mem.VAddr(d.effAddr), d.paddr, c.drainDone)
 		c.freeInst(d)
 	}
 }
@@ -507,7 +514,7 @@ func (c *Core) fetchLineReady(pc uint64) bool {
 	c.fetchLinePend = true
 	c.fetchPendLine = line
 	c.fetchPendPC = pc
-	c.port.TranslateC(mem.VAddr(line), true, true, fetchHandle, c.fetchEpoch)
+	c.translateC(mem.VAddr(line), true, true, fetchHandle, c.fetchEpoch)
 	return false
 }
 

@@ -1,0 +1,228 @@
+package cpu
+
+import (
+	"repro/internal/event"
+	"repro/internal/mem"
+	"repro/internal/memsys"
+)
+
+// Deferred shared-state operations.
+//
+// The parallel in-run scheduler ticks every core on its own goroutine
+// between cycle barriers. During such a tick a core may not touch any
+// shared structure — the event queue (seq numbers must be handed out at a
+// deterministic point), the memory hierarchy (shared L2/directory/DRAM
+// state and counters), or functional physical memory. Instead, every
+// tick-phase call that would reach shared state goes through the wrapper
+// methods below: while c.deferring is set they append the operation — with
+// all arguments captured by value — to the core's op log, and at the cycle
+// barrier ReplayShared applies core 0's log, then core 1's, and so on, on
+// the single barrier goroutine.
+//
+// That replay order is the exact interleaving the sequential scheduler
+// produces (core 0's whole tick, then core 1's, ...), so event (when, seq)
+// assignment, coherence decisions, DRAM timing and every counter are
+// bit-identical by construction. Outside the parallel phase (sequential
+// runs, and the event phase where completions fire) the wrappers pass
+// straight through, so the hot path gains only a predictable branch.
+//
+// The audit for which call sites need wrapping is in ARCHITECTURE.md
+// ("Barrier-parallel cores"): tick-phase paths (commit, drainStores,
+// memMaintenance, defenseMaintenance, issue, fetchAndDispatch) defer;
+// event-phase paths (HandleEvent, TranslateDone/LoadDone/IfetchDone,
+// resolveBranch) always run live, enforced by the scheduler/hierarchy
+// freeze guards which panic on any shared call that escapes the log.
+
+// deferKind tags one logged operation.
+type deferKind uint8
+
+const (
+	deferAfterEvent deferKind = iota
+	deferTranslateC
+	deferTranslateFn
+	deferLoadC
+	deferLoadNoFillC
+	deferLoadExpose
+	deferStoreDrain
+	deferCommitLoad
+	deferCommitTranslation
+	deferCommitIfetch
+	deferFlushDomain
+	deferPhysWrite
+)
+
+// sharedOp is one deferred operation. Arguments are captured by value at
+// record time (the dynInst that issued the op may be freed before the
+// barrier); the three completion-callback shapes get their own typed
+// fields to avoid interface boxing.
+type sharedOp struct {
+	kind  deferKind
+	instr bool
+	spec  bool
+	i32   int32 // event op code, or pool idx for typed completions
+	u1    uint64
+	u2    uint64
+	u3    uint64
+	u4    uint64
+	fTr   func(mem.Addr, bool, bool)
+	fDone func()
+	fAcc  func(memsys.AccessResult)
+}
+
+// BeginDeferredTick switches the core's shared-state wrappers into
+// record mode. The parallel scheduler calls it (from the barrier
+// goroutine) before releasing the core's tick to a worker.
+func (c *Core) BeginDeferredTick() { c.deferring = true }
+
+// EndDeferredTick switches the wrappers back to pass-through. It must be
+// called for every core before any core's ReplayShared, so that a replay
+// which reaches another core (e.g. a cross-core coherence path) executes
+// live in its sequential position instead of landing in a log that has
+// already been replayed.
+func (c *Core) EndDeferredTick() { c.deferring = false }
+
+// ReplayShared applies the core's deferred operations in record order.
+// The caller replays cores in index order at the cycle barrier; nested
+// synchronous completions (a TLB-hit TranslateDone, a page-walk issue)
+// run live inside the replay, exactly as they would inside the
+// sequential tick.
+func (c *Core) ReplayShared() {
+	for i := range c.oplog {
+		op := &c.oplog[i]
+		switch op.kind {
+		case deferAfterEvent:
+			c.sched.AfterEvent(event.Cycle(op.u1), c, op.i32, op.u2, op.u3)
+		case deferTranslateC:
+			c.port.TranslateC(mem.VAddr(op.u1), op.instr, op.spec, op.i32, op.u2)
+		case deferTranslateFn:
+			c.port.Translate(mem.VAddr(op.u1), op.instr, op.spec, op.fTr)
+		case deferLoadC:
+			c.port.LoadC(op.u1, mem.VAddr(op.u2), mem.Addr(op.u3), op.spec, op.i32, op.u4)
+		case deferLoadNoFillC:
+			c.port.LoadNoFillC(mem.Addr(op.u1), op.i32, op.u2)
+		case deferLoadExpose:
+			c.port.LoadExpose(op.u1, mem.VAddr(op.u2), mem.Addr(op.u3), op.fAcc)
+		case deferStoreDrain:
+			c.port.StoreDrain(op.u1, mem.VAddr(op.u2), mem.Addr(op.u3), op.fDone)
+		case deferCommitLoad:
+			c.port.CommitLoad(op.u1, mem.VAddr(op.u2), mem.Addr(op.u3))
+		case deferCommitTranslation:
+			c.port.CommitTranslation(mem.VAddr(op.u1), op.instr)
+		case deferCommitIfetch:
+			c.port.CommitIfetch(mem.Addr(op.u1))
+		case deferFlushDomain:
+			c.port.FlushDomain()
+		case deferPhysWrite:
+			c.phys.Write64(mem.Addr(op.u1), op.u2)
+		}
+	}
+	// Zero the consumed entries so logged closures are not kept alive by
+	// the retained backing array.
+	clear(c.oplog)
+	c.oplog = c.oplog[:0]
+}
+
+// FlushDomain flushes the core's filter state (deferred during a parallel
+// tick). The system's domain-switch path goes through this wrapper rather
+// than the port so that a timer-driven flush lands at the head of the
+// core's op log — before the tick's own operations, exactly where the
+// sequential scheduler executes it.
+func (c *Core) FlushDomain() { c.flushDomainOp() }
+
+// --- Wrappers, one per shared tick-phase operation ---
+
+func (c *Core) afterEvent(d event.Cycle, op int32, a1, a2 uint64) {
+	if c.deferring {
+		c.oplog = append(c.oplog, sharedOp{kind: deferAfterEvent, u1: uint64(d), i32: op, u2: a1, u3: a2})
+		return
+	}
+	c.sched.AfterEvent(d, c, op, a1, a2)
+}
+
+func (c *Core) translateC(vaddr mem.VAddr, instr, spec bool, idx int32, seq uint64) {
+	if c.deferring {
+		c.oplog = append(c.oplog, sharedOp{kind: deferTranslateC, u1: uint64(vaddr), instr: instr, spec: spec, i32: idx, u2: seq})
+		return
+	}
+	c.port.TranslateC(vaddr, instr, spec, idx, seq)
+}
+
+func (c *Core) translateFn(vaddr mem.VAddr, instr, spec bool, done func(mem.Addr, bool, bool)) {
+	if c.deferring {
+		c.oplog = append(c.oplog, sharedOp{kind: deferTranslateFn, u1: uint64(vaddr), instr: instr, spec: spec, fTr: done})
+		return
+	}
+	c.port.Translate(vaddr, instr, spec, done)
+}
+
+func (c *Core) loadC(pc uint64, vaddr mem.VAddr, paddr mem.Addr, spec bool, idx int32, seq uint64) {
+	if c.deferring {
+		c.oplog = append(c.oplog, sharedOp{kind: deferLoadC, u1: pc, u2: uint64(vaddr), u3: uint64(paddr), spec: spec, i32: idx, u4: seq})
+		return
+	}
+	c.port.LoadC(pc, vaddr, paddr, spec, idx, seq)
+}
+
+func (c *Core) loadNoFillC(paddr mem.Addr, idx int32, seq uint64) {
+	if c.deferring {
+		c.oplog = append(c.oplog, sharedOp{kind: deferLoadNoFillC, u1: uint64(paddr), i32: idx, u2: seq})
+		return
+	}
+	c.port.LoadNoFillC(paddr, idx, seq)
+}
+
+func (c *Core) loadExpose(pc uint64, vaddr mem.VAddr, paddr mem.Addr, done func(memsys.AccessResult)) {
+	if c.deferring {
+		c.oplog = append(c.oplog, sharedOp{kind: deferLoadExpose, u1: pc, u2: uint64(vaddr), u3: uint64(paddr), fAcc: done})
+		return
+	}
+	c.port.LoadExpose(pc, vaddr, paddr, done)
+}
+
+func (c *Core) storeDrain(pc uint64, vaddr mem.VAddr, paddr mem.Addr, done func()) {
+	if c.deferring {
+		c.oplog = append(c.oplog, sharedOp{kind: deferStoreDrain, u1: pc, u2: uint64(vaddr), u3: uint64(paddr), fDone: done})
+		return
+	}
+	c.port.StoreDrain(pc, vaddr, paddr, done)
+}
+
+func (c *Core) commitLoadOp(pc uint64, vaddr mem.VAddr, paddr mem.Addr) {
+	if c.deferring {
+		c.oplog = append(c.oplog, sharedOp{kind: deferCommitLoad, u1: pc, u2: uint64(vaddr), u3: uint64(paddr)})
+		return
+	}
+	c.port.CommitLoad(pc, vaddr, paddr)
+}
+
+func (c *Core) commitTranslation(vaddr mem.VAddr, instr bool) {
+	if c.deferring {
+		c.oplog = append(c.oplog, sharedOp{kind: deferCommitTranslation, u1: uint64(vaddr), instr: instr})
+		return
+	}
+	c.port.CommitTranslation(vaddr, instr)
+}
+
+func (c *Core) commitIfetch(paddr mem.Addr) {
+	if c.deferring {
+		c.oplog = append(c.oplog, sharedOp{kind: deferCommitIfetch, u1: uint64(paddr)})
+		return
+	}
+	c.port.CommitIfetch(paddr)
+}
+
+func (c *Core) flushDomainOp() {
+	if c.deferring {
+		c.oplog = append(c.oplog, sharedOp{kind: deferFlushDomain})
+		return
+	}
+	c.port.FlushDomain()
+}
+
+func (c *Core) physWrite64(paddr mem.Addr, v uint64) {
+	if c.deferring {
+		c.oplog = append(c.oplog, sharedOp{kind: deferPhysWrite, u1: uint64(paddr), u2: v})
+		return
+	}
+	c.phys.Write64(paddr, v)
+}

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Barrier-parallel in-run cores.
+//
+// stepParallel runs each simulated cycle in three phases:
+//
+//  1. Serial phase (stepping goroutine): per-core timer ticks in core
+//     order, with each core switched into deferred mode first so a
+//     timer-driven domain flush lands at the head of that core's op log.
+//  2. Parallel tick phase: the event scheduler and memory hierarchy are
+//     frozen (any shared call that escapes the deferral layer panics),
+//     and worker w ticks cores w, w+P, ... — recording every shared
+//     operation into the per-core logs.
+//  3. Barrier replay (stepping goroutine): each core's log is applied in
+//     core index order — the exact interleaving the sequential scheduler
+//     produces — then the event phase runs via Sched.Tick.
+//
+// Replay order makes the parallel path bit-identical to the sequential
+// one by construction: event (when, seq) assignment, coherence and DRAM
+// decisions, and every counter are the same. The only nondeterministic
+// quantities are the barrier spin counts, which stay in telemetry.
+
+// parMinBatch is the smallest Step batch worth forking workers for. The
+// Step(1) loops in drain-to-quiesce paths stay on the sequential
+// scheduler (valid because both paths are bit-identical), so a drain
+// never pays per-cycle goroutine coordination.
+const parMinBatch = 16
+
+// parSpinBudget bounds busy-wait iterations between runtime.Gosched
+// calls at the barriers, so oversubscribed hosts (fewer runnable CPUs
+// than workers) degrade to cooperative scheduling instead of burning a
+// quantum per cycle.
+const parSpinBudget = 128
+
+// SetParallelCores sets how many goroutines tick cores inside one run.
+// n is clamped to the core count; values <= 1 select the sequential
+// scheduler. The setting changes wall-clock behaviour only — results,
+// counters and snapshots are bit-identical either way — so it is not
+// part of any run or cache identity.
+func (s *System) SetParallelCores(n int) {
+	if n > len(s.Cores) {
+		n = len(s.Cores)
+	}
+	if n < 0 {
+		n = 0
+	}
+	s.parWorkers = n
+}
+
+// ParallelCores reports the configured in-run worker count (0 or 1 means
+// sequential).
+func (s *System) ParallelCores() int { return s.parWorkers }
+
+// ParallelStats reports how many cycles ran under the parallel scheduler
+// and the total barrier spin iterations across workers. Spin counts are
+// scheduling-dependent: telemetry only, never folded into results.
+func (s *System) ParallelStats() (cycles, stallSpins uint64) {
+	return s.parCycles, s.parStallSpins
+}
+
+func (s *System) stepParallel(n int) {
+	p := s.parWorkers
+	ncores := len(s.Cores)
+	if cap(s.parActive) < ncores {
+		s.parActive = make([]bool, ncores)
+	}
+	active := s.parActive[:ncores]
+	any := false
+	for ci := range s.Cores {
+		active[ci] = s.running[ci] != nil
+		any = any || active[ci]
+	}
+	if !any {
+		s.stepSequential(n)
+		return
+	}
+
+	// Fork-join per batch: workers live for the n cycles of this Step
+	// call and synchronise per cycle on (gen, arrived). gen released by
+	// the stepping goroutine starts a cycle's tick phase; arrived
+	// reaching p ends it. The atomics carry the happens-before edges
+	// between the serial phases and the workers' core accesses.
+	var gen atomic.Uint32
+	var arrived atomic.Int32
+	var wg sync.WaitGroup
+	spins := make([]uint64, p)
+	for w := 1; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			myGen := uint32(0)
+			for cyc := 0; cyc < n; cyc++ {
+				spins[w] += spinUntilU32(&gen, myGen+1)
+				myGen++
+				for ci := w; ci < ncores; ci += p {
+					if active[ci] {
+						s.Cores[ci].Tick()
+					}
+				}
+				arrived.Add(1)
+			}
+		}(w)
+	}
+
+	for cyc := 0; cyc < n; cyc++ {
+		// Phase 1: serial per-core timer work, in core order.
+		for ci, c := range s.Cores {
+			if !active[ci] {
+				continue
+			}
+			c.BeginDeferredTick()
+			s.timerTick(ci, c)
+		}
+
+		// Phase 2: parallel ticks under frozen shared state. The
+		// stepping goroutine doubles as worker 0.
+		s.Sched.Freeze()
+		s.Hier.Freeze()
+		arrived.Store(0)
+		gen.Add(1)
+		for ci := 0; ci < ncores; ci += p {
+			if active[ci] {
+				s.Cores[ci].Tick()
+			}
+		}
+		arrived.Add(1)
+		spins[0] += spinUntilI32(&arrived, int32(p))
+		s.Sched.Thaw()
+		s.Hier.Thaw()
+
+		// Phase 3: end deferral on every core before replaying any (a
+		// replayed op that reaches another core must execute live), then
+		// replay the logs in core order and run the event phase.
+		for ci, c := range s.Cores {
+			if active[ci] {
+				c.EndDeferredTick()
+			}
+		}
+		for ci, c := range s.Cores {
+			if active[ci] {
+				c.ReplayShared()
+			}
+		}
+		s.Sched.Tick()
+	}
+	wg.Wait()
+
+	s.parCycles += uint64(n)
+	for _, v := range spins {
+		s.parStallSpins += v
+	}
+}
+
+func spinUntilU32(g *atomic.Uint32, want uint32) (spins uint64) {
+	for g.Load() != want {
+		spins++
+		if spins%parSpinBudget == 0 {
+			runtime.Gosched()
+		}
+	}
+	return spins
+}
+
+func spinUntilI32(a *atomic.Int32, want int32) (spins uint64) {
+	for a.Load() != want {
+		spins++
+		if spins%parSpinBudget == 0 {
+			runtime.Gosched()
+		}
+	}
+	return spins
+}

@@ -1,0 +1,223 @@
+package sim_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/defense"
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// contendingProg builds a 4-thread kernel that exercises every shared
+// tick-phase operation the deferral layer covers: a spin lock (AMO), a
+// write-shared counter array, read-shared scans with data-dependent
+// branches (mispredicts and squashes), syscalls (timer-independent domain
+// switches) and an explicit filter flush.
+func contendingProg() *isa.Program {
+	b := isa.NewBuilder("contend")
+	lock := b.Alloc("lock", 8, 64)
+	shared := b.Alloc("shared", 1024, 64)
+	priv := b.Alloc("priv", 4*64, 64)
+
+	b.Shli(isa.X(20), isa.X(10), 6) // tid*64: private slot
+	b.Li(isa.X(21), priv)
+	b.Add(isa.X(21), isa.X(21), isa.X(20))
+	b.Li(isa.X(22), lock)
+	b.Li(isa.X(23), shared)
+	b.Li(isa.X(5), 0)  // loop counter
+	b.Li(isa.X(6), 60) // iterations
+
+	b.Label("loop")
+	// Take the lock (CAS 0 -> 1), bump a shared cell, release.
+	b.Label("acquire")
+	b.AmoCas(isa.X(7), isa.X(22), isa.Zero, 1)
+	b.Bne(isa.X(7), isa.Zero, "acquire")
+	b.Andi(isa.X(8), isa.X(5), 63)
+	b.Shli(isa.X(8), isa.X(8), 3)
+	b.Add(isa.X(8), isa.X(23), isa.X(8))
+	b.Load(isa.X(9), isa.X(8), 0)
+	b.Addi(isa.X(9), isa.X(9), 1)
+	b.Store(isa.X(9), isa.X(8), 0)
+	b.Store(isa.Zero, isa.X(22), 0) // unlock
+
+	// Data-dependent branch off the shared value: mispredicts + squashes.
+	b.Andi(isa.X(11), isa.X(9), 1)
+	b.Beq(isa.X(11), isa.Zero, "even")
+	b.Addi(isa.X(12), isa.X(12), 3)
+	b.Jmp("join")
+	b.Label("even")
+	b.Addi(isa.X(12), isa.X(12), 5)
+	b.Label("join")
+	b.Store(isa.X(12), isa.X(21), 0)
+
+	// Periodic syscall and filter flush to hit the domain-switch paths.
+	b.Andi(isa.X(13), isa.X(5), 15)
+	b.Bne(isa.X(13), isa.Zero, "nosys")
+	b.Syscall()
+	b.FlushSF()
+	b.Label("nosys")
+
+	b.Addi(isa.X(5), isa.X(5), 1)
+	b.Blt(isa.X(5), isa.X(6), "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// contendingSystem builds a 4-core MuonTrap-mode machine (filter caches,
+// commit-time promotion, timer-driven domain flushes) running four
+// threads of the contending kernel.
+func contendingSystem(t *testing.T, par int) *sim.System {
+	t.Helper()
+	cfg := sim.DefaultConfig(4)
+	sch := defense.MuonTrap()
+	cfg.Mem.Mode = sch.Mode
+	cfg.CPU.Defense = sch.CPU
+	cfg.TimerInterval = 3000
+	cfg.BTBIsolation = true
+	s := sim.New(cfg)
+	prog := contendingProg()
+	p := s.NewProcess(prog)
+	for th := 1; th < 4; th++ {
+		s.AddThread(p, th, prog.Entry)
+	}
+	for core := 0; core < 4; core++ {
+		s.RunOn(core, p, core)
+	}
+	s.SetParallelCores(par)
+	return s
+}
+
+func runContending(t *testing.T, par int) sim.RunResult {
+	t.Helper()
+	s := contendingSystem(t, par)
+	res, err := s.RunUntilHalt(5_000_000)
+	if err != nil {
+		t.Fatalf("par=%d: %v", par, err)
+	}
+	return res
+}
+
+// TestParallelCoresBitExact runs the same contending 4-thread workload
+// under the sequential scheduler and under 2, 3 and 4 in-run workers:
+// every counter, the cycle count and the committed total must be
+// bit-identical — the deferral layer's replay order is the sequential
+// interleaving by construction.
+func TestParallelCoresBitExact(t *testing.T) {
+	want := runContending(t, 1)
+	if want.Committed == 0 {
+		t.Fatal("workload committed nothing")
+	}
+	for _, par := range []int{2, 3, 4} {
+		got := runContending(t, par)
+		if got.Cycles != want.Cycles || got.Committed != want.Committed {
+			t.Fatalf("par=%d: cycles/committed %d/%d, want %d/%d",
+				par, got.Cycles, got.Committed, want.Cycles, want.Committed)
+		}
+		if !reflect.DeepEqual(got.Counters, want.Counters) {
+			for k, v := range want.Counters {
+				if got.Counters[k] != v {
+					t.Errorf("par=%d: counter %s = %d, want %d", par, k, got.Counters[k], v)
+				}
+			}
+			t.Fatalf("par=%d: counters diverge from sequential", par)
+		}
+	}
+}
+
+// TestParallelCheckpointsByteIdentical takes the same mid-run checkpoint
+// cadence under both schedulers and demands byte-identical snapshots,
+// then cross-restores: a parallel-produced snapshot resumed sequentially
+// (and vice versa) must finish with the sequential run's exact result.
+func TestParallelCheckpointsByteIdentical(t *testing.T) {
+	run := func(par int) ([]*checkpoint.Snapshot, sim.RunResult) {
+		s := contendingSystem(t, par)
+		var snaps []*checkpoint.Snapshot
+		res, err := s.RunUntilHaltCkpt(context.Background(), 5_000_000, 20_000,
+			func(sn *checkpoint.Snapshot) error { snaps = append(snaps, sn); return nil })
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		return snaps, res
+	}
+	seqSnaps, seqRes := run(1)
+	parSnaps, parRes := run(4)
+	if len(seqSnaps) == 0 {
+		t.Fatal("checkpoint cadence produced no snapshots")
+	}
+	if len(parSnaps) != len(seqSnaps) {
+		t.Fatalf("snapshot counts differ: parallel %d, sequential %d", len(parSnaps), len(seqSnaps))
+	}
+	for i := range seqSnaps {
+		if seqSnaps[i].Hash() != parSnaps[i].Hash() {
+			t.Fatalf("snapshot %d differs between schedulers", i)
+		}
+	}
+	if !reflect.DeepEqual(seqRes, parRes) {
+		t.Fatal("checkpointed results diverge between schedulers")
+	}
+
+	// Cross-restore both ways from the middle checkpoint.
+	mid := len(seqSnaps) / 2
+	for _, cross := range []struct {
+		name string
+		snap *checkpoint.Snapshot
+		par  int
+	}{
+		{"parallel snapshot resumed sequentially", parSnaps[mid], 1},
+		{"sequential snapshot resumed in parallel", seqSnaps[mid], 4},
+	} {
+		s := contendingSystem(t, cross.par)
+		if err := s.RestoreSnapshot(cross.snap); err != nil {
+			t.Fatalf("%s: restore: %v", cross.name, err)
+		}
+		res, err := s.RunUntilHaltCkpt(context.Background(), 5_000_000, 20_000, func(*checkpoint.Snapshot) error { return nil })
+		if err != nil {
+			t.Fatalf("%s: %v", cross.name, err)
+		}
+		if !reflect.DeepEqual(res, seqRes) {
+			t.Fatalf("%s: result diverges from uninterrupted run", cross.name)
+		}
+	}
+}
+
+// TestSetParallelCoresClamps pins the clamping rules: worker counts are
+// bounded by the core count and negatives turn the feature off.
+func TestSetParallelCoresClamps(t *testing.T) {
+	s := sim.New(sim.DefaultConfig(4))
+	s.SetParallelCores(16)
+	if got := s.ParallelCores(); got != 4 {
+		t.Fatalf("ParallelCores after SetParallelCores(16) = %d, want 4", got)
+	}
+	s.SetParallelCores(-3)
+	if got := s.ParallelCores(); got != 0 {
+		t.Fatalf("ParallelCores after SetParallelCores(-3) = %d, want 0", got)
+	}
+	one := sim.New(sim.DefaultConfig(1))
+	one.SetParallelCores(4)
+	if got := one.ParallelCores(); got != 1 {
+		t.Fatalf("single-core machine clamps to %d, want 1", got)
+	}
+}
+
+// TestParallelStats checks the telemetry counters: a parallel run records
+// cycles under the barrier scheduler, a sequential run records none.
+func TestParallelStats(t *testing.T) {
+	s := contendingSystem(t, 4)
+	if _, err := s.RunUntilHalt(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	cycles, _ := s.ParallelStats()
+	if cycles == 0 {
+		t.Fatal("parallel run recorded no barrier-scheduled cycles")
+	}
+	seq := contendingSystem(t, 1)
+	if _, err := seq.RunUntilHalt(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if c, spins := seq.ParallelStats(); c != 0 || spins != 0 {
+		t.Fatalf("sequential run recorded parallel stats (%d, %d)", c, spins)
+	}
+}

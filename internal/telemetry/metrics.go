@@ -228,16 +228,31 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 // Quantile estimates the q-quantile (0 < q ≤ 1) from the bucket counts,
 // Prometheus histogram_quantile-style: linear interpolation within the
 // containing bucket, the last bound for observations in +Inf. NaN when
-// the histogram is empty.
+// the histogram is empty or q is out of range (q ≤ 0, q > 1, or NaN) —
+// out-of-range q used to slip through and interpolate misleading values
+// (q=0 reported the first bucket's lower edge as if observed).
+//
+// The counts are snapshotted in one pass before the total is computed:
+// taking Count() separately raced concurrent Observe calls, and a total
+// larger than the later per-bucket loads could spuriously fall through
+// to the last bound.
 func (h *Histogram) Quantile(q float64) float64 {
-	total := h.Count()
+	if math.IsNaN(q) || q <= 0 || q > 1 {
+		return math.NaN()
+	}
+	counts := make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
 	if total == 0 {
 		return math.NaN()
 	}
 	rank := q * float64(total)
 	var cum uint64
 	for i, b := range h.bounds {
-		c := h.counts[i].Load()
+		c := counts[i]
 		if float64(cum)+float64(c) >= rank {
 			lower := 0.0
 			if i > 0 {
@@ -250,10 +265,6 @@ func (h *Histogram) Quantile(q float64) float64 {
 			return lower + (b-lower)*frac
 		}
 		cum += c
-		_ = b
-	}
-	if len(h.bounds) == 0 {
-		return math.NaN()
 	}
 	return h.bounds[len(h.bounds)-1]
 }

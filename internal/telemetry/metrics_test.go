@@ -69,6 +69,81 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileRange pins the q-validation table: out-of-range
+// and NaN q report NaN instead of interpolating misleading values (q=0
+// used to report the first bucket's lower edge as if it were observed).
+func TestHistogramQuantileRange(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_qr_seconds", "latency", []float64{1, 2, 4})
+	for i := 0; i < 8; i++ {
+		h.Observe(1.5)
+	}
+	cases := []struct {
+		name string
+		q    float64
+		want float64 // NaN means "must be NaN"
+	}{
+		{"q=0", 0, math.NaN()},
+		{"q<0", -0.5, math.NaN()},
+		{"q>1", 1.5, math.NaN()},
+		{"q=NaN", math.NaN(), math.NaN()},
+		{"q=+Inf", math.Inf(1), math.NaN()},
+		{"q just above 0", 1e-9, 1},      // rank ~0: first non-empty bucket's floor edge, c>0 path
+		{"q=1 exact", 1, 2},              // every observation ≤ 2
+		{"q=0.5 interpolates", 0.5, 1.5}, // midpoint of (1,2]
+	}
+	for _, tc := range cases {
+		got := h.Quantile(tc.q)
+		if math.IsNaN(tc.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("%s: Quantile = %g, want NaN", tc.name, got)
+			}
+			continue
+		}
+		if math.Abs(got-tc.want) > 1e-6 {
+			t.Errorf("%s: Quantile = %g, want %g", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestHistogramQuantileConcurrentScrape hammers Observe from writers
+// while reading quantiles: with the counts snapshotted in one pass the
+// estimate must always land within the observed value range, never fall
+// through to the last bound because the total outran the bucket loads.
+func TestHistogramQuantileConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_qc_seconds", "latency", []float64{1, 2, 4, 8})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(1.5) // always in (1,2]
+				}
+			}
+		}()
+	}
+	h.Observe(1.5) // never empty from here on
+	for i := 0; i < 20_000; i++ {
+		got := h.Quantile(0.99)
+		// All mass is in (1,2]; any answer outside that bucket means the
+		// scrape raced itself.
+		if math.IsNaN(got) || got < 1 || got > 2 {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("iteration %d: concurrent Quantile = %g, want within (1,2]", i, got)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
 func TestExpBuckets(t *testing.T) {
 	b := ExpBuckets(0.001, 2, 4)
 	want := []float64{0.001, 0.002, 0.004, 0.008}
