@@ -1,15 +1,19 @@
-// Command attacks runs the paper's six speculative side-channel attacks
-// under a chosen protection scheme and reports whether each recovers the
-// secret.
+// Command attacks runs the attack-scenario corpus against the compared
+// protection schemes and prints the security matrix: scenario (rows) vs
+// scheme (columns), each cell a leak(value,signal) or block(signal)
+// verdict. The matrix is rendered by the same code path as the figures
+// executor's, so its bytes match the pinned golden artifact.
 //
 // Usage:
 //
-//	attacks                      # all six, insecure vs muontrap
-//	attacks -scheme fcache       # all six under one scheme
+//	attacks                          # full security matrix
+//	attacks -cache-dir .cache        # matrix with disk-cached cells
+//	attacks -legacy                  # old per-attack listing
 //	attacks -attack spectre -scheme muontrap -secret 7
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,23 +23,40 @@ import (
 
 func main() {
 	var (
-		name   = flag.String("attack", "", "one attack (default: all six)")
-		scheme = flag.String("scheme", "", "one scheme (default: insecure and muontrap)")
-		secret = flag.Int("secret", 5, "secret value the victim holds")
+		name     = flag.String("attack", "", "one attack (implies -legacy; default: all)")
+		scheme   = flag.String("scheme", "", "one scheme (legacy mode; default: insecure and muontrap)")
+		secret   = flag.Int("secret", 5, "secret value the victim holds (legacy mode)")
+		legacy   = flag.Bool("legacy", false, "per-attack listing instead of the matrix")
+		cacheDir = flag.String("cache-dir", "", "disk cache directory for matrix cells")
 	)
 	flag.Parse()
 
+	if *legacy || *name != "" || *scheme != "" {
+		runLegacy(*name, *scheme, *secret)
+		return
+	}
+
+	r := muontrap.NewRunner(muontrap.WithCacheDir(*cacheDir))
+	m, err := r.SecurityMatrix(context.Background())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(m.Render())
+}
+
+// runLegacy preserves the original per-attack output format.
+func runLegacy(name, scheme string, secret int) {
 	attacks := muontrap.AttackNames()
-	if *name != "" {
-		a, err := muontrap.ParseAttackName(*name)
+	if name != "" {
+		a, err := muontrap.ParseAttackName(name)
 		if err != nil {
 			fatal(err)
 		}
 		attacks = []muontrap.AttackName{a}
 	}
 	schemes := []muontrap.Scheme{muontrap.SchemeInsecure, "muontrap"}
-	if *scheme != "" {
-		s, err := muontrap.ParseScheme(*scheme)
+	if scheme != "" {
+		s, err := muontrap.ParseScheme(scheme)
 		if err != nil {
 			fatal(err)
 		}
@@ -45,7 +66,7 @@ func main() {
 	for _, sch := range schemes {
 		fmt.Printf("== scheme %s ==\n", sch)
 		for _, a := range attacks {
-			res, err := muontrap.Attack(a, sch, *secret)
+			res, err := muontrap.Attack(a, sch, secret)
 			if err != nil {
 				fatal(err)
 			}

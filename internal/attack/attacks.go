@@ -1,155 +1,18 @@
 package attack
 
 import (
-	"repro/internal/event"
-	"repro/internal/isa"
+	"repro/internal/defense"
 	"repro/internal/memsys"
-	"repro/internal/sim"
 )
 
-// Victim gadget memory layout (addresses returned by buildVictim).
-type victimLayout struct {
-	mailbox uint64 // harness writes the "untrusted index" here
-	ack     uint64 // victim increments per processed input
-	size    uint64 // bounds-check limit (evicted to widen the window)
-	array1  uint64 // the bounds-checked array
-	secret  uint64 // victim-private secret, adjacent to array1's range
-	probe   uint64 // shared transmission array
-	vbuf    uint64 // attack 2: victim's large private buffer
-	abuf    uint64 // attack 2: attacker's large private buffer
-	targets uint64 // attack 6: first of four 1KiB-aligned code targets
+// The six hand-built attacks of the paper's evaluation, kept as named entry
+// points over the scenario interpreter (run.go). Each is the registry
+// scenario of the same name run under a memory-system mode with no pipeline
+// defense — the signature the original implementations had.
+
+func legacyScheme(mode memsys.Mode) defense.Scheme {
+	return defense.Scheme{Name: "legacy", Mode: mode}
 }
-
-const (
-	probeLines  = 16
-	probeStride = 512       // same DRAM bank+row for all probe lines
-	oobScale    = 9         // probe index shift: value * 512
-	wayStride   = 4096 * 64 // L2 set-conflict stride (sets * line size)
-	// benignValue is what training inputs transmit: probe index 15, away
-	// from every scored candidate.
-	benignValue = 15
-)
-
-// buildVictim assembles the classic Spectre victim shell: an input loop
-// with a bounds-checked section whose body is the attack-specific
-// speculative gadget. The victim loads the mailbox, touches its secret
-// line architecturally (real victims constantly touch their own keys),
-// loads the bounds (slow once evicted, widening the speculation window),
-// and runs the gadget under the bounds check; then it increments ack and
-// repeats forever.
-//
-// Registers on entry to the gadget body:
-//
-//	x14 = untrusted index, x15 = bounds, x22 = &array1, x23 = &probe
-func buildVictim(name string, bigBuffers bool, body func(b *isa.Builder, l *victimLayout)) (*isa.Program, *victimLayout) {
-	b := isa.NewBuilder(name)
-	l := &victimLayout{}
-	l.mailbox = b.Alloc("mailbox", 64, 64)
-	l.ack = b.Alloc("ack", 64, 64)
-	l.size = b.Alloc("size", 64, 64)
-	l.array1 = b.Alloc("array1", 64*8, 64)
-	l.secret = b.Alloc("secret", 64, 64)
-	// 32KiB probe segment: attack 1 uses 16 lines at 512B stride, attack 5
-	// uses 2KiB regions (the benign training region 15 ends at 32KiB).
-	l.probe = b.Segment("probe", 0x3000_0000, make([]byte, 32*1024), true)
-	if bigBuffers {
-		// Per-process (non-shared) megabuffers for set-conflict attacks:
-		// the victim uses vbuf, the attacker uses abuf of its own copy.
-		l.vbuf = b.Alloc("vbuf", 2*1024*1024, 4096)
-		l.abuf = b.Alloc("abuf", 4*1024*1024, 4096)
-	}
-
-	b.Li(isa.X(20), l.mailbox)
-	b.Li(isa.X(21), l.size)
-	b.Li(isa.X(22), l.array1)
-	b.Li(isa.X(23), l.probe)
-	b.Li(isa.X(24), l.ack)
-	b.Li(isa.X(25), l.secret)
-	if bigBuffers {
-		b.Li(isa.X(27), l.vbuf)
-	}
-	b.Li(isa.X(26), 0) // ack counter
-
-	b.Label("loop")
-	b.Load(isa.X(14), isa.X(20), 0) // untrusted index
-	b.Load(isa.X(19), isa.X(25), 0) // victim touches its secret (warm line)
-	// Committed touches of two non-candidate probe lines keep the probe
-	// pages' translations warm in the victim's TLB (real PoCs do exactly
-	// this: a cold translation would stall the transmit load past the
-	// speculation window). Offsets 448 and 4544 avoid every scored
-	// candidate line.
-	b.Load(isa.X(13), isa.X(23), 448)
-	b.Load(isa.X(13), isa.X(23), 4544)
-	b.Load(isa.X(15), isa.X(21), 0) // bounds (slow when evicted)
-	b.Bge(isa.X(14), isa.X(15), "skip")
-	body(b, l)
-	b.Label("skip")
-	b.Addi(isa.X(26), isa.X(26), 1)
-	b.Store(isa.X(26), isa.X(24), 0)
-	b.Jmp("loop")
-	return b.MustBuild(), l
-}
-
-// loadSecretInto emits the bounds-checked secret load: rd = array1[x14],
-// which reads the victim's secret when x14 is out of bounds.
-func loadSecretInto(b *isa.Builder, rd isa.Reg) {
-	b.Shli(rd, isa.X(14), 3)
-	b.Add(rd, rd, isa.X(22))
-	b.Load(rd, rd, 0)
-}
-
-// train drives the victim through n in-bounds iterations, training the
-// bounds-check branch (and warming the victim's TLB and caches so later
-// phases see a steady-state victim — priming before the victim's warm-up
-// would let its page-table-walk traffic pollute the primed sets).
-func (r *rig) train(p *sim.Process, l *victimLayout, n int) {
-	ack := r.readWord(p, l.ack)
-	for i := 0; i < n; i++ {
-		r.writeWord(p, l.mailbox, 1) // in bounds (size = 8)
-		ack = r.waitAck(p, l.ack, ack)
-	}
-}
-
-// fire evicts the bounds line (and optionally every probe line), then
-// sends one out-of-bounds input whose speculative path transmits the
-// secret while the bounds check resolves. The victim's pipeline holds
-// several loop iterations, so the first acknowledgement after the write
-// may belong to an older in-flight iteration: fire waits for further acks
-// to guarantee the out-of-bounds iteration really ran, then returns the
-// victim to a benign input and lets it settle, so the receiver's later
-// timing is not polluted by concurrent victim memory traffic (a
-// contention channel the paper scopes out, §4.10).
-func (r *rig) fire(core int, p *sim.Process, l *victimLayout, oobIndex uint64, evictProbe bool) {
-	ack := r.readWord(p, l.ack)
-	r.evict(p, l.size)
-	// The victim's filter cache would otherwise retain the bounds line
-	// (it is private and non-inclusive, so the attacker cannot evict it).
-	// In reality OS timer interrupts and the victim's own syscalls flush
-	// filter state constantly — MuonTrap flushes on every such domain
-	// switch by design — so the attacker simply fires after one. Model
-	// that tick here (a no-op for configurations without filter caches).
-	r.sys.Hier.Port(core).FlushDomain()
-	if evictProbe {
-		for s := 0; s < probeLines; s++ {
-			r.evict(p, l.probe+uint64(s)*probeStride)
-		}
-	}
-	r.writeWord(p, l.mailbox, oobIndex)
-	for i := 0; i < 3; i++ {
-		ack = r.waitAck(p, l.ack, ack)
-	}
-	r.writeWord(p, l.mailbox, 1) // quiesce on a benign input
-	r.waitAck(p, l.ack, ack)
-	r.step(500)
-}
-
-// trainAndFire is the common single-shot sequence for a victim on core.
-func (r *rig) trainAndFire(core int, p *sim.Process, l *victimLayout, oobIndex uint64, evictProbe bool) {
-	r.train(p, l, 24)
-	r.fire(core, p, l, oobIndex, evictProbe)
-}
-
-// --- Attack 1: Spectre prime+probe / flush+reload ---
 
 // SpectrePrimeProbe runs the classic cross-process Spectre attack on one
 // core: victim and attacker share the probe array; the attacker evicts
@@ -157,48 +20,8 @@ func (r *rig) trainAndFire(core int, p *sim.Process, l *victimLayout, oobIndex u
 // switches in, and times each probe line. Defense: the filter cache
 // captures the transmission and is cleared on the context switch.
 func SpectrePrimeProbe(mode memsys.Mode, secret int) Result {
-	r := newRig(1, mode)
-	prog, l := buildVictim("spectre-victim", false, func(b *isa.Builder, l *victimLayout) {
-		loadSecretInto(b, isa.X(16))
-		b.Shli(isa.X(17), isa.X(16), oobScale)
-		b.Add(isa.X(17), isa.X(17), isa.X(23))
-		b.Load(isa.X(18), isa.X(17), 0) // transmit
-	})
-	victim := r.sys.NewProcess(prog)
-	attacker := r.sys.NewProcess(prog)
-
-	r.writeWord(victim, l.size, 8)
-	r.writeWord(victim, l.secret, uint64(secret))
-	// Training inputs (index 1) transmit through benign value 15, away
-	// from the scored candidates, so the architecturally executed gadget
-	// does not pollute the channel.
-	r.writeWord(victim, l.array1+8, benignValue)
-	// Park the attacker's own copy of the gadget: a huge mailbox index
-	// and zero bounds keep its (speculative) gadget away from the probe.
-	r.writeWord(attacker, l.mailbox, 1<<20)
-	oob := (l.secret - l.array1) / 8
-
-	r.sys.RunOn(0, victim, 0)
-	r.step(200)
-	r.trainAndFire(0, victim, l, oob, true)
-
-	r.sys.RunOn(0, attacker, 0) // protection-domain switch
-	r.step(50)
-	// Probe the 15 scoreable candidates (line 15 is the benign training
-	// value) in permuted order.
-	const candidates = probeLines - 1
-	lats := make([]event.Cycle, candidates)
-	for i := 0; i < candidates; i++ {
-		s := (i*7 + 5) % candidates // permuted probe order
-		lats[s] = r.timedLoad(0, attacker, 0x400040+uint64(s)*4096,
-			l.probe+uint64(s)*probeStride)
-	}
-	res := Result{Name: "attack1-spectre"}
-	res.score(lats, secret)
-	return res
+	return RunSecret(mustScenario("spectre"), legacyScheme(mode), secret)
 }
-
-// --- Attack 2: inclusion-policy attack ---
 
 // InclusionPolicy leaks through the inclusive L2's back-invalidations:
 // the victim's speculative fills land in a secret-selected L2 set and
@@ -206,73 +29,8 @@ func SpectrePrimeProbe(mode memsys.Mode, secret int) Result {
 // non-inclusive non-exclusive, so speculative fills displace nothing in
 // any non-speculative cache.
 func InclusionPolicy(mode memsys.Mode, secretBit int) Result {
-	r := newRig(2, mode)
-	prog, l := buildVictim("inclusion-victim", true, func(b *isa.Builder, l *victimLayout) {
-		loadSecretInto(b, isa.X(16))
-		b.Shli(isa.X(17), isa.X(16), 6) // bit*64 selects the L2 set
-		b.Add(isa.X(17), isa.X(17), isa.X(27))
-		for k := 0; k < 4; k++ {
-			b.Load(isa.X(11), isa.X(17), int64(k*wayStride))
-		}
-	})
-	victim := r.sys.NewProcess(prog)
-	attacker := r.sys.NewProcess(prog)
-
-	r.writeWord(victim, l.size, 8)
-	r.writeWord(victim, l.secret, uint64(secretBit))
-	r.writeWord(victim, l.array1+8, benignValue)
-	oob := (l.secret - l.array1) / 8
-
-	r.sys.RunOn(1, victim, 0)
-	r.step(200)
-	// Let the victim reach steady state first: its cold-start page-table
-	// walks and fills would otherwise pollute the primed sets.
-	r.train(victim, l, 24)
-
-	// Prime both candidate L2 sets with 8 same-set lines each, selected
-	// from the attacker's physically contiguous buffer by actual set
-	// index.
-	primeVAs := make([][]uint64, 2)
-	for s := 0; s < 2; s++ {
-		target := r.sys.Hier.L2SetIndex(translate(victim, l.vbuf+uint64(s)*64))
-		for o := uint64(0); o < 4*1024*1024 && len(primeVAs[s]) < 8; o += 64 {
-			va := l.abuf + o
-			if r.sys.Hier.L2SetIndex(translate(attacker, va)) == target {
-				primeVAs[s] = append(primeVAs[s], va)
-			}
-		}
-	}
-	for s := 0; s < 2; s++ {
-		for i, va := range primeVAs[s] {
-			r.timedLoad(0, attacker, 0x400040+uint64(s*16+i)*4096, va)
-		}
-	}
-
-	// Fire the speculation a few times; each window fills up to 4 lines
-	// of the secret set.
-	for t := 0; t < 3; t++ {
-		r.fire(1, victim, l, oob, false)
-		r.train(victim, l, 4) // re-establish the branch bias
-	}
-
-	// Re-time the primed lines: the secret set shows evictions (slow
-	// reloads). Score on the *other* set being fast.
-	worst := make([]event.Cycle, 2)
-	for s := 0; s < 2; s++ {
-		for i, va := range primeVAs[s] {
-			if lat := r.timedLoad(0, attacker, 0x600040+uint64(s*16+i)*4096, va); lat > worst[s] {
-				worst[s] = lat
-			}
-		}
-	}
-	res := Result{Name: "attack2-inclusion"}
-	// Leak rule: the set with the slower worst-case reload is the secret
-	// set (its primed lines were evicted and reload from memory).
-	res.scoreDelta(worst, secretBit, 20)
-	return res
+	return RunSecret(mustScenario("inclusion"), legacyScheme(mode), secretBit)
 }
-
-// --- Attack 3: shared-data coherence attack ---
 
 // SharedData leaks through coherence-state changes on data shared between
 // attacker and victim: the victim's speculative load downgrades the
@@ -280,47 +38,8 @@ func InclusionPolicy(mode memsys.Mode, secretBit int) Result {
 // slower. Defense: reduced coherency speculation (the speculative access
 // is NACKed and never performed).
 func SharedData(mode memsys.Mode, secretBit int) Result {
-	r := newRig(2, mode)
-	prog, l := buildVictim("shareddata-victim", false, func(b *isa.Builder, l *victimLayout) {
-		loadSecretInto(b, isa.X(16))
-		b.Shli(isa.X(17), isa.X(16), oobScale) // bit*512: same bank+row
-		b.Add(isa.X(17), isa.X(17), isa.X(23))
-		b.Load(isa.X(18), isa.X(17), 0) // touch shared line f(secret)
-	})
-	victim := r.sys.NewProcess(prog)
-	attacker := r.sys.NewProcess(prog)
-
-	r.writeWord(victim, l.size, 8)
-	r.writeWord(victim, l.secret, uint64(secretBit))
-	r.writeWord(victim, l.array1+8, benignValue)
-	oob := (l.secret - l.array1) / 8
-
-	r.sys.RunOn(1, victim, 0)
-	r.step(200)
-	r.train(victim, l, 24)
-
-	// Attacker takes both candidate lines exclusive (a store drain leaves
-	// them Modified in its L1).
-	for s := 0; s < 2; s++ {
-		r.timedStore(0, attacker, l.probe+uint64(s)*probeStride)
-	}
-
-	r.fire(1, victim, l, oob, false)
-
-	// Attacker times stores to both candidates: the line the victim
-	// speculatively touched lost its exclusivity and pays an upgrade.
-	lats := make([]event.Cycle, 2)
-	for s := 0; s < 2; s++ {
-		lats[s] = r.timedStore(0, attacker, l.probe+uint64(s)*probeStride)
-	}
-	res := Result{Name: "attack3-shareddata"}
-	// The slower store marks the line whose exclusivity the victim's
-	// speculative load destroyed.
-	res.scoreDelta(lats, secretBit, 8)
-	return res
+	return RunSecret(mustScenario("shareddata"), legacyScheme(mode), secretBit)
 }
-
-// --- Attack 4: filter-cache coherency attack ---
 
 // FilterCoherency attacks the naive filter-cache design (filter caches
 // with reduced coherency speculation but allowed to take lines Exclusive):
@@ -329,40 +48,8 @@ func SharedData(mode memsys.Mode, secretBit int) Result {
 // Defense: filter caches fill in Shared only (with the asynchronous SE
 // upgrade at commit), so remote speculative state never affects timing.
 func FilterCoherency(mode memsys.Mode, secretBit int) Result {
-	r := newRig(2, mode)
-	prog, l := buildVictim("filtercoh-victim", false, func(b *isa.Builder, l *victimLayout) {
-		loadSecretInto(b, isa.X(16))
-		b.Shli(isa.X(17), isa.X(16), oobScale)
-		b.Add(isa.X(17), isa.X(17), isa.X(23))
-		b.Load(isa.X(18), isa.X(17), 0)
-	})
-	victim := r.sys.NewProcess(prog)
-	attacker := r.sys.NewProcess(prog)
-
-	r.writeWord(victim, l.size, 8)
-	r.writeWord(victim, l.secret, uint64(secretBit))
-	r.writeWord(victim, l.array1+8, benignValue)
-	oob := (l.secret - l.array1) / 8
-
-	r.sys.RunOn(1, victim, 0)
-	r.step(200)
-	r.trainAndFire(1, victim, l, oob, false)
-
-	// Attacker loads both candidate lines (cold in its own caches; DRAM
-	// row state equalised by construction): the one held exclusively in
-	// the victim's filter pays the downgrade penalty.
-	lats := make([]event.Cycle, 2)
-	for s := 0; s < 2; s++ {
-		lats[s] = r.timedLoad(0, attacker, 0x400040+uint64(s)*4096, l.probe+uint64(s)*probeStride)
-	}
-	res := Result{Name: "attack4-filtercoherency"}
-	// The slower load marks the line held exclusively in the victim's
-	// filter cache (the downgrade penalty).
-	res.scoreDelta(lats, secretBit, 8)
-	return res
+	return RunSecret(mustScenario("filtercoherency"), legacyScheme(mode), secretBit)
 }
-
-// --- Attack 5: prefetcher attack ---
 
 // Prefetcher leaks through the hardware prefetcher: the victim's
 // speculative loads stream through a secret-selected region, training the
@@ -370,51 +57,8 @@ func FilterCoherency(mode memsys.Mode, secretBit int) Result {
 // region into the non-speculative L2. Defense: prefetcher training only
 // from commit-time notifications.
 func Prefetcher(mode memsys.Mode, secret int) Result {
-	r := newRig(2, mode)
-	const regionStride = 2048
-	prog, l := buildVictim("prefetch-victim", false, func(b *isa.Builder, l *victimLayout) {
-		loadSecretInto(b, isa.X(16))
-		b.Li(isa.X(13), regionStride)
-		b.Mul(isa.X(17), isa.X(16), isa.X(13))
-		b.Add(isa.X(17), isa.X(17), isa.X(23))
-		// A speculative streaming loop from one load PC trains the stride
-		// prefetcher; the bounds check resolves long after.
-		b.Li(isa.X(11), 0)
-		b.Label("pfloop")
-		b.Shli(isa.X(12), isa.X(11), 6)
-		b.Add(isa.X(12), isa.X(12), isa.X(17))
-		b.Load(isa.X(18), isa.X(12), 0)
-		b.Addi(isa.X(11), isa.X(11), 1)
-		b.Li(isa.X(12), 4)
-		b.Blt(isa.X(11), isa.X(12), "pfloop")
-	})
-	victim := r.sys.NewProcess(prog)
-	attacker := r.sys.NewProcess(prog)
-
-	r.writeWord(victim, l.size, 8)
-	r.writeWord(victim, l.secret, uint64(secret))
-	r.writeWord(victim, l.array1+8, benignValue)
-	oob := (l.secret - l.array1) / 8
-
-	r.sys.RunOn(1, victim, 0)
-	r.step(200)
-	r.trainAndFire(1, victim, l, oob, false)
-	r.step(500) // let prefetches land
-
-	// Probe the line *beyond* the speculatively accessed window in each
-	// candidate region: only the prefetcher could have fetched it.
-	lats := make([]event.Cycle, 4)
-	for i := 0; i < 4; i++ {
-		s := (i*3 + 1) % 4 // permuted probe order
-		va := l.probe + uint64(s)*regionStride + 4*64
-		lats[s] = r.timedLoad(0, attacker, 0x400040+uint64(s)*4096, va)
-	}
-	res := Result{Name: "attack5-prefetcher"}
-	res.score(lats, secret)
-	return res
+	return RunSecret(mustScenario("prefetcher"), legacyScheme(mode), secret)
 }
-
-// --- Attack 6: instruction-cache attack ---
 
 // InstructionCache leaks through the instruction cache: a speculative
 // indirect jump to a secret-dependent target fetches that target's code
@@ -423,84 +67,5 @@ func Prefetcher(mode memsys.Mode, secret int) Result {
 // instruction filter cache captures speculative fetches and is cleared on
 // the domain switch.
 func InstructionCache(mode memsys.Mode, secret int) Result {
-	r := newRig(1, mode)
-	prog, l := buildVictimWithTargets()
-	victim := r.sys.NewProcess(prog)
-	attacker := r.sys.NewProcess(prog) // same binary: text is shared
-
-	r.writeWord(victim, l.size, 8)
-	r.writeWord(victim, l.secret, uint64(secret))
-	// Training jumps through the dedicated benign target block (index 4).
-	r.writeWord(victim, l.array1+8, 4)
-	oob := (l.secret - l.array1) / 8
-
-	r.sys.RunOn(0, victim, 0)
-	r.step(200)
-	r.trainAndFire(0, victim, l, oob, false)
-
-	r.sys.RunOn(0, attacker, 0) // domain switch
-	r.step(50)
-	lats := make([]event.Cycle, 4)
-	for s := 0; s < 4; s++ {
-		lats[s] = r.timedIfetch(0, attacker, l.targets+uint64(s)*1024)
-	}
-	res := Result{Name: "attack6-icache"}
-	res.score(lats, secret)
-	return res
-}
-
-// buildVictimWithTargets builds the attack-6 victim: the speculative body
-// performs an indirect jump to targets + secret*1024, and four 1KiB-
-// aligned code blocks follow the main loop.
-func buildVictimWithTargets() (*isa.Program, *victimLayout) {
-	b := isa.NewBuilder("icache-victim")
-	l := &victimLayout{}
-	l.mailbox = b.Alloc("mailbox", 64, 64)
-	l.ack = b.Alloc("ack", 64, 64)
-	l.size = b.Alloc("size", 64, 64)
-	l.array1 = b.Alloc("array1", 64*8, 64)
-	l.secret = b.Alloc("secret", 64, 64)
-	l.probe = b.Segment("probe", 0x3000_0000, make([]byte, probeLines*probeStride), true)
-
-	b.Li(isa.X(20), l.mailbox)
-	b.Li(isa.X(21), l.size)
-	b.Li(isa.X(22), l.array1)
-	b.Li(isa.X(24), l.ack)
-	b.Li(isa.X(25), l.secret)
-	b.Li(isa.X(26), 0)
-
-	b.Label("loop")
-	b.Load(isa.X(14), isa.X(20), 0)
-	b.Load(isa.X(19), isa.X(25), 0)
-	b.Load(isa.X(15), isa.X(21), 0)
-	b.Bge(isa.X(14), isa.X(15), "skip")
-	b.Shli(isa.X(16), isa.X(14), 3)
-	b.Add(isa.X(16), isa.X(16), isa.X(22))
-	b.Load(isa.X(16), isa.X(16), 0) // secret under speculation
-	b.Shli(isa.X(17), isa.X(16), 10)
-	b.LiLabel(isa.X(18), "targets")
-	b.Add(isa.X(17), isa.X(17), isa.X(18))
-	b.Jalr(isa.X(11), isa.X(17), 0) // speculative secret-dependent jump
-	b.Label("skip")
-	b.Addi(isa.X(26), isa.X(26), 1)
-	b.Store(isa.X(26), isa.X(24), 0)
-	b.Jmp("loop")
-
-	b.AlignText(1024)
-	b.Label("targets")
-	// Five blocks: 0-3 are the scored candidates, 4 is the benign block
-	// the training inputs jump through.
-	for s := 0; s < 5; s++ {
-		b.AlignText(1024)
-		for k := 0; k < 4; k++ {
-			b.Addi(isa.X(12), isa.X(12), int64(s)) // filler work
-		}
-		b.Jalr(isa.Zero, isa.X(11), 0) // return through the gadget's link
-	}
-	addr, ok := b.LabelAddr("targets")
-	if !ok {
-		panic("attack: targets label missing")
-	}
-	l.targets = addr
-	return b.MustBuild(), l
+	return RunSecret(mustScenario("icache"), legacyScheme(mode), secret)
 }

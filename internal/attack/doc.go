@@ -1,18 +1,27 @@
-// Package attack implements the six speculative side-channel attacks the
-// paper uses to motivate and validate MuonTrap (Attacks 1-6, §2-§4). Each
-// attack builds a small system with a victim program that really executes
-// speculatively on the out-of-order core, a receiver that measures access
-// timing, and a scoring rule. Run under the unprotected configuration the
-// attacks recover the secret; under the configuration whose mechanism the
-// paper credits as the defense, they must fail.
+// Package attack implements the transient-leak scenario corpus: the six
+// speculative side-channel attacks the paper uses to motivate and validate
+// MuonTrap (Attacks 1-6, §2-§4), plus generated variants (Spectre v1 index
+// sweeps, v2 indirect-jump mistraining, MeltdownPrime-style coherence
+// prime+probe). Every attack is a declarative Scenario — a speculative
+// gadget, a mistraining strategy, a transmission channel and a decision
+// rule — and one interpreter (RunSecret) builds the victim program, drives
+// the mistraining, and runs the channel's receiver against it under a
+// defense scheme. The victim really executes speculatively on the
+// out-of-order core; run under the unprotected configuration the scenarios
+// recover the secret, and under the configuration whose mechanism the
+// paper credits as the defense they must fail.
 //
 // Key types:
 //
+//   - Scenario: the declarative spec, with a strict canonical wire form
+//     (Encode/DecodeScenario) that doubles as the cache identity of a
+//     security-matrix cell. Scenarios() enumerates the corpus.
 //   - Result: one trial's outcome — the probe timings, the recovered
 //     value and whether it matches the planted secret.
-//   - The attack functions (SpectrePrimeProbe, InclusionPolicy,
-//     SharedData, FilterCoherency, Prefetcher, InstructionCache), each
-//     parameterised by the memsys.Mode under test.
+//   - The legacy attack functions (SpectrePrimeProbe, InclusionPolicy,
+//     SharedData, FilterCoherency, Prefetcher, InstructionCache), kept as
+//     named entry points over the interpreter, each parameterised by the
+//     memsys.Mode under test.
 //
 // Invariants:
 //

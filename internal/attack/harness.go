@@ -3,6 +3,7 @@ package attack
 import (
 	"fmt"
 
+	"repro/internal/defense"
 	"repro/internal/event"
 	"repro/internal/mem"
 	"repro/internal/memsys"
@@ -35,6 +36,10 @@ func (r Result) String() string {
 func (r *Result) scoreDelta(lats []event.Cycle, secret int, minDelta event.Cycle) {
 	r.Latencies = lats
 	r.Secret = secret
+	if len(lats) == 0 {
+		r.Leaked, r.Signal, r.Succeeded = -1, 1, false
+		return
+	}
 	worst, worstIdx := lats[0], 0
 	for i, l := range lats {
 		if l > worst {
@@ -62,6 +67,10 @@ func (r *Result) scoreDelta(lats []event.Cycle, secret int, minDelta event.Cycle
 func (r *Result) score(lats []event.Cycle, secret int) {
 	r.Latencies = lats
 	r.Secret = secret
+	if len(lats) == 0 {
+		r.Leaked, r.Signal, r.Succeeded = -1, 1, false
+		return
+	}
 	best, bestIdx := lats[0], 0
 	for i, l := range lats {
 		if l < best {
@@ -91,9 +100,10 @@ type rig struct {
 	sys *sim.System
 }
 
-func newRig(cores int, mode memsys.Mode) *rig {
+func newRig(cores int, sch defense.Scheme) *rig {
 	cfg := sim.DefaultConfig(cores)
-	cfg.Mem.Mode = mode
+	cfg.CPU.Defense = sch.CPU
+	cfg.Mem.Mode = sch.Mode
 	// Attack rigs run with a row-neutral DRAM (open-row hits cost the
 	// same as misses). DRAM row-buffer timing is itself a side channel,
 	// but one the paper explicitly does not address (§4.10 lists the

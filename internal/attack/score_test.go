@@ -1,0 +1,74 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/event"
+)
+
+func TestScoreEdgeCases(t *testing.T) {
+	cases := []struct {
+		name     string
+		lats     []event.Cycle
+		secret   int
+		leaked   int
+		success  bool
+		signalLE float64 // assert Signal <= this (0 = skip)
+	}{
+		{"clear outlier", []event.Cycle{100, 100, 10, 100}, 2, 2, true, 0.1},
+		{"outlier wrong candidate", []event.Cycle{100, 10, 100, 100}, 2, 1, false, 0},
+		{"all equal", []event.Cycle{100, 100, 100, 100}, 0, 0, false, 0},
+		// A tied fastest pair resolves to the first index; when that index
+		// is the secret and still a clear outlier below the median, the
+		// rule counts it (the probe order is what disambiguates in the
+		// real receivers).
+		{"tie for fastest picks first", []event.Cycle{10, 10, 100, 100}, 0, 0, true, 0.1},
+		{"outlier above threshold", []event.Cycle{70, 100, 100, 100}, 0, 0, false, 0},
+		{"just under threshold", []event.Cycle{59, 100, 100, 100}, 0, 0, true, 0.6},
+		{"single candidate", []event.Cycle{50}, 0, 0, false, 0},
+		{"empty candidates", nil, 0, -1, false, 0},
+		{"zero median", []event.Cycle{0, 0, 0}, 0, 0, false, 0},
+	}
+	for _, tc := range cases {
+		var r Result
+		r.score(tc.lats, tc.secret)
+		if r.Leaked != tc.leaked || r.Succeeded != tc.success {
+			t.Errorf("%s: got leaked=%d success=%v, want leaked=%d success=%v (%+v)",
+				tc.name, r.Leaked, r.Succeeded, tc.leaked, tc.success, r)
+		}
+		if tc.signalLE > 0 && r.Signal > tc.signalLE {
+			t.Errorf("%s: signal %f above %f", tc.name, r.Signal, tc.signalLE)
+		}
+		if r.Secret != tc.secret {
+			t.Errorf("%s: result did not record secret %d", tc.name, tc.secret)
+		}
+	}
+}
+
+func TestScoreDeltaEdgeCases(t *testing.T) {
+	cases := []struct {
+		name     string
+		lats     []event.Cycle
+		secret   int
+		minDelta event.Cycle
+		leaked   int
+		success  bool
+	}{
+		{"clear delta", []event.Cycle{100, 140}, 1, 20, 1, true},
+		{"runner-up within minDelta", []event.Cycle{100, 115}, 1, 20, 1, false},
+		{"exactly minDelta", []event.Cycle{100, 120}, 1, 20, 1, true},
+		{"slowest wrong candidate", []event.Cycle{140, 100}, 1, 20, 0, false},
+		{"all equal", []event.Cycle{100, 100, 100}, 0, 8, 0, false},
+		{"tie for slowest picks first", []event.Cycle{140, 140, 100}, 0, 20, 0, false},
+		{"single candidate trivially wins", []event.Cycle{100}, 0, 8, 0, true},
+		{"empty candidates", nil, 0, 8, -1, false},
+	}
+	for _, tc := range cases {
+		var r Result
+		r.scoreDelta(tc.lats, tc.secret, tc.minDelta)
+		if r.Leaked != tc.leaked || r.Succeeded != tc.success {
+			t.Errorf("%s: got leaked=%d success=%v, want leaked=%d success=%v (%+v)",
+				tc.name, r.Leaked, r.Succeeded, tc.leaked, tc.success, r)
+		}
+	}
+}

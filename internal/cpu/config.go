@@ -14,6 +14,7 @@ const (
 	DefenseInvisiSpecFuture
 	DefenseSTTSpectre
 	DefenseSTTFuture
+	DefenseSafeBet
 )
 
 func (d Defense) String() string {
@@ -28,6 +29,8 @@ func (d Defense) String() string {
 		return "stt-spectre"
 	case DefenseSTTFuture:
 		return "stt-future"
+	case DefenseSafeBet:
+		return "safebet"
 	}
 	return "unknown"
 }

@@ -90,18 +90,24 @@ type Core struct {
 	// FU busy-until times for the unpipelined divider slots.
 	divFree []event.Cycle
 
+	// SafeBet committed-footprint sets (nil except under DefenseSafeBet):
+	// data lines by physical address, code lines by virtual address.
+	sbData map[mem.Addr]struct{}
+	sbCode map[uint64]struct{}
+
 	// Stats.
-	Committed    uint64
-	Fetched      uint64
-	Squashed     uint64
-	Mispredicts  uint64
-	LoadNACKs    uint64
-	Syscalls     uint64
-	Barriers     uint64
-	Exposures    uint64
-	STTStalls    uint64
-	CommitStores uint64
-	CommitLoads  uint64
+	Committed     uint64
+	Fetched       uint64
+	Squashed      uint64
+	Mispredicts   uint64
+	LoadNACKs     uint64
+	Syscalls      uint64
+	Barriers      uint64
+	Exposures     uint64
+	STTStalls     uint64
+	SafeBetStalls uint64
+	CommitStores  uint64
+	CommitLoads   uint64
 }
 
 // NewCore builds a core attached to a memory port.
@@ -271,6 +277,9 @@ func (c *Core) commit() {
 		switch cls {
 		case isa.ClassLoad:
 			c.CommitLoads++
+			if c.safeBetActive() {
+				c.sbInsertData(d.paddr)
+			}
 			if c.cfg.Defense == DefenseInvisiSpecSpectre && d.needsExpose && !d.exposing && !d.exposeDone {
 				// The load became safe only now: fire the exposure so the
 				// line still reaches the caches (asynchronously; the
@@ -290,6 +299,9 @@ func (c *Core) commit() {
 				return // retry next cycle
 			}
 			c.CommitStores++
+			if c.safeBetActive() {
+				c.sbInsertData(d.paddr)
+			}
 			d.v2 = c.storeData(d)
 			// Latch the data: the producer link must not be consulted
 			// after commit (the producer's slot may be recycled, and the
@@ -322,6 +334,9 @@ func (c *Core) commit() {
 			c.Committed++
 			c.freeInst(d)
 			return
+		}
+		if c.safeBetActive() {
+			c.sbInsertCode(mem.LineAddr(d.pc))
 		}
 		c.commitIfetch(c.instPaddr(d.pc))
 		c.commitTranslation(mem.VAddr(d.pc), true)
@@ -511,6 +526,13 @@ func (c *Core) fetchLineReady(pc uint64) bool {
 	if c.fetchLinePend {
 		return false
 	}
+	if c.safeBetActive() && !c.sbCodeHit(line) && c.firstUnresolvedBranchSeq() != ^uint64(0) {
+		// SafeBet: a speculative fetch outside the committed code footprint
+		// (e.g. through a mistrained BTB) may not touch the memory system
+		// while any control flow is unresolved; retry next cycle.
+		c.SafeBetStalls++
+		return false
+	}
 	c.fetchLinePend = true
 	c.fetchPendLine = line
 	c.fetchPendPC = pc
@@ -658,7 +680,11 @@ func (c *Core) TranslateDone(idx int32, seq uint64, pa mem.Addr, walked, fault b
 		d.done = true
 		if !d.prefetched {
 			d.prefetched = true
-			c.port.StorePrefetch(d.pc, mem.VAddr(d.effAddr), d.paddr, nil)
+			// SafeBet also vetoes the speculative store-prefetch channel
+			// for lines outside the committed footprint.
+			if !c.safeBetActive() || c.loadSafe(d) || c.sbDataHit(d.paddr) {
+				c.port.StorePrefetch(d.pc, mem.VAddr(d.effAddr), d.paddr, nil)
+			}
 		}
 		return
 	}

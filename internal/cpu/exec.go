@@ -65,7 +65,7 @@ func (c *Core) invisiSpecActive() bool {
 // executed).
 func (c *Core) loadSafe(d *dynInst) bool {
 	switch c.cfg.Defense {
-	case DefenseSTTSpectre, DefenseInvisiSpecSpectre:
+	case DefenseSTTSpectre, DefenseInvisiSpecSpectre, DefenseSafeBet:
 		return c.firstUnresolvedBranchSeq() > d.seq
 	case DefenseSTTFuture, DefenseInvisiSpecFuture:
 		return c.firstUndoneSeq() >= d.seq
@@ -312,6 +312,14 @@ func (c *Core) tryLoadAccess(d *dynInst) {
 		d.phase = memAccessIssued
 		d.fwdVal = c.storeData(fwd)
 		c.afterEvent(1, opFwdDone, uint64(uint32(d.idx)), d.seq)
+		return
+	}
+	if c.safeBetActive() && !c.loadSafe(d) && !c.sbDataHit(d.paddr) {
+		// SafeBet: the line was never accessed non-speculatively by this
+		// domain, so the speculative access may not reach the memory system.
+		// Wait (memMaintenance retries) until older branches resolve.
+		c.SafeBetStalls++
+		d.phase = memWaitingOlderStores
 		return
 	}
 	d.phase = memAccessIssued

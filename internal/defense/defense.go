@@ -95,6 +95,19 @@ func MuonTrapParallelL1() Scheme {
 		Mode:        m}
 }
 
+// SafeBet models a SafeBet-style speculation restriction (PAPERS.md): a
+// speculative load may access the memory system only when its line is in
+// the domain's committed footprint (previously touched non-speculatively);
+// everything else — including speculative instruction fetches to
+// uncommitted code lines — waits until control flow resolves. The
+// footprint clears on every protection-domain switch. Pure pipeline
+// defense: no filter caches, no memory-system mode bits.
+func SafeBet() Scheme {
+	return Scheme{Name: "safebet",
+		Description: "SafeBet-style committed-footprint speculation restriction",
+		CPU:         cpu.DefenseSafeBet}
+}
+
 // InvisiSpecSpectre models InvisiSpec's Spectre-threat-model variant.
 func InvisiSpecSpectre() Scheme {
 	return Scheme{Name: "invisispec-spectre",
@@ -128,6 +141,7 @@ func All() []Scheme {
 	return []Scheme{
 		Insecure(), InsecureL0(), FcacheOnly(), WithCoherence(), WithIFilter(),
 		MuonTrap(), MuonTrapClearMisspec(), MuonTrapParallelL1(),
+		SafeBet(),
 		InvisiSpecSpectre(), InvisiSpecFuture(), STTSpectre(), STTFuture(),
 	}
 }
@@ -156,5 +170,17 @@ func CumulativeStages() []Scheme {
 	return []Scheme{
 		InsecureL0(), FcacheOnly(), WithCoherence(), WithIFilter(),
 		MuonTrap(), MuonTrapClearMisspec(),
+	}
+}
+
+// SecurityComparison returns the security matrix's scheme columns: the
+// unprotected baseline, the paper's cumulative protection stages (the
+// performance-only insecure L0 is omitted — its security behaviour is the
+// baseline's), and the SafeBet speculation-restriction comparison point.
+func SecurityComparison() []Scheme {
+	return []Scheme{
+		Insecure(), FcacheOnly(), WithCoherence(), WithIFilter(),
+		MuonTrap(), MuonTrapClearMisspec(),
+		SafeBet(),
 	}
 }

@@ -35,6 +35,13 @@ type Job struct {
 	Series string
 	Work   string
 
+	// Attack, when non-empty, marks a security-matrix cell and names its
+	// scenario (Spec is zero; the run itself lives in Custom, built by
+	// AttackJob). Result consumers use it to route the cell's counters
+	// through DecodeAttackCounters instead of reading them as
+	// microarchitectural statistics.
+	Attack string
+
 	Custom    func(ctx context.Context) (sim.RunResult, error)
 	CustomKey runKey
 }

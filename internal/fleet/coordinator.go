@@ -736,7 +736,8 @@ func (co *Coordinator) submit(sw muontrap.Sweep, prio muontrap.Priority, resume 
 		return muontrap.Job{}, false, err
 	}
 	key := co.sweepKey(sw)
-	total := len(sw.Workloads) * len(sw.Schemes) * len(co.effectiveScales(sw))
+	total := len(sw.Workloads)*len(sw.Schemes)*len(co.effectiveScales(sw)) +
+		len(sw.Attacks)*len(sw.Schemes)
 	rec := muontrap.Job{
 		ID:          newJobID(),
 		State:       muontrap.JobQueued,
@@ -815,6 +816,27 @@ func (co *Coordinator) newJob(rec muontrap.Job) *fleetJob {
 				c.indexes = append(c.indexes, idx)
 				idx++
 			}
+		}
+	}
+	// Attack cells follow the workload block, mirroring Runner.Sweep's
+	// declaration order: attacks outer, schemes inner, no scale dimension
+	// (attack outcomes are scale-independent).
+	for _, a := range rec.Sweep.Attacks {
+		for _, s := range rec.Sweep.Schemes {
+			sub := muontrap.Sweep{
+				Attacks:   []muontrap.AttackName{a},
+				Schemes:   []muontrap.Scheme{s},
+				MaxCycles: rec.Sweep.MaxCycles,
+			}
+			key := co.sweepKey(sub)
+			c := byKey[key]
+			if c == nil {
+				c = &cell{job: j, key: key, sweep: sub, attempts: make(map[*attempt]struct{})}
+				byKey[key] = c
+				j.cells = append(j.cells, c)
+			}
+			c.indexes = append(c.indexes, idx)
+			idx++
 		}
 	}
 	return j
@@ -955,14 +977,19 @@ func (co *Coordinator) Workers() []WorkerStatus {
 
 // validateSweep mirrors the single-daemon submission validation.
 func validateSweep(sw muontrap.Sweep) error {
-	if len(sw.Workloads) == 0 {
-		return fmt.Errorf("sweep declares no workloads")
+	if len(sw.Workloads) == 0 && len(sw.Attacks) == 0 {
+		return fmt.Errorf("sweep declares no workloads or attacks")
 	}
 	if len(sw.Schemes) == 0 {
 		return fmt.Errorf("sweep declares no schemes")
 	}
 	for _, w := range sw.Workloads {
 		if _, err := muontrap.ParseWorkload(string(w)); err != nil {
+			return err
+		}
+	}
+	for _, a := range sw.Attacks {
+		if _, err := muontrap.ParseAttackName(string(a)); err != nil {
 			return err
 		}
 	}
@@ -1017,10 +1044,14 @@ func (co *Coordinator) sweepKey(sw muontrap.Sweep) string {
 		}
 		sch[i] = string(x)
 	}
-	canon := fmt.Sprintf("sweep|v%d|bin=%s|wl=%s|sch=%s|scales=%s|max=%d|warm=%d|every=%d",
+	atk := make([]string, len(sw.Attacks))
+	for i, a := range sw.Attacks {
+		atk[i] = string(a)
+	}
+	canon := fmt.Sprintf("sweep|v%d|bin=%s|wl=%s|atk=%s|sch=%s|scales=%s|max=%d|warm=%d|every=%d",
 		journalVersion, figures.BinFingerprint(),
-		strings.Join(wl, ","), strings.Join(sch, ","), strings.Join(scales, ","),
-		maxCycles, co.cfg.Warmup, co.cfg.CheckpointEvery)
+		strings.Join(wl, ","), strings.Join(atk, ","), strings.Join(sch, ","),
+		strings.Join(scales, ","), maxCycles, co.cfg.Warmup, co.cfg.CheckpointEvery)
 	sum := sha256.Sum256([]byte(canon))
 	return hex.EncodeToString(sum[:])
 }

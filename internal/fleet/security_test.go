@@ -1,0 +1,49 @@
+package fleet_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/figures"
+	"repro/internal/fleet"
+	"repro/muontrap"
+)
+
+// TestFleetSecurityMatrixMatchesSingleMachine pins that the security
+// matrix is byte-identical when its cells are sharded across a fleet: a
+// three-worker fleet runs the full attacks × schemes sweep, and both the
+// merged sweep JSON and the assembled matrix rendering must match the
+// single-machine reference exactly.
+func TestFleetSecurityMatrixMatchesSingleMachine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus simulation")
+	}
+	defer figures.ResetRunCache()
+	sw := muontrap.Sweep{
+		Attacks: muontrap.AttackNames(),
+		Schemes: muontrap.SecuritySchemes(),
+	}
+	ref := reference(t, sw)
+	refMatrix, err := muontrap.SecurityMatrixFromSweep(sw, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := newTestFleet(t, 3, fleet.Config{})
+	got, err := f.client.Sweep(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(marshal(t, got)) != string(marshal(t, ref)) {
+		t.Fatalf("fleet attack sweep differs from single-machine reference:\nfleet: %s\nref:   %s",
+			marshal(t, got), marshal(t, ref))
+	}
+	gotMatrix, err := muontrap.SecurityMatrixFromSweep(sw, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMatrix.Render() != refMatrix.Render() {
+		t.Fatalf("fleet-assembled security matrix differs from reference:\nfleet:\n%s\nref:\n%s",
+			gotMatrix.Render(), refMatrix.Render())
+	}
+}

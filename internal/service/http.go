@@ -23,7 +23,7 @@ import (
 //	DELETE /v1/jobs/{id}         cancel                    → 202 Job
 //	POST   /v1/jobs/{id}/resume  re-queue with resume      → 202 Job
 //	GET    /v1/results/{key}     SweepResult by cache key  → 200 | 404
-//	GET    /v1/catalog           workloads/schemes/figures → 200
+//	GET    /v1/catalog           workload/scheme/figure/attack registries → 200
 //	GET    /v1/healthz           liveness + readiness      → 200 (never requires auth)
 //
 // With tenants configured, every route except /v1/healthz requires an
@@ -331,6 +331,7 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 		Schemes:   muontrap.Schemes(),
 		SchemeDoc: muontrap.SchemeDescriptions(),
 		Figures:   muontrap.FigureIDs(),
+		Attacks:   muontrap.AttackNames(),
 	})
 }
 

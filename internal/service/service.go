@@ -383,7 +383,8 @@ func (s *Server) submit(sw muontrap.Sweep, prio muontrap.Priority, tn *tenant, r
 		return muontrap.Job{}, false, err
 	}
 	key := s.cacheKey(sw)
-	total := len(sw.Workloads) * len(sw.Schemes) * len(s.effectiveScales(sw))
+	total := len(sw.Workloads)*len(sw.Schemes)*len(s.effectiveScales(sw)) +
+		len(sw.Attacks)*len(sw.Schemes)
 	rec := muontrap.Job{
 		ID:          newJobID(),
 		State:       muontrap.JobQueued,
@@ -940,14 +941,19 @@ func (s *Server) lookup(id string) (*job, error) {
 // Runner.Sweep performs, so a bad matrix is rejected at submission with
 // the sentinel-coded error rather than failing the job later.
 func validateSweep(sw muontrap.Sweep) error {
-	if len(sw.Workloads) == 0 {
-		return fmt.Errorf("sweep declares no workloads")
+	if len(sw.Workloads) == 0 && len(sw.Attacks) == 0 {
+		return fmt.Errorf("sweep declares no workloads or attacks")
 	}
 	if len(sw.Schemes) == 0 {
 		return fmt.Errorf("sweep declares no schemes")
 	}
 	for _, w := range sw.Workloads {
 		if _, err := muontrap.ParseWorkload(string(w)); err != nil {
+			return err
+		}
+	}
+	for _, a := range sw.Attacks {
+		if _, err := muontrap.ParseAttackName(string(a)); err != nil {
 			return err
 		}
 	}
@@ -1009,10 +1015,14 @@ func (s *Server) cacheKey(sw muontrap.Sweep) string {
 		}
 		sch[i] = string(x)
 	}
-	canon := fmt.Sprintf("sweep|v%d|bin=%s|wl=%s|sch=%s|scales=%s|max=%d|warm=%d|every=%d",
+	atk := make([]string, len(sw.Attacks))
+	for i, a := range sw.Attacks {
+		atk[i] = string(a)
+	}
+	canon := fmt.Sprintf("sweep|v%d|bin=%s|wl=%s|atk=%s|sch=%s|scales=%s|max=%d|warm=%d|every=%d",
 		journalVersion, figures.BinFingerprint(),
-		strings.Join(wl, ","), strings.Join(sch, ","), strings.Join(scales, ","),
-		maxCycles, s.cfg.Warmup, s.cfg.CheckpointEvery)
+		strings.Join(wl, ","), strings.Join(atk, ","), strings.Join(sch, ","),
+		strings.Join(scales, ","), maxCycles, s.cfg.Warmup, s.cfg.CheckpointEvery)
 	sum := sha256.Sum256([]byte(canon))
 	return hex.EncodeToString(sum[:])
 }

@@ -162,6 +162,9 @@ func TestCatalogEnumeratesIdentifiers(t *testing.T) {
 	if len(cat.Schemes) == 0 || len(cat.Figures) != 7 {
 		t.Fatalf("catalog incomplete: %d schemes, %d figures", len(cat.Schemes), len(cat.Figures))
 	}
+	if len(cat.Attacks) < 12 {
+		t.Fatalf("catalog lists %d attacks, want the full corpus", len(cat.Attacks))
+	}
 	if cat.SchemeDoc["muontrap"] == "" {
 		t.Fatal("catalog carries no scheme descriptions")
 	}

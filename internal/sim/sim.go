@@ -277,6 +277,10 @@ func (s *System) domainSwitch(core int) {
 	if s.cfg.Mem.Mode.FilterProtect {
 		s.Cores[core].FlushDomain()
 	}
+	// SafeBet: a domain switch invalidates the committed footprint, so one
+	// domain's accesses never pre-authorise another's speculation. Core-
+	// local state only; a no-op for other defense models.
+	s.Cores[core].FlushSpecFootprint()
 	if s.cfg.BTBIsolation {
 		s.Cores[core].Predictor().FlushBTB()
 	}
@@ -487,6 +491,7 @@ func (s *System) RunUntilHaltCkpt(ctx context.Context, maxCycles int, every even
 		res.Counters[prefix+"syscalls"] = c.Syscalls
 		res.Counters[prefix+"exposures"] = c.Exposures
 		res.Counters[prefix+"stt_stalls"] = c.STTStalls
+		res.Counters[prefix+"safebet_stalls"] = c.SafeBetStalls
 	}
 	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/attack"
 	"repro/internal/defense"
 	"repro/internal/workload"
 )
@@ -92,10 +93,14 @@ func ParseFigureID(s string) (FigureID, error) {
 	return "", fmt.Errorf("%w %q (fig3..fig9)", ErrUnknownFigure, s)
 }
 
-// AttackName names one of the paper's six attacks.
+// AttackName names one attack scenario from the corpus: the paper's six
+// attacks plus the generated variants. Construct validated values with
+// ParseAttackName, or enumerate AttackNames().
 type AttackName string
 
-// The paper's six attacks, in paper order.
+// The paper's six attacks, in paper order. The full corpus (including
+// generated Spectre index sweeps, indirect-jump mistraining and
+// MeltdownPrime-style coherence variants) is enumerated by AttackNames().
 const (
 	AttackSpectre         AttackName = "spectre"
 	AttackInclusion       AttackName = "inclusion"
@@ -159,10 +164,14 @@ func FigureIDs() []FigureID {
 	return []FigureID{Fig3, Fig4, Fig5, Fig6, Fig7, Fig8, Fig9}
 }
 
-// AttackNames lists the implemented attacks in paper order.
+// AttackNames lists the full attack-scenario corpus, sorted and
+// deduplicated like the other identifier registries.
 func AttackNames() []AttackName {
-	return []AttackName{AttackSpectre, AttackInclusion, AttackSharedData,
-		AttackFilterCoherency, AttackPrefetcher, AttackICache}
+	var names []AttackName
+	for _, s := range attack.Scenarios() {
+		names = append(names, AttackName(s.Name))
+	}
+	return sortDedup(names)
 }
 
 // sortDedup sorts a name slice and removes adjacent duplicates.

@@ -97,6 +97,9 @@ type Catalog struct {
 	Schemes   []Scheme          `json:"schemes"`
 	SchemeDoc map[Scheme]string `json:"scheme_descriptions"`
 	Figures   []FigureID        `json:"figures"`
+	// Attacks is the security-matrix scenario corpus, accepted in
+	// Sweep.Attacks.
+	Attacks []AttackName `json:"attacks"`
 }
 
 // Job is one submitted sweep's lifecycle record, as the experiment

@@ -130,11 +130,13 @@ func TableOne() string { return figures.TableOne() }
 // AttackResult reports one attack trial.
 type AttackResult = attack.Result
 
-// Attack runs one of the paper's six attacks under the named scheme,
-// leaking the given secret value. The returned result records the probe
-// timings and whether the secret was recovered. An empty scheme means the
-// insecure baseline; unknown identifiers return errors wrapping
-// ErrUnknownAttack / ErrUnknownScheme.
+// Attack runs one attack scenario from the corpus under the named scheme,
+// leaking the given secret value (normalised into the scenario's candidate
+// range). The returned result records the probe timings and whether the
+// secret was recovered. The scheme's pipeline defense and memory-system
+// mode both apply, so CPU-level schemes (SafeBet, InvisiSpec, STT) can be
+// attacked too. An empty scheme means the insecure baseline; unknown
+// identifiers return errors wrapping ErrUnknownAttack / ErrUnknownScheme.
 func Attack(name AttackName, scheme Scheme, secret int) (AttackResult, error) {
 	if scheme == "" {
 		scheme = SchemeInsecure
@@ -143,21 +145,11 @@ func Attack(name AttackName, scheme Scheme, secret int) (AttackResult, error) {
 	if err != nil {
 		return AttackResult{}, fmt.Errorf("%w %q (see Schemes())", ErrUnknownScheme, scheme)
 	}
-	switch name {
-	case AttackSpectre:
-		return attack.SpectrePrimeProbe(sch.Mode, secret), nil
-	case AttackInclusion:
-		return attack.InclusionPolicy(sch.Mode, secret&1), nil
-	case AttackSharedData:
-		return attack.SharedData(sch.Mode, secret&1), nil
-	case AttackFilterCoherency:
-		return attack.FilterCoherency(sch.Mode, secret&1), nil
-	case AttackPrefetcher:
-		return attack.Prefetcher(sch.Mode, secret&3), nil
-	case AttackICache:
-		return attack.InstructionCache(sch.Mode, secret&3), nil
+	sc, ok := attack.ScenarioByName(string(name))
+	if !ok {
+		return AttackResult{}, fmt.Errorf("%w %q (see AttackNames())", ErrUnknownAttack, name)
 	}
-	return AttackResult{}, fmt.Errorf("%w %q (see AttackNames())", ErrUnknownAttack, name)
+	return attack.RunSecret(sc, sch, secret), nil
 }
 
 // System re-exports the underlying machine for advanced scenarios (custom

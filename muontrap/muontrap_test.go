@@ -49,8 +49,8 @@ func TestRegistries(t *testing.T) {
 	if len(muontrap.Schemes()) < 10 {
 		t.Fatalf("expected at least 10 schemes, got %d", len(muontrap.Schemes()))
 	}
-	if len(muontrap.AttackNames()) != 6 {
-		t.Fatalf("expected 6 attacks, got %d", len(muontrap.AttackNames()))
+	if len(muontrap.AttackNames()) != 13 {
+		t.Fatalf("expected 13 attacks, got %d", len(muontrap.AttackNames()))
 	}
 	if len(muontrap.FigureIDs()) != 7 {
 		t.Fatalf("expected 7 figures, got %d", len(muontrap.FigureIDs()))

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/attack"
 	"repro/internal/checkpoint"
 	"repro/internal/defense"
 	"repro/internal/figures"
@@ -148,23 +149,31 @@ type RunSpec struct {
 	MaxCycles int
 }
 
-// Sweep declares a (workloads × schemes × scales) experiment matrix. An
+// Sweep declares a (workloads × schemes × scales) experiment matrix,
+// optionally extended with an (attacks × schemes) security block. An
 // empty Scales runs every cell at the runner's default scale; a zero
-// MaxCycles inherits the runner's default. The JSON field names are the
-// experiment service's wire format (see docs/API.md).
+// MaxCycles inherits the runner's default. Attack cells run each named
+// scenario under each scheme with the scenario's canonical secret; they
+// ignore scales and the cycle bound (an attack's identity is its spec).
+// A sweep may declare attacks without workloads. The JSON field names are
+// the experiment service's wire format (see docs/API.md).
 type Sweep struct {
-	Workloads []Workload `json:"workloads"`
-	Schemes   []Scheme   `json:"schemes"`
-	Scales    []float64  `json:"scales,omitempty"`
-	MaxCycles int        `json:"max_cycles,omitempty"`
+	Workloads []Workload   `json:"workloads,omitempty"`
+	Schemes   []Scheme     `json:"schemes"`
+	Scales    []float64    `json:"scales,omitempty"`
+	MaxCycles int          `json:"max_cycles,omitempty"`
+	Attacks   []AttackName `json:"attacks,omitempty"`
 }
 
 // RunResult is one completed run with its full identity, so streamed
-// results are self-describing.
+// results are self-describing. Exactly one of Workload and Attack is set:
+// an attack cell carries its verdict encoded in Result.Counters (decode
+// with AttackVerdict) and reports no cycles or instructions.
 type RunResult struct {
-	Workload Workload `json:"workload"`
-	Scheme   Scheme   `json:"scheme"`
-	Scale    float64  `json:"scale"`
+	Workload Workload   `json:"workload,omitempty"`
+	Scheme   Scheme     `json:"scheme"`
+	Scale    float64    `json:"scale,omitempty"`
+	Attack   AttackName `json:"attack,omitempty"`
 	Result
 }
 
@@ -201,14 +210,24 @@ func resolve(w Workload, s Scheme) (workload.Spec, defense.Scheme, error) {
 	if !ok {
 		return workload.Spec{}, defense.Scheme{}, fmt.Errorf("%w %q (see Workloads())", ErrUnknownWorkload, w)
 	}
+	sch, err := resolveScheme(s)
+	if err != nil {
+		return workload.Spec{}, defense.Scheme{}, err
+	}
+	return spec, sch, nil
+}
+
+// resolveScheme validates a scheme name alone (attack cells have no
+// workload). An empty scheme defaults to the insecure baseline.
+func resolveScheme(s Scheme) (defense.Scheme, error) {
 	if s == "" {
 		s = SchemeInsecure
 	}
 	sch, err := defense.ByName(string(s))
 	if err != nil {
-		return workload.Spec{}, defense.Scheme{}, fmt.Errorf("%w %q (see Schemes())", ErrUnknownScheme, s)
+		return defense.Scheme{}, fmt.Errorf("%w %q (see Schemes())", ErrUnknownScheme, s)
 	}
-	return spec, sch, nil
+	return sch, nil
 }
 
 // Run executes one workload under one protection scheme and blocks until
@@ -251,8 +270,8 @@ func (r *Runner) Sweep(ctx context.Context, sw Sweep) (*SweepResult, error) {
 	if len(scales) == 0 {
 		scales = []float64{r.scale}
 	}
-	if len(sw.Workloads) == 0 {
-		return nil, fmt.Errorf("muontrap: sweep declares no workloads")
+	if len(sw.Workloads) == 0 && len(sw.Attacks) == 0 {
+		return nil, fmt.Errorf("muontrap: sweep declares no workloads or attacks")
 	}
 	if len(sw.Schemes) == 0 {
 		return nil, fmt.Errorf("muontrap: sweep declares no schemes")
@@ -271,6 +290,19 @@ func (r *Runner) Sweep(ctx context.Context, sw Sweep) (*SweepResult, error) {
 					Series: sch.Name, Work: wspec.Name,
 				})
 			}
+		}
+	}
+	for _, a := range sw.Attacks {
+		sc, ok := attack.ScenarioByName(string(a))
+		if !ok {
+			return nil, fmt.Errorf("%w %q (see AttackNames())", ErrUnknownAttack, a)
+		}
+		for _, s := range sw.Schemes {
+			sch, err := resolveScheme(s)
+			if err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, figures.AttackJob(sc, sch, r.options(0, 0)))
 		}
 	}
 	outs, err := r.execute(ctx, jobs)
@@ -338,6 +370,7 @@ func outcomeResult(o figures.Outcome) RunResult {
 		Workload: Workload(o.Job.Spec.Name),
 		Scheme:   Scheme(scheme),
 		Scale:    o.Job.Opt.Scale,
+		Attack:   AttackName(o.Job.Attack),
 		Result: Result{
 			Cycles:       uint64(o.Res.Cycles),
 			Instructions: o.Res.Committed,

@@ -1,0 +1,122 @@
+package muontrap
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/defense"
+	"repro/internal/figures"
+)
+
+// The public face of the security matrix: the full attack-scenario corpus
+// run under the compared schemes, reported as a scheme × scenario verdict
+// table. The matrix is a golden artifact — its rendered form is pinned
+// byte-for-byte by the regression suite and is identical whether the cells
+// ran in-process, from the disk cache, or sharded across a fleet.
+
+// SecuritySchemes returns the matrix's scheme columns in table order: the
+// insecure baseline, the paper's cumulative protection stages, and
+// SafeBet.
+func SecuritySchemes() []Scheme {
+	var out []Scheme
+	for _, s := range defense.SecurityComparison() {
+		out = append(out, Scheme(s.Name))
+	}
+	return out
+}
+
+// SecurityMatrixResult is the scheme × scenario verdict table.
+type SecurityMatrixResult struct {
+	// Schemes is the column order.
+	Schemes []Scheme `json:"schemes"`
+	// Rows holds one attack scenario per row, in registry (sorted) order.
+	Rows []SecurityRow `json:"rows"`
+}
+
+// SecurityRow is one scenario's verdict under every scheme, aligned with
+// the matrix's Schemes.
+type SecurityRow struct {
+	Attack  AttackName     `json:"attack"`
+	Results []AttackResult `json:"results"`
+}
+
+// Render prints the matrix as the canonical fixed-width table (the golden
+// artifact the regression suite pins).
+func (m *SecurityMatrixResult) Render() string {
+	fm := figures.SecurityMatrixResult{Schemes: make([]string, len(m.Schemes))}
+	for i, s := range m.Schemes {
+		fm.Schemes[i] = string(s)
+	}
+	for _, row := range m.Rows {
+		fm.Rows = append(fm.Rows, figures.SecurityRow{
+			Scenario: string(row.Attack), Results: row.Results,
+		})
+	}
+	return fm.Render()
+}
+
+// AttackVerdict decodes the attack result an attack cell carries in its
+// counters. It reports false for workload cells.
+func (r RunResult) AttackVerdict() (AttackResult, bool) {
+	if r.Attack == "" {
+		return AttackResult{}, false
+	}
+	return figures.DecodeAttackCounters(string(r.Attack), r.Counters)
+}
+
+// SecurityMatrix runs the full corpus under every SecuritySchemes column
+// through the runner's sweep path — sharing its memoization, disk cache
+// and worker pool — and assembles the verdict table.
+func (r *Runner) SecurityMatrix(ctx context.Context) (*SecurityMatrixResult, error) {
+	sw := Sweep{Attacks: AttackNames(), Schemes: SecuritySchemes()}
+	res, err := r.Sweep(ctx, sw)
+	if err != nil {
+		return nil, err
+	}
+	return SecurityMatrixFromSweep(sw, res)
+}
+
+// SecurityMatrixFromSweep assembles the verdict table from a completed
+// sweep's attack cells — however the sweep ran (a local Runner, the
+// experiment service, or a fleet coordinator), the same declaration yields
+// the same table. The sweep must declare at least one attack and one
+// scheme; workload cells in the result are ignored.
+func SecurityMatrixFromSweep(sw Sweep, res *SweepResult) (*SecurityMatrixResult, error) {
+	if len(sw.Attacks) == 0 || len(sw.Schemes) == 0 {
+		return nil, fmt.Errorf("muontrap: sweep declares no attack cells")
+	}
+	cells := make(map[AttackName]map[Scheme]AttackResult)
+	for _, run := range res.Runs {
+		if run.Attack == "" {
+			continue
+		}
+		v, ok := run.AttackVerdict()
+		if !ok {
+			return nil, fmt.Errorf("muontrap: attack cell %s/%s carries no verdict", run.Attack, run.Scheme)
+		}
+		if cells[run.Attack] == nil {
+			cells[run.Attack] = make(map[Scheme]AttackResult)
+		}
+		cells[run.Attack][run.Scheme] = v
+	}
+	m := &SecurityMatrixResult{}
+	for _, s := range sw.Schemes {
+		sch, err := resolveScheme(s)
+		if err != nil {
+			return nil, err
+		}
+		m.Schemes = append(m.Schemes, Scheme(sch.Name))
+	}
+	for _, a := range sw.Attacks {
+		row := SecurityRow{Attack: a}
+		for _, s := range m.Schemes {
+			v, ok := cells[a][s]
+			if !ok {
+				return nil, fmt.Errorf("muontrap: sweep result is missing attack cell %s/%s", a, s)
+			}
+			row.Results = append(row.Results, v)
+		}
+		m.Rows = append(m.Rows, row)
+	}
+	return m, nil
+}

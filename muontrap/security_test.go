@@ -1,0 +1,193 @@
+package muontrap_test
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/figures"
+	"repro/muontrap"
+)
+
+// The differential security regression suite. The full scheme × scenario
+// verdict matrix — leak values and signal strengths included — is pinned
+// byte-for-byte in testdata/security_matrix.golden. Any change to the
+// simulator, an attack scenario, or a defense that shifts a single verdict
+// or timing shows up here as a readable cell-level diff. Regenerate
+// deliberately with:
+//
+//	go test ./muontrap -run TestSecurityMatrixGolden -update-security-matrix
+
+var updateMatrix = flag.Bool("update-security-matrix", false,
+	"rewrite testdata/security_matrix.golden from the current simulator")
+
+const goldenMatrixPath = "testdata/security_matrix.golden"
+
+func securityMatrix(t *testing.T) *muontrap.SecurityMatrixResult {
+	t.Helper()
+	m, err := muontrap.NewRunner().SecurityMatrix(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// diffLines renders a line-numbered diff of two renderings so a golden
+// failure names the exact scenario rows and scheme columns that moved.
+func diffLines(got, want string) string {
+	gl, wl := strings.Split(got, "\n"), strings.Split(want, "\n")
+	var b strings.Builder
+	for i := 0; i < len(gl) || i < len(wl); i++ {
+		var g, w string
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if g != w {
+			fmt.Fprintf(&b, "line %d:\n  got:  %q\n  want: %q\n", i+1, g, w)
+		}
+	}
+	return b.String()
+}
+
+func TestSecurityMatrixGolden(t *testing.T) {
+	m := securityMatrix(t)
+	got := m.Render()
+	if *updateMatrix {
+		if err := os.WriteFile(goldenMatrixPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenMatrixPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("security matrix deviates from the pinned golden table.\n"+
+			"A verdict or signal changed — if the change is intended, rerun with -update-security-matrix.\n%s",
+			diffLines(got, string(want)))
+	}
+}
+
+// TestSecurityMatrixShape pins the corpus scale the golden table must
+// cover and the paper-level security claims: MuonTrap and SafeBet block
+// every scenario, and SafeBet blocks (at least) everything full MuonTrap
+// blocks.
+func TestSecurityMatrixShape(t *testing.T) {
+	m := securityMatrix(t)
+	if len(m.Rows) < 12 {
+		t.Fatalf("matrix has %d scenarios, want at least 12", len(m.Rows))
+	}
+	if len(m.Schemes) != 7 {
+		t.Fatalf("matrix has %d schemes, want 7", len(m.Schemes))
+	}
+	col := func(name muontrap.Scheme) int {
+		for i, s := range m.Schemes {
+			if s == name {
+				return i
+			}
+		}
+		t.Fatalf("matrix is missing scheme column %s", name)
+		return -1
+	}
+	insecure, mt, sb := col("insecure"), col("muontrap"), col("safebet")
+	leaks := 0
+	for _, row := range m.Rows {
+		if row.Results[insecure].Succeeded {
+			leaks++
+		}
+		if row.Results[mt].Succeeded {
+			t.Errorf("MuonTrap leaks scenario %s: %v", row.Attack, row.Results[mt])
+		}
+		if row.Results[sb].Succeeded {
+			t.Errorf("SafeBet leaks scenario %s: %v", row.Attack, row.Results[sb])
+		}
+	}
+	if leaks < 10 {
+		t.Fatalf("only %d scenarios leak on the insecure baseline — the corpus lost its teeth", leaks)
+	}
+}
+
+// TestSecurityMatrixCachedByteIdentical pins that the matrix is identical
+// whether its cells run in-process, populate a cold disk cache, or are
+// served entirely from a warm one.
+func TestSecurityMatrixCachedByteIdentical(t *testing.T) {
+	ref := securityMatrix(t).Render()
+
+	dir := t.TempDir()
+	figures.ResetRunCache()
+	r := muontrap.NewRunner(muontrap.WithCacheDir(dir))
+	cold, err := r.SecurityMatrix(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Render() != ref {
+		t.Fatalf("cold-cache matrix differs from in-process reference:\n%s",
+			diffLines(cold.Render(), ref))
+	}
+
+	// Drop the in-process memoization so the second run can only be
+	// satisfied from the disk cache.
+	figures.ResetRunCache()
+	warm, err := muontrap.NewRunner(muontrap.WithCacheDir(dir)).SecurityMatrix(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Render() != ref {
+		t.Fatalf("disk-cached matrix differs from in-process reference:\n%s",
+			diffLines(warm.Render(), ref))
+	}
+}
+
+func TestSecurityMatrixFromSweepErrors(t *testing.T) {
+	if _, err := muontrap.SecurityMatrixFromSweep(muontrap.Sweep{}, &muontrap.SweepResult{}); err == nil {
+		t.Fatal("sweep with no attacks should error")
+	}
+	sw := muontrap.Sweep{
+		Attacks: []muontrap.AttackName{muontrap.AttackSpectre},
+		Schemes: []muontrap.Scheme{muontrap.SchemeInsecure},
+	}
+	if _, err := muontrap.SecurityMatrixFromSweep(sw, &muontrap.SweepResult{}); err == nil {
+		t.Fatal("missing attack cell should error")
+	}
+}
+
+func TestAttackNameRegistry(t *testing.T) {
+	names := muontrap.AttackNames()
+	if len(names) < 12 {
+		t.Fatalf("corpus has %d attacks, want at least 12", len(names))
+	}
+	seen := make(map[muontrap.AttackName]bool)
+	for i, a := range names {
+		if i > 0 && !(names[i-1] < a) {
+			t.Fatalf("AttackNames not sorted/deduped at %d: %v", i, names)
+		}
+		seen[a] = true
+		// Round trip: every listed name parses back to itself.
+		got, err := muontrap.ParseAttackName(string(a))
+		if err != nil || got != a {
+			t.Fatalf("ParseAttackName(%q) = %q, %v", a, got, err)
+		}
+	}
+	// The paper's six attack constants stay in the corpus.
+	for _, a := range []muontrap.AttackName{muontrap.AttackSpectre, muontrap.AttackInclusion,
+		muontrap.AttackSharedData, muontrap.AttackFilterCoherency,
+		muontrap.AttackPrefetcher, muontrap.AttackICache} {
+		if !seen[a] {
+			t.Fatalf("paper attack %s missing from AttackNames()", a)
+		}
+	}
+	_, err := muontrap.ParseAttackName("nope")
+	if !errors.Is(err, muontrap.ErrUnknownAttack) {
+		t.Fatalf("unknown attack error should wrap ErrUnknownAttack, got %v", err)
+	}
+	if _, err := muontrap.Attack("nope", "insecure", 0); !errors.Is(err, muontrap.ErrUnknownAttack) {
+		t.Fatalf("Attack with unknown name should wrap ErrUnknownAttack, got %v", err)
+	}
+}
